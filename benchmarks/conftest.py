@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one figure of the paper at "small" scale,
+writes the reproduced table under ``results/``, and asserts the figure's
+*shape* (who wins, what grows, where gaps are) rather than absolute
+numbers.  The first run populates the dissimilarity disk cache under
+``.cache/`` (MCS is NP-hard; that is the dominant first-run cost);
+subsequent runs are fast.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> str:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return str(RESULTS_DIR)

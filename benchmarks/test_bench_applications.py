@@ -1,0 +1,26 @@
+"""Bench: the Section-2 applications (clustering + containment).
+
+Shapes asserted:
+
+* mapped-space clustering agrees with exact-δ clustering better than a
+  random-feature mapping does;
+* the containment filter is sound and prunes the database.
+"""
+
+from repro.experiments.exp_applications import run
+
+
+def test_applications(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["containment_sound"]
+    assert result["mean_candidates"] >= result["mean_answers"]
+    assert result["filter_ratio"] < 0.9, "filter should prune the database"
+    assert result["ari_dspm"] >= result["ari_sample"] - 0.05, (
+        "DSPM clustering should agree with exact clustering at least as "
+        "well as random features"
+    )
+    assert -0.5 <= result["ari_dspm"] <= 1.0

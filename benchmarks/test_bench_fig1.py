@@ -1,0 +1,25 @@
+"""Bench: Fig. 1 — dissimilarity vs mapped-distance distributions.
+
+Shape: DSPM's distance histogram matches the δ histogram better than
+Original's (measured by histogram intersection) on both panels.
+"""
+
+from repro.experiments.exp_fig1 import run
+
+
+def test_fig1_distribution_shapes(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    for panel in ("panel_a", "panel_b"):
+        dspm = result[panel]["intersection_DSPM"]
+        orig = result[panel]["intersection_Original"]
+        assert dspm > orig, (
+            f"{panel}: DSPM intersection {dspm:.3f} should beat "
+            f"Original {orig:.3f}"
+        )
+        # Histograms are distributions: each sums to ~1.
+        assert abs(sum(result[panel]["DSPM"]) - 1.0) < 1e-6
+        assert abs(sum(result[panel]["delta"]) - 1.0) < 1e-6

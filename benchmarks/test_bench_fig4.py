@@ -1,0 +1,38 @@
+"""Bench: Fig. 4 — effectiveness on the chemical dataset.
+
+Shapes asserted (the paper's Exp-1 findings):
+
+* DSPM achieves the highest precision of all eight algorithms at every k;
+* SFS is (near-)worst — the literal Eq. 4 greedy gets trapped;
+* Sample trails DSPM by a wide margin;
+* every algorithm with a selection phase reports a positive indexing time.
+"""
+
+from repro.experiments.exp_fig4 import run
+
+
+def test_fig4_effectiveness_real(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    precision = result["relative"]["precision"]
+    for k in result["top_ks"]:
+        dspm = precision["DSPM"][k]
+        for name, per_k in precision.items():
+            assert dspm >= per_k[k] - 1e-9, (
+                f"k={k}: DSPM {dspm:.3f} should top {name} {per_k[k]:.3f}"
+            )
+        assert precision["Sample"][k] <= 0.85 * dspm, (
+            f"k={k}: Sample should trail DSPM clearly"
+        )
+        # SFS in the bottom half of the field.
+        ordered = sorted(per_k_all[k] for per_k_all in precision.values())
+        median = ordered[len(ordered) // 2]
+        assert precision["SFS"][k] <= median + 1e-9, (
+            f"k={k}: SFS should be in the bottom half"
+        )
+    for name, seconds in result["indexing_seconds"].items():
+        if name not in ("Original",):
+            assert seconds >= 0.0

@@ -1,0 +1,25 @@
+"""Bench: Fig. 5 — effectiveness on the synthetic dataset.
+
+Shapes asserted (the paper's Exp-2 findings): DSPM best on every measure
+at every k (relative value 1.0 under the best-of-all benchmark); Sample
+and SFS clearly behind.
+"""
+
+from repro.experiments.exp_fig5 import run
+
+
+def test_fig5_effectiveness_synthetic(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    for measure in ("precision", "kendall_tau"):
+        relative = result["relative"][measure]
+        for k in result["top_ks"]:
+            assert relative["DSPM"][k] >= 0.99, (
+                f"{measure}@k={k}: DSPM should define the benchmark "
+                f"(got {relative['DSPM'][k]:.3f})"
+            )
+            assert relative["Sample"][k] <= 0.9
+            assert relative["SFS"][k] <= 0.9

@@ -1,0 +1,31 @@
+"""Bench: Fig. 6 — synthetic sweeps over graph size and density.
+
+Shapes asserted (Exp-3): DSPM holds the best precision at every sweep
+point, and indexing times grow as graphs get larger and denser.
+"""
+
+from repro.experiments.exp_fig6 import run
+
+
+def test_fig6_size_density_sweeps(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    for sweep in ("precision_vs_size", "precision_vs_density"):
+        series = result[sweep]
+        for i in range(len(series["DSPM"])):
+            dspm = series["DSPM"][i]
+            for name, values in series.items():
+                assert dspm >= values[i] - 1e-9, (
+                    f"{sweep}[{i}]: DSPM {dspm:.3f} vs {name} {values[i]:.3f}"
+                )
+    # Indexing time grows with graph size and density (first vs last point)
+    for sweep in ("indexing_vs_size", "indexing_vs_density"):
+        for name, values in result[sweep].items():
+            if name in ("Original", "Sample"):
+                continue
+            assert values[-1] >= values[0] * 0.8, (
+                f"{sweep}/{name}: expected growth, got {values}"
+            )

@@ -1,0 +1,31 @@
+"""Bench: Fig. 7 — online query efficiency.
+
+Shapes asserted (Exp-4): the Original mapping (all |F| features) is
+several times slower per query than DSPM's p features; the exact engine
+is orders of magnitude slower than both.
+"""
+
+import math
+
+from repro.experiments.exp_fig7 import run
+
+
+def test_fig7_query_efficiency(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    times = result["query_seconds"]
+    for i, label in enumerate(result["bucket_labels"]):
+        if math.isnan(times["DSPM"][i]):
+            continue
+        assert times["Original"][i] > times["DSPM"][i], (
+            f"bucket {label}: Original should be slower than DSPM"
+        )
+        assert times["Exact"][i] > 10 * times["DSPM"][i], (
+            f"bucket {label}: Exact should be orders of magnitude slower"
+        )
+    assert result["orig_over_dspm"] > 2.0
+    assert result["exact_over_dspm"] > 50.0
+    assert result["num_features_original"] > result["num_features_dspm"]

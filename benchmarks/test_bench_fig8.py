@@ -1,0 +1,34 @@
+"""Bench: Fig. 8 — DSPMap approximation quality vs partition size b.
+
+Shapes asserted (Exp-5): DSPMap's precision stays close to DSPM's at
+every b; its indexing cost (δ evaluations + solve) undercuts DSPM's and
+grows with b; it needs strictly fewer δ evaluations than the full matrix.
+"""
+
+from repro.experiments.exp_fig8 import run
+
+
+def test_fig8_dspmap_quality(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    dspm_p = result["dspm_precision"]
+    for b, precision, seconds, evals in zip(
+        result["b_values"],
+        result["dspmap_precision"],
+        result["dspmap_indexing_seconds"],
+        result["dspmap_delta_evaluations"],
+    ):
+        assert abs(precision - dspm_p) <= 0.15, (
+            f"b={b}: DSPMap precision {precision:.3f} too far from "
+            f"DSPM {dspm_p:.3f}"
+        )
+        assert seconds < result["dspm_indexing_seconds"], (
+            f"b={b}: DSPMap indexing should undercut DSPM"
+        )
+        assert evals < result["full_delta_evaluations"]
+    # Indexing cost grows with b (δ evaluations dominate).
+    evals = result["dspmap_delta_evaluations"]
+    assert all(evals[i] < evals[i + 1] for i in range(len(evals) - 1))

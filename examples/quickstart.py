@@ -1,0 +1,67 @@
+"""Quickstart: index a graph database and answer a top-k similarity query.
+
+This walks the full pipeline of the paper on a generated molecule-like
+database:
+
+1. generate a database and a held-out query,
+2. build a DS-preserved mapping (gSpan mining + DSPM feature selection),
+3. answer the query in the mapped space, and
+4. compare against the exact MCS-based ranking.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro.core.mapping import build_mapping
+from repro.datasets import chemical_database, chemical_query_set
+from repro.query.measures import precision_at_k
+from repro.query.topk import ExactTopKEngine, MappedTopKEngine
+
+
+def main() -> None:
+    # 1. A database of 60 small molecule-like labeled graphs.
+    database = chemical_database(60, seed=0)
+    query = chemical_query_set(1, seed=1)[0]
+    print(f"database: {len(database)} graphs; "
+          f"query {query.graph_id}: |V|={query.num_vertices}, |E|={query.num_edges}")
+
+    # 2. Build the index: mine frequent subgraphs at 10% support, select
+    #    20 dimensions with DSPM, embed the database as binary vectors.
+    start = time.perf_counter()
+    mapping = build_mapping(
+        database,
+        num_features=20,
+        min_support=0.10,
+        max_pattern_edges=5,
+    )
+    print(f"index built in {time.perf_counter() - start:.1f}s: "
+          f"{mapping.dimensionality} dimensions selected from "
+          f"{mapping.space.m} mined frequent subgraphs")
+
+    # Peek at the selected dimension subgraphs.
+    for feat in mapping.selected_features()[:3]:
+        atoms = "-".join(str(l) for l in feat.graph.vertex_labels())
+        print(f"  dimension: {feat.num_edges}-edge pattern on atoms [{atoms}], "
+              f"support {feat.support_count}/{len(database)}")
+
+    # 3. Online query: VF2 feature matching + linear scan (microseconds).
+    engine = MappedTopKEngine(mapping)
+    answer = engine.query(query, k=10)
+    print(f"mapped top-10 in {answer.total_seconds * 1e3:.2f} ms: "
+          f"{[database[i].graph_id for i in answer.ranking[:5]]} ...")
+
+    # 4. Ground truth: exact MCS-based dissimilarity (NP-hard per graph).
+    exact = ExactTopKEngine(database)
+    truth = exact.query(query, k=10)
+    print(f"exact top-10 in {truth.total_seconds * 1e3:.0f} ms: "
+          f"{[database[i].graph_id for i in truth.ranking[:5]]} ...")
+
+    print(f"precision@10 = {precision_at_k(answer.ranking, truth.ranking):.2f}; "
+          f"speedup = {truth.total_seconds / answer.total_seconds:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

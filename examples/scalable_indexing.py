@@ -1,0 +1,90 @@
+"""Scalable indexing with DSPMap: trade a little precision for a lot of time.
+
+DSPM needs every pairwise graph dissimilarity — each one an NP-hard MCS
+computation — plus quadratic memory.  DSPMap (Algorithms 5-7 of the paper)
+partitions the database and only ever compares graphs inside a partition
+or a small cross-partition bridge sample.  This example measures both on
+the same database and reports quality + cost side by side.
+
+Run with::
+
+    python examples/scalable_indexing.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dspm import DSPM
+from repro.core.dspmap import DSPMap
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import chemical_database, chemical_query_set
+from repro.features import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.query.measures import precision_at_k
+from repro.query.topk import ExactTopKEngine, MappedTopKEngine
+from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
+
+DB_SIZE = 80
+NUM_FEATURES = 25
+K = 10
+
+
+def evaluate(mapping, queries, exact_rankings) -> float:
+    engine = MappedTopKEngine(mapping)
+    scores = [
+        precision_at_k(engine.query(q, K).ranking, truth)
+        for q, truth in zip(queries, exact_rankings)
+    ]
+    return float(np.mean(scores))
+
+
+def main() -> None:
+    database = chemical_database(DB_SIZE, seed=7)
+    queries = chemical_query_set(8, seed=8)
+    features = mine_frequent_subgraphs(database, min_support=0.1, max_edges=5)
+    space = FeatureSpace(features, DB_SIZE)
+    print(f"{DB_SIZE} graphs, {space.m} mined features, selecting "
+          f"{NUM_FEATURES} dimensions\n")
+
+    exact = ExactTopKEngine(database)
+    exact_rankings = [exact.query(q, K).ranking for q in queries]
+
+    # --- DSPM: needs the full delta matrix --------------------------------
+    cache = DissimilarityCache()
+    start = time.perf_counter()
+    delta = pairwise_dissimilarity_matrix(database, cache)
+    delta_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    dspm = DSPM(NUM_FEATURES, max_iterations=150).fit(space, delta)
+    solve_seconds = time.perf_counter() - start
+    dspm_precision = evaluate(
+        mapping_from_selection(space, dspm.selected), queries, exact_rankings
+    )
+    full_pairs = DB_SIZE * (DB_SIZE - 1) // 2
+    print(f"DSPM:   {full_pairs} MCS evaluations ({delta_seconds:.1f}s) + "
+          f"solver {solve_seconds:.2f}s -> precision@{K} = {dspm_precision:.3f}")
+
+    # --- DSPMap: partition-local deltas only -------------------------------
+    for b in (10, 20, 40):
+        map_cache = DissimilarityCache()
+        solver = DSPMap(NUM_FEATURES, partition_size=b, seed=0,
+                        max_iterations=150)
+        start = time.perf_counter()
+        result = solver.fit(space, database, map_cache)
+        seconds = time.perf_counter() - start
+        precision = evaluate(
+            mapping_from_selection(space, result.selected), queries,
+            exact_rankings,
+        )
+        print(f"DSPMap b={b:<3d} {solver.delta_evaluations_:>5d} MCS "
+              f"evaluations, total {seconds:.1f}s -> precision@{K} = "
+              f"{precision:.3f}")
+
+    print("\nDSPMap reaches DSPM-level precision with a fraction of the "
+          "NP-hard dissimilarity computations — the larger the database, "
+          "the larger the saving (it scales linearly, Theorem 5.3).")
+
+
+if __name__ == "__main__":
+    main()

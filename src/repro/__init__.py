@@ -1,0 +1,56 @@
+"""repro — reproduction of "Leveraging Graph Dimensions in Online Graph Search".
+
+Zhu, Yu & Qin, PVLDB 8(1), 2014.  The public API re-exports the pieces a
+downstream user needs for the common path:
+
+>>> from repro import build_mapping, chemical_database, MappedTopKEngine
+>>> db = chemical_database(60, seed=0)
+>>> mapping = build_mapping(db, num_features=20, min_support=0.1)
+>>> engine = MappedTopKEngine(mapping)
+
+Sub-packages expose the full machinery: ``repro.graph`` (labeled graphs,
+I/O, generators), ``repro.isomorphism`` (VF2, MCS, GED), ``repro.mining``
+(gSpan), ``repro.similarity`` (δ1/δ2), ``repro.features``,
+``repro.core`` (DSPM, DSPMap, bounds), ``repro.baselines``,
+``repro.query``, ``repro.fingerprint``, ``repro.datasets``,
+``repro.applications``, and ``repro.experiments``.
+"""
+
+from repro.core.dspm import DSPM, DSPMResult, dspm_select
+from repro.core.dspmap import DSPMap
+from repro.core.mapping import DSPreservedMapping, build_mapping
+from repro.datasets import (
+    chemical_database,
+    chemical_query_set,
+    synthetic_database,
+    synthetic_query_set,
+)
+from repro.features import FeatureSpace
+from repro.graph import LabeledGraph
+from repro.mining import FrequentSubgraph, mine_frequent_subgraphs
+from repro.query import ExactTopKEngine, MappedTopKEngine
+from repro.similarity import DissimilarityCache, delta1, delta2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSPM",
+    "DSPMResult",
+    "DSPMap",
+    "DSPreservedMapping",
+    "DissimilarityCache",
+    "ExactTopKEngine",
+    "FeatureSpace",
+    "FrequentSubgraph",
+    "LabeledGraph",
+    "MappedTopKEngine",
+    "build_mapping",
+    "chemical_database",
+    "chemical_query_set",
+    "delta1",
+    "delta2",
+    "dspm_select",
+    "mine_frequent_subgraphs",
+    "synthetic_database",
+    "synthetic_query_set",
+]

@@ -1,0 +1,17 @@
+"""Applications built on the DS-preserved mapping.
+
+Section 2 of the paper notes the identified dimension set "can also be
+applied in many other graph applications such as graph pattern matching
+and graph clustering".  This package implements both:
+
+* :mod:`repro.applications.clustering` — k-medoids over the mapped
+  space, evaluated against clustering on the exact dissimilarity;
+* :mod:`repro.applications.containment` — subgraph-containment search
+  with feature-based filtering (the gIndex-style filter+verify pipeline
+  of the related work), reusing the mined features as the filter index.
+"""
+
+from repro.applications.clustering import MappedKMedoids, adjusted_rand_index
+from repro.applications.containment import ContainmentIndex
+
+__all__ = ["MappedKMedoids", "adjusted_rand_index", "ContainmentIndex"]

@@ -1,0 +1,33 @@
+"""Baseline feature selectors the paper compares DSPM against (Section 6).
+
+Every selector implements :class:`FeatureSelector`:
+
+* ``Original`` — all mined frequent subgraphs (no selection);
+* ``Sample`` — p features drawn uniformly at random;
+* ``SFS`` — sequential forward selection on the stress objective [21];
+* ``MICI`` — feature-similarity clustering via the maximum information
+  compression index [24];
+* ``MCFS`` — multi-cluster spectral regression with L1 sparsity [27];
+* ``UDFS`` — L2,1-regularised discriminative selection [28];
+* ``NDFS`` — nonnegative spectral analysis with L2,1 selection [29].
+"""
+
+from repro.baselines.base import FeatureSelector
+from repro.baselines.original import OriginalSelector
+from repro.baselines.sample import SampleSelector
+from repro.baselines.sfs import SFSSelector
+from repro.baselines.mici import MICISelector
+from repro.baselines.mcfs import MCFSSelector
+from repro.baselines.udfs import UDFSSelector
+from repro.baselines.ndfs import NDFSSelector
+
+__all__ = [
+    "FeatureSelector",
+    "OriginalSelector",
+    "SampleSelector",
+    "SFSSelector",
+    "MICISelector",
+    "MCFSSelector",
+    "UDFSSelector",
+    "NDFSSelector",
+]

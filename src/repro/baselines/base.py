@@ -1,0 +1,42 @@
+"""The selector interface shared by DSPM and all baselines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+from repro.features.binary_matrix import FeatureSpace
+from repro.utils.errors import SelectionError
+
+
+class FeatureSelector(ABC):
+    """Selects dimension features from a :class:`FeatureSpace`.
+
+    Subclasses set :attr:`name` (used in experiment reports) and
+    implement :meth:`select`.  Selectors that rank by a score should
+    return indices in descending score order; callers treat the order as
+    meaningful only for debugging.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, num_features: int) -> None:
+        if num_features < 1:
+            raise SelectionError("num_features must be >= 1")
+        self.num_features = num_features
+
+    @abstractmethod
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        """Return the chosen feature indices.
+
+        *delta* (the pairwise graph dissimilarity matrix) is only needed
+        by distance-aware selectors (DSPM, SFS); others ignore it.
+        """
+
+    def _cap(self, space: FeatureSpace) -> int:
+        """The effective p (never more than the universe size)."""
+        return min(self.num_features, space.m)

@@ -1,0 +1,113 @@
+"""MICI — unsupervised selection by feature similarity (Mitra et al. [24]).
+
+Features (columns of the binary incidence matrix) are compared with the
+**maximum information compression index**: for features x, y with
+variances ``vx, vy`` and correlation ``ρ``,
+
+    λ2(x, y) = ( vx + vy − sqrt( (vx + vy)² − 4 vx vy (1 − ρ²) ) ) / 2
+
+— the smaller eigenvalue of their 2×2 covariance matrix, i.e. the
+information lost when projecting the pair onto one direction.  λ2 = 0 iff
+the features are linearly dependent.
+
+The published algorithm clusters features: repeatedly pick the feature
+whose k-th nearest neighbour (in λ2) is closest, keep it, and discard
+those k neighbours.  The cluster count — hence the number of retained
+features — is governed by k.  Since the experiments need exactly ``p``
+features, we follow the paper's protocol of tuning k: binary-search the
+largest k whose run retains at least p features, then keep the p
+retained features with the most compact neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import FeatureSelector
+from repro.features.binary_matrix import FeatureSpace
+
+
+def mici_matrix(Y: np.ndarray) -> np.ndarray:
+    """Pairwise λ2 between all feature columns of *Y* (vectorised)."""
+    n, m = Y.shape
+    mean = Y.mean(axis=0)
+    centered = Y - mean
+    cov = centered.T @ centered / max(n - 1, 1)
+    var = np.diag(cov).copy()
+    vx = var[:, None]
+    vy = var[None, :]
+    # 4 vx vy (1 − ρ²) = 4 (vx vy − cov²)
+    inner = (vx + vy) ** 2 - 4.0 * (vx * vy - cov**2)
+    inner = np.maximum(inner, 0.0)
+    lam2 = ((vx + vy) - np.sqrt(inner)) / 2.0
+    np.fill_diagonal(lam2, 0.0)
+    return lam2
+
+
+def _cluster_run(dissim: np.ndarray, k: int) -> Tuple[List[int], List[float]]:
+    """One pass of Mitra's kNN clustering; returns kept features + radii."""
+    m = dissim.shape[0]
+    alive = np.ones(m, dtype=bool)
+    kept: List[int] = []
+    radii: List[float] = []
+    while alive.sum() > 0:
+        alive_idx = np.flatnonzero(alive)
+        if len(alive_idx) == 1:
+            kept.append(int(alive_idx[0]))
+            radii.append(0.0)
+            break
+        k_eff = min(k, len(alive_idx) - 1)
+        sub = dissim[np.ix_(alive_idx, alive_idx)]
+        # distance of each alive feature to its k_eff-th nearest neighbour
+        part = np.partition(sub, k_eff, axis=1)[:, k_eff]
+        best_local = int(np.argmin(part))
+        best = int(alive_idx[best_local])
+        kept.append(best)
+        radii.append(float(part[best_local]))
+        # discard the k_eff nearest neighbours of the kept feature
+        order = np.argsort(sub[best_local])
+        neighbours = alive_idx[order[1 : k_eff + 1]]
+        alive[best] = False
+        alive[neighbours] = False
+    return kept, radii
+
+
+class MICISelector(FeatureSelector):
+    """Feature-similarity clustering with the MICI measure."""
+
+    name = "MICI"
+
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        Y = space.incidence.astype(np.float64)
+        m = space.m
+        p = self._cap(space)
+        dissim = mici_matrix(Y)
+
+        # Largest k that still yields >= p clusters (larger k discards
+        # more per step => fewer clusters).  Binary search on k.
+        lo, hi = 1, max(1, m - 1)
+        best_run = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            kept, radii = _cluster_run(dissim, mid)
+            if len(kept) >= p:
+                best_run = (kept, radii)
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        if best_run is None:
+            best_run = _cluster_run(dissim, 1)
+
+        kept, radii = best_run
+        if len(kept) < p:
+            # Degenerate universe (everything discards everything):
+            # pad with unchosen features in index order.
+            pad = [r for r in range(m) if r not in set(kept)]
+            kept = kept + pad[: p - len(kept)]
+            radii = radii + [np.inf] * (p - len(radii))
+        order = np.argsort(radii[: len(kept)], kind="stable")
+        return [kept[i] for i in order[:p]]

@@ -1,0 +1,91 @@
+"""NDFS — nonnegative discriminative feature selection [29].
+
+Li et al. (AAAI'12) learn cluster indicators and the selection matrix
+jointly:
+
+    min_{F ≥ 0, FᵀF = I, W}  Tr(Fᵀ L F) + α ( ||Xᵀ W − F||² + β ||W||_{2,1} )
+
+Solved by alternating the published updates:
+
+* ``W = (X Xᵀ + β D)⁻¹ X F`` with ``D = diag(1/(2||w_i||))``;
+* the multiplicative nonnegative update
+  ``F ← F ∘ ( (γ F) / (M F + γ F Fᵀ F) )`` where
+  ``M = L + α (I − Xᵀ (X Xᵀ + β D)⁻¹ X)`` and γ is a large orthogonality
+  penalty.
+
+Features are ranked by row norms of ``W``.  The paper notes NDFS's edge
+over MCFS depends on the dataset having natural clusters — our chemical
+surrogate plants motif families precisely so this behaviour can appear.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy import linalg
+
+from repro.baselines.base import FeatureSelector
+from repro.baselines.spectral import graph_laplacian, knn_affinity, spectral_embedding
+from repro.features.binary_matrix import FeatureSpace
+
+
+class NDFSSelector(FeatureSelector):
+    """Alternating optimisation of the NDFS objective."""
+
+    name = "NDFS"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_clusters: int = 5,
+        num_neighbors: int = 5,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        ortho_penalty: float = 1e8,
+        iterations: int = 30,
+    ) -> None:
+        super().__init__(num_features)
+        self.num_clusters = num_clusters
+        self.num_neighbors = num_neighbors
+        self.alpha = alpha
+        self.beta = beta
+        self.ortho_penalty = ortho_penalty
+        self.iterations = iterations
+
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        Y = space.incidence.astype(np.float64)
+        n, m = Y.shape
+        p = self._cap(space)
+        k_clusters = min(self.num_clusters, max(1, n - 1))
+
+        X = Y.T  # features × samples, as in the NDFS formulation
+        W_aff = knn_affinity(Y, k=self.num_neighbors)
+        L, _ = graph_laplacian(W_aff)
+
+        # Init F from the spectral embedding, made nonnegative.
+        F = np.abs(spectral_embedding(W_aff, k_clusters)) + 0.01
+
+        D = np.eye(m)
+        row_norms = np.ones(m)
+        gamma = self.ortho_penalty
+        for _ in range(self.iterations):
+            # W update (ridge-like solve with the L2,1 reweighting).
+            G = X @ X.T + self.beta * D
+            W = linalg.solve(G, X @ F, assume_a="pos")
+            row_norms = np.sqrt((W**2).sum(axis=1))
+            D = np.diag(1.0 / (2.0 * np.maximum(row_norms, 1e-8)))
+
+            # F update (multiplicative, keeps F >= 0).
+            inner = linalg.solve(G, X, assume_a="pos")
+            M = L + self.alpha * (np.eye(n) - X.T @ inner)
+            numerator = gamma * F
+            denominator = M @ F + gamma * F @ (F.T @ F)
+            denominator = np.maximum(denominator, 1e-12)
+            F = F * (numerator / denominator)
+            F = np.maximum(F, 1e-12)
+
+        order = np.argsort(-row_norms, kind="stable")
+        return [int(r) for r in order[:p]]

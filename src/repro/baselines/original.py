@@ -1,0 +1,30 @@
+"""The Original baseline: use every mined frequent subgraph as a dimension.
+
+This is the paper's first strawman — the anti-monotone property of
+frequent subgraphs makes the full space severely unbalanced (every
+subgraph of a frequent feature is itself a feature), which is exactly why
+selection is needed (Section 4, Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import FeatureSelector
+from repro.features.binary_matrix import FeatureSpace
+
+
+class OriginalSelector(FeatureSelector):
+    """Keeps the whole universe (``num_features`` is ignored)."""
+
+    name = "Original"
+
+    def __init__(self, num_features: int = 1) -> None:
+        super().__init__(num_features)
+
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        return list(range(space.m))

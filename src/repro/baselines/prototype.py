@@ -1,0 +1,122 @@
+"""Prototype embedding (Riesen, Neuhaus & Bunke [9]) — a mapping baseline.
+
+The related-work alternative the paper argues against: pick ``k``
+prototype graphs from the database and embed every graph as the vector
+of its graph-edit-distances to the prototypes.  The paper's criticism
+(Section 3) is that an *unseen query* then needs ``k`` GED computations
+at query time — the NP-hard cost the DS-preserved mapping exists to
+avoid.  We implement it to make that comparison measurable
+(``repro.experiments.exp_prototype``).
+
+Unlike the feature selectors, this is a *mapping* method: it implements
+the embed-database / embed-query interface directly.
+
+Prototype selection strategies (Riesen et al. evaluate several):
+
+* ``"random"`` — uniform sample;
+* ``"spanning"`` — iteratively add the graph farthest (in GED) from the
+  already-chosen prototypes, a k-center-style spread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.isomorphism.ged import ged_bipartite
+from repro.utils.errors import SelectionError
+from repro.utils.rng import RngLike, ensure_rng
+
+GedFn = Callable[[LabeledGraph, LabeledGraph], float]
+
+
+class PrototypeEmbedding:
+    """GED-to-prototypes vector space embedding.
+
+    Parameters
+    ----------
+    num_prototypes:
+        ``k`` — the embedding dimensionality.
+    strategy:
+        ``"random"`` or ``"spanning"``.
+    ged:
+        The GED function (defaults to the bipartite approximation, the
+        choice the original papers make for scalability).
+    """
+
+    def __init__(
+        self,
+        num_prototypes: int,
+        strategy: str = "spanning",
+        ged: Optional[GedFn] = None,
+        seed: RngLike = None,
+    ) -> None:
+        if num_prototypes < 1:
+            raise SelectionError("num_prototypes must be >= 1")
+        if strategy not in ("random", "spanning"):
+            raise SelectionError(f"unknown strategy {strategy!r}")
+        self.num_prototypes = num_prototypes
+        self.strategy = strategy
+        self.ged: GedFn = ged if ged is not None else ged_bipartite
+        self._rng = ensure_rng(seed)
+        self.prototypes: List[LabeledGraph] = []
+        self.database_vectors: Optional[np.ndarray] = None
+        self.ged_calls = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, database: Sequence[LabeledGraph]) -> "PrototypeEmbedding":
+        """Choose prototypes from *database* and embed it."""
+        if not database:
+            raise SelectionError("empty database")
+        k = min(self.num_prototypes, len(database))
+        if self.strategy == "random":
+            idx = self._rng.choice(len(database), size=k, replace=False)
+            self.prototypes = [database[int(i)] for i in idx]
+        else:
+            self.prototypes = self._spanning_prototypes(database, k)
+        self.database_vectors = self.embed_many(database)
+        return self
+
+    def _spanning_prototypes(
+        self, database: Sequence[LabeledGraph], k: int
+    ) -> List[LabeledGraph]:
+        first = int(self._rng.integers(0, len(database)))
+        chosen = [first]
+        distance_to_set = np.full(len(database), np.inf)
+        for _ in range(k - 1):
+            latest = database[chosen[-1]]
+            for i, g in enumerate(database):
+                if i in chosen:
+                    distance_to_set[i] = -np.inf
+                    continue
+                d = self.ged(g, latest)
+                self.ged_calls += 1
+                distance_to_set[i] = min(distance_to_set[i], d)
+            chosen.append(int(np.argmax(distance_to_set)))
+        return [database[i] for i in chosen]
+
+    # ------------------------------------------------------------------
+    def embed(self, graph: LabeledGraph) -> np.ndarray:
+        """The GED-to-prototypes vector of one graph (k GED calls)."""
+        if not self.prototypes:
+            raise SelectionError("fit() must run before embedding")
+        vector = np.empty(len(self.prototypes))
+        for i, proto in enumerate(self.prototypes):
+            vector[i] = self.ged(graph, proto)
+            self.ged_calls += 1
+        return vector
+
+    def embed_many(self, graphs: Sequence[LabeledGraph]) -> np.ndarray:
+        return np.vstack([self.embed(g) for g in graphs])
+
+    # ------------------------------------------------------------------
+    def query(self, graph: LabeledGraph, k: int) -> List[int]:
+        """Top-k database indices by Euclidean distance in the embedding."""
+        if self.database_vectors is None:
+            raise SelectionError("fit() must run before querying")
+        vec = self.embed(graph)
+        d2 = ((self.database_vectors - vec) ** 2).sum(axis=1)
+        order = np.lexsort((np.arange(len(d2)), d2))
+        return [int(i) for i in order[:k]]

@@ -1,0 +1,28 @@
+"""The Sample baseline: p frequent subgraphs drawn uniformly at random."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import FeatureSelector
+from repro.features.binary_matrix import FeatureSpace
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SampleSelector(FeatureSelector):
+    """Uniform random selection (the paper's second strawman)."""
+
+    name = "Sample"
+
+    def __init__(self, num_features: int, seed: RngLike = None) -> None:
+        super().__init__(num_features)
+        self._rng = ensure_rng(seed)
+
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        p = self._cap(space)
+        chosen = self._rng.choice(space.m, size=p, replace=False)
+        return sorted(int(r) for r in chosen)

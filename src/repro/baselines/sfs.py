@@ -1,0 +1,92 @@
+"""SFS — sequential forward selection on the stress objective [21].
+
+Greedily grows the selected set: at each step, add the feature whose
+addition minimises the paper's distance-preserving error (Eq. 4) applied
+literally to the current selection,
+
+    E(S) = Σ_{i<j} ( sqrt(H_ij) − δ_ij )²,
+
+where ``H_ij`` counts selected features on which graphs i and j differ —
+i.e. the plain Euclidean distance of Eq. 4 with unit weights on the
+selected features.  (SFS has no weight-learning step, so the paper's
+Σc² = 1 "post-processing" has no analogue here; Eq. 4 is evaluated as
+written.)
+
+This reproduces exactly the failure mode the paper reports for SFS
+(Exp-1): because the unweighted distance grows with every added feature
+while δ stays in [0, 1], the objective is non-monotone in the selection
+— after the first couple of picks every informative feature *increases*
+the error, so the greedy step prefers near-constant features (ubiquitous
+or minimum-support ones) that barely change any distance.  The result is
+the worst mapping of all algorithms, at the highest indexing cost (every
+step evaluates the objective over all graph pairs for every candidate).
+
+A ``normalized=True`` variant — dividing by |S| so the distance matches
+the final deployment mapping — is kept for the ablation suite; it is a
+far stronger greedy baseline, which underlines that the paper's SFS
+strawman is specifically the literal-objective greedy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.base import FeatureSelector
+from repro.features.binary_matrix import FeatureSpace
+from repro.utils.errors import SelectionError
+
+
+class SFSSelector(FeatureSelector):
+    """Greedy forward selection minimising the literal Eq. 4 stress."""
+
+    name = "SFS"
+
+    def __init__(self, num_features: int, normalized: bool = False) -> None:
+        super().__init__(num_features)
+        self.normalized = normalized
+
+    def select(
+        self, space: FeatureSpace, delta: Optional[np.ndarray] = None
+    ) -> List[int]:
+        if delta is None:
+            raise SelectionError("SFS needs the dissimilarity matrix delta")
+        Y = space.incidence.astype(np.float64)
+        n, m = Y.shape
+        p = self._cap(space)
+
+        iu = np.triu_indices(n, k=1)
+        target = delta[iu]
+
+        selected: List[int] = []
+        remaining = list(range(m))
+        H = np.zeros(len(target))  # differing-feature counts per pair
+
+        # Cache each candidate's pairwise XOR column; recomputing per step
+        # would repeat m·n² work p times for nothing.
+        xor_cols: Dict[int, np.ndarray] = {}
+
+        def xor_col(r: int) -> np.ndarray:
+            col = xor_cols.get(r)
+            if col is None:
+                y = Y[:, r]
+                col = np.abs(y[:, None] - y[None, :])[iu]
+                xor_cols[r] = col
+            return col
+
+        for step in range(1, p + 1):
+            scale = step if self.normalized else 1.0
+            best_r = -1
+            best_err = np.inf
+            for r in remaining:
+                h = H + xor_col(r)
+                err = float((np.sqrt(h / scale) - target) @ (np.sqrt(h / scale) - target))
+                if err < best_err:
+                    best_err = err
+                    best_r = r
+            selected.append(best_r)
+            remaining.remove(best_r)
+            H = H + xor_col(best_r)
+            xor_cols.pop(best_r, None)  # its contribution now lives in H
+        return selected

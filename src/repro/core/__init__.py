@@ -1,0 +1,16 @@
+"""The paper's contribution: DSPM, DSPMap, DS-preserved mapping, bounds."""
+
+from repro.core.dspm import DSPM, DSPMResult, dspm_select
+from repro.core.dspmap import DSPMap
+from repro.core.mapping import DSPreservedMapping, build_mapping
+from repro.core import bounds
+
+__all__ = [
+    "DSPM",
+    "DSPMResult",
+    "dspm_select",
+    "DSPMap",
+    "DSPreservedMapping",
+    "build_mapping",
+    "bounds",
+]

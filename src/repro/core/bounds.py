@@ -1,0 +1,164 @@
+"""Section 4.1 — the structure-preserving quality bounds.
+
+The paper's rationality argument: if distance-preserving holds on ``DG``,
+then structure-preserving holds for unseen queries, because the mapping
+quality of any ``q' ⊆ q`` (and by Corollary 4.2 any supergraph) is
+sandwiched by computable ε-terms.  This module implements every bound as
+a plain function so they can be property-tested against the exact MCS
+implementation:
+
+* :func:`lemma_4_1_bounds` — 0 ≤ ξ ≤ |E(q)| − |E(q')| for
+  ξ = |E(mcs(q,g))| − |E(mcs(q',g))|;
+* :func:`theorem_4_1_interval` — δ1(q',g) ∈ [α − ε1l, α + ε1r];
+* :func:`theorem_4_2_interval` — δ2(q',g) ∈ [α − (1−α)ε2, α + (1+α)ε2];
+* :func:`theorem_4_3_interval` — d(y_q', y_g) ∈ [β − √(t/p), β + √(t/p)];
+* :func:`corollary_4_1_interval` / :func:`corollary_4_2_interval` — the
+  resulting ratio intervals λ = δ/d.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        return self.lo - slack <= value <= self.hi + slack
+
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+def lemma_4_1_bounds(edges_q: int, edges_q_sub: int) -> Interval:
+    """Bounds on ξ = |E(mcs(q,g))| − |E(mcs(q',g))| for q' ⊆ q.
+
+    Lemma 4.1: ``0 ≤ ξ ≤ |E(q)| − |E(q')|``.
+    """
+    if edges_q_sub > edges_q:
+        raise ValueError("q' is a subgraph of q, so |E(q')| <= |E(q)|")
+    return Interval(0.0, float(edges_q - edges_q_sub))
+
+
+def epsilon_1l(edges_q: int, edges_q_sub: int, edges_g: int, alpha: float) -> float:
+    """ε1l of Theorem 4.1."""
+    smallest = min(edges_q_sub, edges_g)
+    if smallest == 0:
+        return float("inf")
+    return (edges_q - smallest) / smallest * (1.0 - alpha)
+
+
+def epsilon_1r(edges_q: int, edges_q_sub: int, edges_g: int) -> float:
+    """ε1r of Theorem 4.1."""
+    if edges_g == 0:
+        return float("inf")
+    return (edges_q - edges_q_sub) / edges_g
+
+
+def theorem_4_1_interval(
+    edges_q: int, edges_q_sub: int, edges_g: int, alpha: float
+) -> Interval:
+    """The δ1 interval for a subgraph query: [α − ε1l, α + ε1r]."""
+    return Interval(
+        alpha - epsilon_1l(edges_q, edges_q_sub, edges_g, alpha),
+        alpha + epsilon_1r(edges_q, edges_q_sub, edges_g),
+    )
+
+
+def epsilon_2(edges_q: int, edges_q_sub: int, edges_g: int) -> float:
+    """ε2 of Theorem 4.2: (|E(q)| − |E(q')|) / (|E(q')| + |E(g)|)."""
+    denom = edges_q_sub + edges_g
+    if denom == 0:
+        return float("inf")
+    return (edges_q - edges_q_sub) / denom
+
+
+def theorem_4_2_interval(
+    edges_q: int, edges_q_sub: int, edges_g: int, alpha: float
+) -> Interval:
+    """The δ2 interval: [α − (1−α)ε2, α + (1+α)ε2]."""
+    eps = epsilon_2(edges_q, edges_q_sub, edges_g)
+    return Interval(alpha - (1.0 - alpha) * eps, alpha + (1.0 + alpha) * eps)
+
+
+def theorem_4_3_interval(beta: float, t: int, p: int) -> Interval:
+    """The mapped-distance interval [β − √(t/p), β + √(t/p)].
+
+    *t* is ``|F(q)| − |F(q')|`` (features lost by shrinking q to q'),
+    *p* the dimensionality.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if t < 0:
+        raise ValueError("t must be non-negative (F(q') ⊆ F(q))")
+    spread = math.sqrt(t / p)
+    return Interval(beta - spread, beta + spread)
+
+
+def _ratio_interval(num: Interval, beta: float, spread: float) -> Interval:
+    """[num.lo / (β + spread), num.hi / (β − spread)] with sign guards."""
+    hi_denom = beta - spread
+    lo_denom = beta + spread
+    lo = num.lo / lo_denom if lo_denom > 0 else -math.inf
+    hi = num.hi / hi_denom if hi_denom > 0 else math.inf
+    return Interval(lo, hi)
+
+
+def corollary_4_1_interval(
+    dissimilarity_name: str,
+    edges_q: int,
+    edges_q_sub: int,
+    edges_g: int,
+    alpha: float,
+    beta: float,
+    t: int,
+    p: int,
+) -> Interval:
+    """Corollary 4.1: bounds on λ = δ(q',g) / d(y_q', y_g) for q' ⊆ q."""
+    spread = math.sqrt(t / p)
+    if dissimilarity_name == "delta1":
+        num = theorem_4_1_interval(edges_q, edges_q_sub, edges_g, alpha)
+    elif dissimilarity_name == "delta2":
+        num = theorem_4_2_interval(edges_q, edges_q_sub, edges_g, alpha)
+    else:
+        raise ValueError(f"unknown dissimilarity {dissimilarity_name!r}")
+    return _ratio_interval(num, beta, spread)
+
+
+def corollary_4_2_interval(
+    dissimilarity_name: str,
+    edges_q: int,
+    edges_q_sub: int,
+    edges_g: int,
+    alpha_sub: float,
+    beta_sub: float,
+    t: int,
+    p: int,
+) -> Interval:
+    """Corollary 4.2: bounds on λ' = δ(q,g) / d(y_q, y_g) for q ⊇ q'.
+
+    *alpha_sub* / *beta_sub* are δ(q',g) and d(y_q', y_g) of the smaller
+    graph.
+    """
+    spread = math.sqrt(t / p)
+    if dissimilarity_name == "delta1":
+        num = Interval(
+            alpha_sub - epsilon_1r(edges_q, edges_q_sub, edges_g),
+            alpha_sub + epsilon_1l(edges_q, edges_q_sub, edges_g, alpha_sub),
+        )
+    elif dissimilarity_name == "delta2":
+        eps = epsilon_2(edges_q, edges_q_sub, edges_g)
+        num = Interval(
+            (alpha_sub - eps) / (1.0 + eps),
+            (alpha_sub + eps) / (1.0 + eps),
+        )
+    else:
+        raise ValueError(f"unknown dissimilarity {dissimilarity_name!r}")
+    return _ratio_interval(num, beta_sub, spread)

@@ -1,0 +1,133 @@
+"""The user-facing DS-preserved mapping.
+
+:class:`DSPreservedMapping` packages the whole pipeline of the paper:
+
+1. mine frequent subgraphs from the database (gSpan, threshold τ),
+2. select ``p`` dimension features (DSPM, DSPMap, or any baseline
+   selector),
+3. map database graphs to binary vectors over the selected features, and
+4. map *unseen query graphs* with VF2 feature matching at query time.
+
+Distances in the mapped space are the paper's normalised Euclidean
+distance ``d(y_i, y_j) = sqrt((1/p) Σ (y_ir − y_jr)²) ∈ [0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dspm import DSPM, DSPMResult
+from repro.features.binary_matrix import (
+    FeatureSpace,
+    cross_normalized_euclidean_distances,
+    normalized_euclidean_distances,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.gspan import FrequentSubgraph, mine_frequent_subgraphs
+from repro.similarity.dissimilarity import DissimilarityCache
+from repro.similarity.matrix import pairwise_dissimilarity_matrix
+from repro.utils.errors import SelectionError
+
+
+@dataclass
+class DSPreservedMapping:
+    """A frozen index: selected features + database embedding.
+
+    Attributes
+    ----------
+    space:
+        The feature universe the selection drew from.
+    selected:
+        Indices (into ``space.features``) of the chosen dimensions.
+    database_vectors:
+        ``n × p`` binary embedding of the database graphs.
+    """
+
+    space: FeatureSpace
+    selected: List[int]
+    database_vectors: np.ndarray
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.selected)
+
+    def selected_features(self) -> List[FrequentSubgraph]:
+        """The chosen dimension subgraphs, in selection order."""
+        return [self.space.features[r] for r in self.selected]
+
+    # ------------------------------------------------------------------
+    # mapping
+    # ------------------------------------------------------------------
+    def map_query(self, query: LabeledGraph) -> np.ndarray:
+        """φ(q): match each selected feature against *query* with VF2."""
+        return self.space.embed_query(query, self.selected)
+
+    def map_queries(self, queries: Sequence[LabeledGraph]) -> np.ndarray:
+        return self.space.embed_queries(queries, self.selected)
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def database_distances(self) -> np.ndarray:
+        """All-pairs mapped distance among database graphs."""
+        return normalized_euclidean_distances(self.database_vectors)
+
+    def query_distances(self, query_vectors: np.ndarray) -> np.ndarray:
+        """Mapped distances of query vectors against the database."""
+        return cross_normalized_euclidean_distances(
+            query_vectors, self.database_vectors
+        )
+
+
+def build_mapping(
+    graphs: Sequence[LabeledGraph],
+    num_features: int,
+    min_support: float = 0.05,
+    max_pattern_edges: Optional[int] = None,
+    dissimilarity: str = "delta2",
+    tolerance: float = 1e-5,
+    max_iterations: int = 100,
+    space: Optional[FeatureSpace] = None,
+    delta: Optional[np.ndarray] = None,
+) -> DSPreservedMapping:
+    """One-call construction of a DSPM-selected DS-preserved mapping.
+
+    Parameters mirror the paper's pipeline defaults: gSpan at τ = 5%,
+    δ = Eq. 2.  A pre-built *space* and/or *delta* matrix may be passed
+    to share work across experiments.
+    """
+    if space is None:
+        features = mine_frequent_subgraphs(
+            graphs, min_support=min_support, max_edges=max_pattern_edges
+        )
+        if not features:
+            raise SelectionError(
+                "no frequent subgraphs at this support; lower min_support"
+            )
+        space = FeatureSpace(features, len(graphs))
+    if delta is None:
+        cache = DissimilarityCache(dissimilarity)
+        delta = pairwise_dissimilarity_matrix(graphs, cache)
+
+    p = min(num_features, space.m)
+    result: DSPMResult = DSPM(
+        p, tolerance=tolerance, max_iterations=max_iterations
+    ).fit(space, delta)
+    return mapping_from_selection(space, result.selected)
+
+
+def mapping_from_selection(
+    space: FeatureSpace, selected: Sequence[int]
+) -> DSPreservedMapping:
+    """Freeze a mapping given any selector's chosen feature indices."""
+    selected = list(selected)
+    if not selected:
+        raise SelectionError("selection is empty")
+    return DSPreservedMapping(
+        space=space,
+        selected=selected,
+        database_vectors=space.embed_database(selected),
+    )

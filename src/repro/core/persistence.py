@@ -1,0 +1,81 @@
+"""Persistence for built DS-preserved mappings.
+
+An index is expensive to build (mining + NP-hard dissimilarities +
+selection), so a downstream deployment wants to build once and reload at
+serving time.  The on-disk format is a single JSON document containing
+
+* the selected dimension subgraphs (gSpan text — portable and diffable),
+* their support sets (so the inverted lists rebuild without re-matching),
+* the database embedding.
+
+Only what query processing needs is stored: the full mined universe is
+not persisted (rebuilding it is only needed to re-run selection).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.mapping import DSPreservedMapping
+from repro.features.binary_matrix import FeatureSpace
+from repro.graph.io import dumps_gspan, loads_gspan
+from repro.mining.gspan import FrequentSubgraph
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def save_mapping(mapping: DSPreservedMapping, path: PathLike) -> None:
+    """Serialise *mapping* to *path* (JSON)."""
+    features = mapping.selected_features()
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "database_size": mapping.space.n,
+        "dimensionality": mapping.dimensionality,
+        "feature_graphs": dumps_gspan([f.graph for f in features]),
+        "feature_supports": [sorted(f.support) for f in features],
+        "database_vectors": mapping.database_vectors.astype(int).tolist(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_mapping(path: PathLike) -> DSPreservedMapping:
+    """Reload a mapping saved by :func:`save_mapping`.
+
+    The restored object answers queries exactly like the original; its
+    feature space contains only the selected dimensions (indices
+    ``0..p-1``).
+
+    Note: gSpan text stringifies labels, so a mapping whose labels were
+    not strings round-trips with string labels.  Query graphs must use
+    the same label convention as the features (true for the string-
+    labeled chemical datasets; synthetic integer labels need the same
+    stringification on the query side).
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format version {version!r}")
+
+    graphs = loads_gspan(payload["feature_graphs"])
+    supports = payload["feature_supports"]
+    if len(graphs) != len(supports):
+        raise ValueError("corrupt mapping file: feature/support count mismatch")
+    features: List[FrequentSubgraph] = [
+        FrequentSubgraph(graph, set(support))
+        for graph, support in zip(graphs, supports)
+    ]
+    space = FeatureSpace(features, payload["database_size"])
+    vectors = np.asarray(payload["database_vectors"], dtype=float)
+    if vectors.shape != (payload["database_size"], payload["dimensionality"]):
+        raise ValueError("corrupt mapping file: embedding shape mismatch")
+    return DSPreservedMapping(
+        space=space,
+        selected=list(range(len(features))),
+        database_vectors=vectors,
+    )

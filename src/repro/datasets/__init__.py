@@ -1,0 +1,11 @@
+"""Datasets: the PubChem-surrogate chemical generator and GraphGen-style synthetics."""
+
+from repro.datasets.chemical import chemical_database, chemical_query_set
+from repro.datasets.synthetic import synthetic_database, synthetic_query_set
+
+__all__ = [
+    "chemical_database",
+    "chemical_query_set",
+    "synthetic_database",
+    "synthetic_query_set",
+]

@@ -1,0 +1,50 @@
+"""GraphGen-style synthetic datasets (Section 6 "Datasets").
+
+Thin convenience wrappers over :func:`repro.graph.generators.
+graphgen_database` with the paper's default parameters: average 20 edges
+per graph, 20 distinct vertex labels, average density 0.2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.generators import graphgen_database
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.rng import RngLike
+
+
+def synthetic_database(
+    num_graphs: int,
+    avg_edges: float = 20.0,
+    num_labels: int = 20,
+    density: float = 0.2,
+    seed: RngLike = None,
+) -> List[LabeledGraph]:
+    """A synthetic database with the paper's default GraphGen parameters."""
+    return graphgen_database(
+        num_graphs,
+        avg_edges=avg_edges,
+        num_labels=num_labels,
+        density=density,
+        seed=seed,
+        id_prefix="syn",
+    )
+
+
+def synthetic_query_set(
+    num_queries: int,
+    avg_edges: float = 20.0,
+    num_labels: int = 20,
+    density: float = 0.2,
+    seed: RngLike = None,
+) -> List[LabeledGraph]:
+    """Held-out queries from the same generator configuration."""
+    return graphgen_database(
+        num_queries,
+        avg_edges=avg_edges,
+        num_labels=num_labels,
+        density=density,
+        seed=seed,
+        id_prefix="synq",
+    )

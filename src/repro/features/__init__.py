@@ -1,0 +1,6 @@
+"""Feature space: binary incidence, inverted lists IF/IG, correlation."""
+
+from repro.features.binary_matrix import FeatureSpace
+from repro.features.correlation import jaccard_correlation, total_correlation_score
+
+__all__ = ["FeatureSpace", "jaccard_correlation", "total_correlation_score"]

@@ -1,0 +1,147 @@
+"""The feature space ``F`` and its incidence structures.
+
+Section 4.2 / 5.1.2 of the paper work with:
+
+* the binary incidence ``y_ir = 1 iff f_r ⊆ g_i`` (an ``n × m`` matrix),
+* the inverted list ``IF_r  = {g_i | f_r ⊆ g_i}`` per feature, and
+* the inverted list ``IG_i = {f_r | f_r ⊆ g_i}`` per graph.
+
+For database graphs the incidence comes *for free* from the miner's support
+sets — no isomorphism tests are run.  For unseen query graphs,
+:meth:`FeatureSpace.embed_query` matches each feature with VF2 exactly as
+the paper does (Exp-4 "feature matching time ... by the VF2 algorithm"),
+with a cheap label-count pre-filter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.isomorphism.vf2 import is_subgraph
+from repro.mining.gspan import FrequentSubgraph
+from repro.utils.errors import SelectionError
+
+
+class FeatureSpace:
+    """Candidate features mined from a database plus their incidence.
+
+    Parameters
+    ----------
+    features:
+        The mined :class:`FrequentSubgraph` objects (the universe ``F``).
+    database_size:
+        ``n = |DG|``; support indices must lie in ``0..n-1``.
+    """
+
+    def __init__(
+        self, features: Sequence[FrequentSubgraph], database_size: int
+    ) -> None:
+        if not features:
+            raise SelectionError("feature universe is empty — mine with lower support")
+        self.features: List[FrequentSubgraph] = list(features)
+        self.n = database_size
+        self.m = len(self.features)
+
+        self.incidence = np.zeros((self.n, self.m), dtype=np.int8)
+        for r, feat in enumerate(self.features):
+            for gid in feat.support:
+                if not 0 <= gid < self.n:
+                    raise SelectionError(
+                        f"feature {r} supported by graph {gid} outside database"
+                    )
+                self.incidence[gid, r] = 1
+
+        # |sup(f_r)| per feature — the s_r of Theorem 5.1.
+        self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # inverted lists
+    # ------------------------------------------------------------------
+    def inverted_feature_list(self, r: int) -> np.ndarray:
+        """``IF_r``: indices of database graphs containing feature *r*."""
+        return np.flatnonzero(self.incidence[:, r])
+
+    def inverted_graph_list(self, i: int) -> np.ndarray:
+        """``IG_i``: indices of features contained in database graph *i*."""
+        return np.flatnonzero(self.incidence[i, :])
+
+    # ------------------------------------------------------------------
+    # embeddings
+    # ------------------------------------------------------------------
+    def embed_database(self, selected: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Binary vectors of all database graphs over *selected* features.
+
+        With ``selected=None`` the full universe is used (the "Original"
+        baseline).  Rows are ``float64`` so they can be fed straight into
+        the distance kernels.
+        """
+        if selected is None:
+            return self.incidence.astype(float)
+        return self.incidence[:, list(selected)].astype(float)
+
+    def embed_query(
+        self,
+        query: LabeledGraph,
+        selected: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """The binary vector of an unseen *query* graph.
+
+        Each selected feature is matched against the query with VF2.
+        """
+        indices = list(range(self.m)) if selected is None else list(selected)
+        vector = np.zeros(len(indices), dtype=float)
+        for out_pos, r in enumerate(indices):
+            if is_subgraph(self.features[r].graph, query):
+                vector[out_pos] = 1.0
+        return vector
+
+    def embed_queries(
+        self,
+        queries: Sequence[LabeledGraph],
+        selected: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Stack :meth:`embed_query` rows for many queries."""
+        return np.vstack([self.embed_query(q, selected) for q in queries])
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def feature_sizes(self) -> np.ndarray:
+        """Edge count of every feature pattern."""
+        return np.array([f.num_edges for f in self.features], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.m
+
+
+def normalized_euclidean_distances(vectors: np.ndarray) -> np.ndarray:
+    """All-pairs normalised Euclidean distance (the paper's ``d``).
+
+    ``d(y_i, y_j) = sqrt( (1/p) Σ_r (y_ir − y_jr)² )`` — for binary
+    vectors this is ``sqrt(hamming / p)`` and lies in ``[0, 1]``.
+    """
+    n, p = vectors.shape
+    if p == 0:
+        return np.zeros((n, n))
+    sq = (vectors**2).sum(axis=1)
+    gram = vectors @ vectors.T
+    d2 = np.maximum(sq[:, None] + sq[None, :] - 2 * gram, 0.0)
+    return np.sqrt(d2 / p)
+
+
+def cross_normalized_euclidean_distances(
+    left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Normalised Euclidean distances between two vector collections."""
+    if left.shape[1] != right.shape[1]:
+        raise ValueError("dimension mismatch between embeddings")
+    p = left.shape[1]
+    if p == 0:
+        return np.zeros((left.shape[0], right.shape[0]))
+    sq_l = (left**2).sum(axis=1)
+    sq_r = (right**2).sum(axis=1)
+    d2 = np.maximum(sq_l[:, None] + sq_r[None, :] - 2 * left @ right.T, 0.0)
+    return np.sqrt(d2 / p)

@@ -1,0 +1,8 @@
+"""Dictionary fingerprints + Tanimoto ranking (the PubChem-881 surrogate)."""
+
+from repro.fingerprint.dictionary import (
+    DictionaryFingerprint,
+    tanimoto,
+)
+
+__all__ = ["DictionaryFingerprint", "tanimoto"]

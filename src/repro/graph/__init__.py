@@ -1,0 +1,17 @@
+"""Undirected labeled graphs: core type, I/O, generators, canonical forms."""
+
+from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.canonical import canonical_signature, weisfeiler_lehman_hash
+from repro.graph.generators import (
+    random_connected_graph,
+    graphgen_database,
+)
+
+__all__ = [
+    "Edge",
+    "LabeledGraph",
+    "canonical_signature",
+    "weisfeiler_lehman_hash",
+    "random_connected_graph",
+    "graphgen_database",
+]

@@ -1,0 +1,126 @@
+"""Isomorphism-invariant graph signatures.
+
+Two complementary tools:
+
+* :func:`weisfeiler_lehman_hash` — a fast 1-WL color-refinement hash.  Equal
+  hashes do *not* guarantee isomorphism but unequal hashes guarantee
+  non-isomorphism, so it is a good pre-filter and dictionary key.
+* :func:`canonical_signature` — an exact canonical form for the small graphs
+  this package deals with (feature subgraphs of at most ~10 edges), computed
+  by brute-force minimisation over vertex orderings with WL-based pruning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import permutations
+from typing import Dict, List, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def weisfeiler_lehman_hash(graph: LabeledGraph, iterations: int = 3) -> str:
+    """A 1-dimensional Weisfeiler-Lehman hash of *graph*.
+
+    Vertex colors start from vertex labels and are refined *iterations*
+    times by hashing the multiset of ``(edge_label, neighbor_color)``
+    pairs.  The final hash digests the sorted color multiset together with
+    the vertex/edge counts.
+    """
+    colors: List[str] = [repr(graph.vertex_label(v)) for v in range(graph.num_vertices)]
+    for _ in range(iterations):
+        new_colors = []
+        for v in range(graph.num_vertices):
+            neighborhood = sorted(
+                (repr(label), colors[w]) for w, label in graph.neighbor_items(v)
+            )
+            token = colors[v] + "|" + ";".join(f"{a},{b}" for a, b in neighborhood)
+            new_colors.append(hashlib.blake2b(token.encode(), digest_size=8).hexdigest())
+        colors = new_colors
+    summary = ",".join(sorted(colors))
+    payload = f"{graph.num_vertices}:{graph.num_edges}:{summary}"
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def _ordering_signature(graph: LabeledGraph, order: Tuple[int, ...]) -> Tuple:
+    """The (vertex labels, edge list) tuple induced by *order*."""
+    position = {v: i for i, v in enumerate(order)}
+    vlabels = tuple(repr(graph.vertex_label(v)) for v in order)
+    edges = sorted(
+        (min(position[e.u], position[e.v]), max(position[e.u], position[e.v]), repr(e.label))
+        for e in graph.edges()
+    )
+    return (vlabels, tuple(edges))
+
+
+def canonical_signature(graph: LabeledGraph, max_vertices: int = 12) -> Tuple:
+    """An exact canonical form of *graph*, usable as a dict key.
+
+    Isomorphic graphs produce equal signatures; non-isomorphic graphs
+    produce different ones.  Cost is factorial in the size of the largest
+    WL color class, so the function refuses graphs with more than
+    *max_vertices* vertices (the package only canonicalises mined feature
+    subgraphs, which are small by construction).
+
+    Raises
+    ------
+    ValueError
+        If the graph has more than *max_vertices* vertices.
+    """
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ValueError(
+            f"canonical_signature is exponential; graph has {n} > {max_vertices} vertices"
+        )
+    if n == 0:
+        return ((), ())
+
+    # Refine colors first so we only permute within color classes.
+    colors: List[str] = [repr(graph.vertex_label(v)) for v in range(n)]
+    for _ in range(n):
+        refined = []
+        for v in range(n):
+            neighborhood = sorted(
+                (repr(label), colors[w]) for w, label in graph.neighbor_items(v)
+            )
+            refined.append(colors[v] + "#" + ";".join(map(str, neighborhood)))
+        if len(set(refined)) == len(set(colors)):
+            colors = refined
+            break
+        colors = refined
+
+    # Group vertices by color; canonical order keeps color classes in
+    # sorted color order and tries all permutations inside each class.
+    classes: Dict[str, List[int]] = {}
+    for v, c in enumerate(colors):
+        classes.setdefault(c, []).append(v)
+    class_list = [classes[c] for c in sorted(classes)]
+
+    best: Tuple = None  # type: ignore[assignment]
+    for ordering in _orderings(class_list):
+        sig = _ordering_signature(graph, ordering)
+        if best is None or sig < best:
+            best = sig
+    return best
+
+
+def _orderings(class_list: List[List[int]]):
+    """Yield every vertex ordering that respects the color-class order."""
+
+    def recurse(idx: int, prefix: Tuple[int, ...]):
+        if idx == len(class_list):
+            yield prefix
+            return
+        for perm in permutations(class_list[idx]):
+            yield from recurse(idx + 1, prefix + perm)
+
+    yield from recurse(0, ())
+
+
+def are_isomorphic_small(a: LabeledGraph, b: LabeledGraph) -> bool:
+    """Exact isomorphism test for small graphs via canonical signatures."""
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return False
+    if a.label_multiset() != b.label_multiset():
+        return False
+    return canonical_signature(a) == canonical_signature(b)

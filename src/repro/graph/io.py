@@ -1,0 +1,115 @@
+"""Graph database serialisation.
+
+Two formats are supported:
+
+* the classic **gSpan text format** (``t # <id>`` / ``v <id> <label>`` /
+  ``e <u> <v> <label>``) used by most frequent-subgraph-mining tools, and
+* a JSON format that round-trips arbitrary hashable labels as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.errors import InvalidGraphError
+
+PathLike = Union[str, Path]
+
+
+def dumps_gspan(graphs: Iterable[LabeledGraph]) -> str:
+    """Serialise *graphs* to the gSpan text format."""
+    lines: List[str] = []
+    for idx, g in enumerate(graphs):
+        gid = g.graph_id if g.graph_id is not None else idx
+        lines.append(f"t # {gid}")
+        for v in range(g.num_vertices):
+            lines.append(f"v {v} {g.vertex_label(v)}")
+        for e in g.edges():
+            lines.append(f"e {e.u} {e.v} {e.label}")
+    lines.append("t # -1")
+    return "\n".join(lines) + "\n"
+
+
+def loads_gspan(text: str) -> List[LabeledGraph]:
+    """Parse gSpan-format *text* into a list of graphs.
+
+    Labels come back as strings (the format is untyped).  The terminating
+    ``t # -1`` record is optional.
+    """
+    graphs: List[LabeledGraph] = []
+    current: LabeledGraph = None  # type: ignore[assignment]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag == "t":
+            if len(parts) >= 3 and parts[2] == "-1":
+                current = None  # type: ignore[assignment]
+                continue
+            gid = parts[2] if len(parts) >= 3 else len(graphs)
+            current = LabeledGraph(graph_id=gid)
+            graphs.append(current)
+        elif tag == "v":
+            if current is None:
+                raise InvalidGraphError(f"line {lineno}: vertex before any 't' record")
+            vid, label = int(parts[1]), parts[2]
+            if vid != current.num_vertices:
+                raise InvalidGraphError(
+                    f"line {lineno}: vertex ids must be consecutive (got {vid})"
+                )
+            current.add_vertex(label)
+        elif tag == "e":
+            if current is None:
+                raise InvalidGraphError(f"line {lineno}: edge before any 't' record")
+            current.add_edge(int(parts[1]), int(parts[2]), parts[3])
+        else:
+            raise InvalidGraphError(f"line {lineno}: unknown record {tag!r}")
+    return graphs
+
+
+def save_gspan(graphs: Iterable[LabeledGraph], path: PathLike) -> None:
+    """Write *graphs* to *path* in gSpan format."""
+    Path(path).write_text(dumps_gspan(graphs))
+
+
+def load_gspan(path: PathLike) -> List[LabeledGraph]:
+    """Read a gSpan-format database from *path*."""
+    return loads_gspan(Path(path).read_text())
+
+
+def dumps_json(graphs: Iterable[LabeledGraph]) -> str:
+    """Serialise *graphs* as a JSON document (labels stringified)."""
+    payload = []
+    for idx, g in enumerate(graphs):
+        payload.append(
+            {
+                "id": str(g.graph_id) if g.graph_id is not None else str(idx),
+                "vertices": [str(g.vertex_label(v)) for v in range(g.num_vertices)],
+                "edges": [[e.u, e.v, str(e.label)] for e in g.edges()],
+            }
+        )
+    return json.dumps(payload, indent=1)
+
+
+def loads_json(text: str) -> List[LabeledGraph]:
+    """Parse a JSON document produced by :func:`dumps_json`."""
+    graphs = []
+    for record in json.loads(text):
+        g = LabeledGraph(record["vertices"], graph_id=record.get("id"))
+        for u, v, label in record["edges"]:
+            g.add_edge(int(u), int(v), label)
+        graphs.append(g)
+    return graphs
+
+
+def save_json(graphs: Iterable[LabeledGraph], path: PathLike) -> None:
+    Path(path).write_text(dumps_json(graphs))
+
+
+def load_json(path: PathLike) -> List[LabeledGraph]:
+    return loads_json(Path(path).read_text())

@@ -1,0 +1,13 @@
+"""Subgraph isomorphism (VF2) and maximum common subgraph computation."""
+
+from repro.isomorphism.vf2 import is_subgraph, find_embedding, count_embeddings
+from repro.isomorphism.mcs import mcs_edge_count, MCSResult, maximum_common_subgraph
+
+__all__ = [
+    "is_subgraph",
+    "find_embedding",
+    "count_embeddings",
+    "mcs_edge_count",
+    "MCSResult",
+    "maximum_common_subgraph",
+]

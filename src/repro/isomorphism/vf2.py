@@ -1,0 +1,169 @@
+"""VF2-style subgraph isomorphism for undirected labeled graphs.
+
+The paper matches features against query graphs with VF2 [43].  We need
+*monomorphism* semantics: ``pattern ⊆ target`` holds when there is an
+injective vertex mapping preserving vertex labels and mapping every pattern
+edge onto a target edge with the same edge label.  The target may contain
+extra edges between mapped vertices (the usual "subgraph isomorphic"
+relation of the frequent-subgraph-mining literature — not induced).
+
+The implementation follows VF2's incremental state with feasibility
+pruning:
+
+* label compatibility of the candidate pair,
+* consistency of already-mapped neighbors (all pattern edges into the
+  mapped core must exist in the target with equal labels),
+* a degree look-ahead (a pattern vertex cannot map to a target vertex of
+  smaller degree),
+* a global label-multiset pre-check before search starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _label_counts_ok(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """Cheap necessary condition: target must cover pattern's label counts."""
+    if pattern.num_vertices > target.num_vertices:
+        return False
+    if pattern.num_edges > target.num_edges:
+        return False
+    counts: Dict[object, int] = {}
+    for v in range(target.num_vertices):
+        lab = target.vertex_label(v)
+        counts[lab] = counts.get(lab, 0) + 1
+    for v in range(pattern.num_vertices):
+        lab = pattern.vertex_label(v)
+        remaining = counts.get(lab, 0)
+        if remaining == 0:
+            return False
+        counts[lab] = remaining - 1
+    return True
+
+
+def _search_order(pattern: LabeledGraph) -> List[int]:
+    """A connected, high-degree-first visit order of the pattern vertices.
+
+    Starting from the highest-degree vertex and always extending along
+    edges keeps the partial mapping connected, which makes the neighbor
+    consistency check maximally restrictive early.
+    """
+    n = pattern.num_vertices
+    if n == 0:
+        return []
+    visited = [False] * n
+    order: List[int] = []
+    while len(order) < n:
+        # Seed each component with its highest-degree unvisited vertex.
+        seed = max(
+            (v for v in range(n) if not visited[v]),
+            key=lambda v: pattern.degree(v),
+        )
+        visited[seed] = True
+        order.append(seed)
+        frontier = [w for w in pattern.neighbors(seed) if not visited[w]]
+        while frontier:
+            nxt = max(frontier, key=lambda v: pattern.degree(v))
+            visited[nxt] = True
+            order.append(nxt)
+            frontier = [
+                w
+                for u in order
+                for w in pattern.neighbors(u)
+                if not visited[w]
+            ]
+    return order
+
+
+def _embeddings(
+    pattern: LabeledGraph, target: LabeledGraph
+) -> Iterator[Dict[int, int]]:
+    """Yield injective label-preserving embeddings of pattern into target."""
+    if pattern.num_vertices == 0:
+        yield {}
+        return
+    if not _label_counts_ok(pattern, target):
+        return
+
+    order = _search_order(pattern)
+    mapping: Dict[int, int] = {}
+    used = [False] * target.num_vertices
+
+    # Pre-bucket target vertices by label for candidate generation.
+    by_label: Dict[object, List[int]] = {}
+    for v in range(target.num_vertices):
+        by_label.setdefault(target.vertex_label(v), []).append(v)
+
+    def candidates(pv: int) -> Iterator[int]:
+        """Target candidates for pattern vertex *pv* under current mapping."""
+        mapped_nbrs = [w for w in pattern.neighbors(pv) if w in mapping]
+        if mapped_nbrs:
+            # Candidates must be unmapped target-neighbors of the image of
+            # one mapped pattern-neighbor, with the right edge label.
+            anchor = mapped_nbrs[0]
+            wanted = pattern.edge_label(pv, anchor)
+            for tv, lab in target.neighbor_items(mapping[anchor]):
+                if not used[tv] and lab == wanted and (
+                    target.vertex_label(tv) == pattern.vertex_label(pv)
+                ):
+                    yield tv
+        else:
+            for tv in by_label.get(pattern.vertex_label(pv), ()):  # new component
+                if not used[tv]:
+                    yield tv
+
+    def feasible(pv: int, tv: int) -> bool:
+        if target.degree(tv) < pattern.degree(pv):
+            return False
+        for w in pattern.neighbors(pv):
+            if w in mapping:
+                tw = mapping[w]
+                if not target.has_edge(tv, tw):
+                    return False
+                if target.edge_label(tv, tw) != pattern.edge_label(pv, w):
+                    return False
+        return True
+
+    def recurse(depth: int) -> Iterator[Dict[int, int]]:
+        if depth == len(order):
+            yield dict(mapping)
+            return
+        pv = order[depth]
+        for tv in candidates(pv):
+            if feasible(pv, tv):
+                mapping[pv] = tv
+                used[tv] = True
+                yield from recurse(depth + 1)
+                used[tv] = False
+                del mapping[pv]
+
+    yield from recurse(0)
+
+
+def find_embedding(
+    pattern: LabeledGraph, target: LabeledGraph
+) -> Optional[Dict[int, int]]:
+    """The first embedding of *pattern* in *target*, or ``None``."""
+    for mapping in _embeddings(pattern, target):
+        return mapping
+    return None
+
+
+def is_subgraph(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """``True`` iff *pattern* is subgraph-isomorphic to *target*."""
+    return find_embedding(pattern, target) is not None
+
+
+def count_embeddings(
+    pattern: LabeledGraph, target: LabeledGraph, limit: Optional[int] = None
+) -> int:
+    """Count embeddings of *pattern* in *target* (capped at *limit*)."""
+    count = 0
+    for _ in _embeddings(pattern, target):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count

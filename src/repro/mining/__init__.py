@@ -1,0 +1,5 @@
+"""Frequent subgraph mining (gSpan) producing the candidate feature set F."""
+
+from repro.mining.gspan import FrequentSubgraph, GSpanMiner, mine_frequent_subgraphs
+
+__all__ = ["FrequentSubgraph", "GSpanMiner", "mine_frequent_subgraphs"]

@@ -1,0 +1,167 @@
+"""DFS codes — gSpan's canonical encoding of labeled graphs.
+
+A DFS code is a sequence of 5-tuples ``(frm, to, (vlb_frm, elb, vlb_to))``
+describing edges in the order a depth-first search discovers them, with
+vertices renamed by discovery time.  Forward edges have ``frm < to``,
+backward edges ``frm > to``.  Labels here are the miner's *integer
+encodings*; ``VACANT = -1`` marks a label already fixed by an earlier edge.
+
+This module holds the passive data structures (edges, codes, projections,
+history); the search logic lives in :mod:`repro.mining.gspan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+VACANT = -1
+
+# A directed view of a database edge: (frm, to, elb, eid).  Each undirected
+# edge yields two directed edges sharing an eid.
+DirectedEdge = Tuple[int, int, int, int]
+
+
+class DFSEdge:
+    """One entry of a DFS code."""
+
+    __slots__ = ("frm", "to", "vevlb")
+
+    def __init__(self, frm: int, to: int, vevlb: Tuple[int, int, int]) -> None:
+        self.frm = frm
+        self.to = to
+        self.vevlb = vevlb
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DFSEdge):
+            return NotImplemented
+        return (
+            self.frm == other.frm
+            and self.to == other.to
+            and self.vevlb == other.vevlb
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DFSEdge({self.frm},{self.to},{self.vevlb})"
+
+
+class DFSCode(List[DFSEdge]):
+    """A list of :class:`DFSEdge` with rightmost-path bookkeeping."""
+
+    def push(self, frm: int, to: int, vevlb: Tuple[int, int, int]) -> "DFSCode":
+        self.append(DFSEdge(frm, to, vevlb))
+        return self
+
+    def build_rmpath(self) -> List[int]:
+        """Indices of the forward edges on the rightmost path.
+
+        The list starts with the *last* forward edge (the one reaching the
+        rightmost vertex) and walks back toward the root.
+        """
+        rmpath: List[int] = []
+        old_frm = None
+        for i in range(len(self) - 1, -1, -1):
+            edge = self[i]
+            if edge.frm < edge.to and (not rmpath or old_frm == edge.to):
+                rmpath.append(i)
+                old_frm = edge.frm
+        return rmpath
+
+    def num_vertices(self) -> int:
+        best = 0
+        for edge in self:
+            best = max(best, edge.frm + 1, edge.to + 1)
+        return best
+
+    def to_encoded_graph(self) -> "EncodedGraph":
+        """Materialise the pattern graph this code describes."""
+        g = EncodedGraph(gid=-1, num_vertices=self.num_vertices())
+        for edge in self:
+            vlb1, elb, vlb2 = edge.vevlb
+            if vlb1 != VACANT:
+                g.vertex_labels[edge.frm] = vlb1
+            if vlb2 != VACANT:
+                g.vertex_labels[edge.to] = vlb2
+            g.add_edge(edge.frm, edge.to, elb)
+        return g
+
+
+class EncodedGraph:
+    """An integer-labeled graph in the directed-edge form gSpan consumes."""
+
+    __slots__ = ("gid", "vertex_labels", "adjacency", "num_edges")
+
+    def __init__(self, gid: int, num_vertices: int) -> None:
+        self.gid = gid
+        self.vertex_labels: List[int] = [VACANT] * num_vertices
+        # adjacency[v] = list of DirectedEdge leaving v
+        self.adjacency: List[List[DirectedEdge]] = [[] for _ in range(num_vertices)]
+        self.num_edges = 0
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    def add_edge(self, u: int, v: int, elb: int) -> None:
+        eid = self.num_edges
+        self.adjacency[u].append((u, v, elb, eid))
+        self.adjacency[v].append((v, u, elb, eid))
+        self.num_edges += 1
+
+    def vlb(self, v: int) -> int:
+        return self.vertex_labels[v]
+
+
+class PDFS:
+    """A projection node: one database edge matched to one DFS-code entry.
+
+    Projections form linked lists via *prev*; walking the chain recovers
+    the full embedding of the current pattern in graph *gid*.
+    """
+
+    __slots__ = ("gid", "edge", "prev")
+
+    def __init__(self, gid: int, edge: DirectedEdge, prev: Optional["PDFS"]) -> None:
+        self.gid = gid
+        self.edge = edge
+        self.prev = prev
+
+
+class History:
+    """The embedding recovered from a projection chain.
+
+    ``edges[i]`` is the database edge matched to DFS-code entry ``i``;
+    ``has_vertex`` / ``has_edge`` answer membership queries during
+    rightmost extension.
+    """
+
+    __slots__ = ("edges", "_vertices_used", "_edges_used")
+
+    def __init__(self, pdfs: Optional[PDFS]) -> None:
+        self.edges: List[DirectedEdge] = []
+        self._vertices_used: set = set()
+        self._edges_used: set = set()
+        node = pdfs
+        while node is not None:
+            self.edges.append(node.edge)
+            node = node.prev
+        self.edges.reverse()
+        for frm, to, _elb, eid in self.edges:
+            self._vertices_used.add(frm)
+            self._vertices_used.add(to)
+            self._edges_used.add(eid)
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._vertices_used
+
+    def has_edge(self, eid: int) -> bool:
+        return eid in self._edges_used
+
+
+class Projected(List[PDFS]):
+    """All embeddings of the current pattern across the database."""
+
+    def push(self, gid: int, edge: DirectedEdge, prev: Optional[PDFS]) -> None:
+        self.append(PDFS(gid, edge, prev))
+
+    def support_set(self) -> set:
+        return {p.gid for p in self}

@@ -1,0 +1,19 @@
+"""Top-k similarity query engines and ranked-list quality measures."""
+
+from repro.query.topk import ExactTopKEngine, MappedTopKEngine, TopKResult
+from repro.query.measures import (
+    inverse_rank_distance,
+    kendall_tau_topk,
+    precision_at_k,
+    rank_distance,
+)
+
+__all__ = [
+    "ExactTopKEngine",
+    "MappedTopKEngine",
+    "TopKResult",
+    "precision_at_k",
+    "kendall_tau_topk",
+    "rank_distance",
+    "inverse_rank_distance",
+]

@@ -1,0 +1,95 @@
+"""Ranked-list quality measures (Section 6 "Measures").
+
+Given the exact top-k list ``T`` and an approximate top-k list ``A``:
+
+* **Precision** — ``p(k) = |A ∩ T| / k``.
+* **Kendall's tau (top-k form of [40])** —
+  ``τ(k) = Σ_{r_i ∈ A} |A_{i+1} ∩ T_{t(r_i)+1}| / (k (2n − k − 1))``
+  where ``t(r_i)`` is the true rank of ``r_i`` in ``T`` (1-based),
+  ``A_{i+1}`` the suffix of ``A`` starting after position ``i``, and
+  ``T_{t(r_i)+1}`` the suffix of ``T`` after the true rank.  Items absent
+  from ``T`` get true rank ``k + 1`` (just past the list), the usual
+  convention for comparing top-k lists.
+* **Rank distance** — the footrule ``γ(k) = Σ |i − t(r_i)| / k`` and its
+  inverse ``γ_inv = k / Σ |i − t(r_i)|`` (the paper reports the inverse so
+  larger is better).  A perfect ranking makes the footrule 0; the inverse
+  is then capped at ``PERFECT_INVERSE_RANK`` so averages stay finite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+PERFECT_INVERSE_RANK = 10.0
+"""Cap for the inverse rank distance when the footrule sum is 0.
+
+``γ_inv = k / Σ|i − t(r_i)|`` diverges for a perfect ranking; the paper
+averages γ_inv over 1 000 queries so its implementation necessarily caps
+or smooths this case.  We cap at 10 (the value a near-perfect ranking of
+k = 100 with total displacement 10 would score) and report all results as
+ratios to a benchmark, which is insensitive to the cap's exact value.
+"""
+
+
+def _true_rank(T: Sequence[int], k: int) -> Dict[int, int]:
+    """1-based rank of each member of T; absentees handled by caller."""
+    return {item: idx + 1 for idx, item in enumerate(T)}
+
+
+def precision_at_k(approx: Sequence[int], truth: Sequence[int]) -> float:
+    """``|A ∩ T| / k`` with ``k = |A|``."""
+    if not approx:
+        raise ValueError("approximate ranking is empty")
+    return len(set(approx) & set(truth)) / len(approx)
+
+
+def kendall_tau_topk(
+    approx: Sequence[int], truth: Sequence[int], database_size: int
+) -> float:
+    """The modified top-k Kendall's tau of [40] used by the paper.
+
+    Counts, for every answer ``r_i``, how many later answers also appear
+    later in the true ranking; normalised by ``k (2n − k − 1)``.
+    """
+    k = len(approx)
+    if k == 0:
+        raise ValueError("approximate ranking is empty")
+    n = database_size
+    ranks = _true_rank(truth, k)
+    default_rank = k + 1  # items beyond the exact top-k
+    total = 0
+    for i, r_i in enumerate(approx):
+        t_ri = ranks.get(r_i, default_rank)
+        suffix_a = approx[i + 1 :]
+        suffix_t = set(truth[t_ri:])  # T_{t(ri)+1}: entries ranked after r_i
+        total += len([x for x in suffix_a if x in suffix_t])
+    denom = k * (2 * n - k - 1)
+    if denom <= 0:
+        return 0.0
+    return total / denom
+
+
+def rank_distance(approx: Sequence[int], truth: Sequence[int]) -> float:
+    """Footrule distance ``γ(k) = Σ |i − t(r_i)| / k`` (1-based positions).
+
+    Answers missing from the exact list take true rank ``k + 1``.
+    """
+    k = len(approx)
+    if k == 0:
+        raise ValueError("approximate ranking is empty")
+    ranks = _true_rank(truth, k)
+    default_rank = k + 1
+    total = sum(
+        abs((i + 1) - ranks.get(r_i, default_rank))
+        for i, r_i in enumerate(approx)
+    )
+    return total / k
+
+
+def inverse_rank_distance(approx: Sequence[int], truth: Sequence[int]) -> float:
+    """``γ_inv = k / Σ |i − t(r_i)|``, capped at ``PERFECT_INVERSE_RANK``."""
+    k = len(approx)
+    footrule_sum = rank_distance(approx, truth) * k
+    if footrule_sum <= 0:
+        return PERFECT_INVERSE_RANK
+    return min(k / footrule_sum, PERFECT_INVERSE_RANK)

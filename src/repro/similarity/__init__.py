@@ -1,0 +1,18 @@
+"""MCS-based graph dissimilarities (Eq. 1 / Eq. 2) and cached matrices."""
+
+from repro.similarity.dissimilarity import (
+    DissimilarityCache,
+    delta1,
+    delta2,
+    dissimilarity,
+)
+from repro.similarity.matrix import cross_dissimilarity_matrix, pairwise_dissimilarity_matrix
+
+__all__ = [
+    "DissimilarityCache",
+    "delta1",
+    "delta2",
+    "dissimilarity",
+    "pairwise_dissimilarity_matrix",
+    "cross_dissimilarity_matrix",
+]

@@ -1,0 +1,49 @@
+"""Dense dissimilarity matrices over graph collections.
+
+The DSPM objective (Eq. 4) sums squared errors over **all pairs** in the
+database, so it consumes a full ``n × n`` matrix ``[δij]``; the evaluation
+measures need the ``queries × database`` rectangle.  Both builders share a
+:class:`~repro.similarity.dissimilarity.DissimilarityCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.similarity.dissimilarity import DissimilarityCache
+
+
+def pairwise_dissimilarity_matrix(
+    graphs: Sequence[LabeledGraph],
+    cache: Optional[DissimilarityCache] = None,
+) -> np.ndarray:
+    """The symmetric ``n × n`` matrix ``D[i, j] = δ(gi, gj)``.
+
+    The diagonal is exactly zero (``mcs(g, g) = g``).
+    """
+    cache = cache if cache is not None else DissimilarityCache()
+    n = len(graphs)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = cache(graphs[i], graphs[j])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def cross_dissimilarity_matrix(
+    queries: Sequence[LabeledGraph],
+    graphs: Sequence[LabeledGraph],
+    cache: Optional[DissimilarityCache] = None,
+) -> np.ndarray:
+    """The ``|queries| × |graphs|`` matrix ``D[i, j] = δ(qi, gj)``."""
+    cache = cache if cache is not None else DissimilarityCache()
+    matrix = np.zeros((len(queries), len(graphs)), dtype=float)
+    for i, q in enumerate(queries):
+        for j, g in enumerate(graphs):
+            matrix[i, j] = cache(q, g)
+    return matrix

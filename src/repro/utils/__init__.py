@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG handling, timing, and validation."""
+
+from repro.utils.errors import GraphDimensionError, InvalidGraphError, MiningError
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "GraphDimensionError",
+    "InvalidGraphError",
+    "MiningError",
+    "ensure_rng",
+    "Stopwatch",
+    "timed",
+]

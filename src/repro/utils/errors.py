@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`GraphDimensionError` so
+callers can catch everything coming out of this package with one handler.
+"""
+
+
+class GraphDimensionError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class InvalidGraphError(GraphDimensionError):
+    """Raised when a graph violates a structural invariant.
+
+    Examples: duplicate vertex ids, an edge endpoint that does not exist,
+    or a self loop where none is allowed.
+    """
+
+
+class MiningError(GraphDimensionError):
+    """Raised when frequent-subgraph mining receives invalid parameters."""
+
+
+class SelectionError(GraphDimensionError):
+    """Raised when a feature-selection algorithm receives invalid input.
+
+    For example requesting more features than exist, or passing an empty
+    feature universe.
+    """
+
+
+class QueryError(GraphDimensionError):
+    """Raised for invalid top-k query parameters (e.g. k <= 0)."""

@@ -1,0 +1,55 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("index"):
+    ...     _ = sum(range(10))
+    >>> sw.total("index") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under *name* (0.0 if never measured)."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement for *name* (0.0 if never measured)."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,43 @@
+"""Shared fixtures: small graphs and databases used across the suite."""
+
+import pytest
+
+from repro.datasets import chemical_database, chemical_query_set
+from repro.graph import LabeledGraph, graphgen_database
+
+
+@pytest.fixture
+def triangle():
+    """A labeled triangle a-a-b with uniform edge labels."""
+    return LabeledGraph(["a", "a", "b"], [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+
+
+@pytest.fixture
+def path3():
+    """A 3-vertex path a-a-b."""
+    return LabeledGraph(["a", "a", "b"], [(0, 1, "x"), (1, 2, "x")])
+
+
+@pytest.fixture
+def square_with_diagonal():
+    return LabeledGraph(
+        ["a", "a", "a", "a"],
+        [(0, 1, "x"), (1, 2, "x"), (2, 3, "x"), (3, 0, "x"), (0, 2, "x")],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_db():
+    """20 random connected labeled graphs (deterministic)."""
+    return graphgen_database(20, avg_edges=10, num_labels=4, density=0.3, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_chemical_db():
+    """30 molecule-like graphs (deterministic)."""
+    return chemical_database(30, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_chemical_queries():
+    return chemical_query_set(5, seed=8)

@@ -1,0 +1,129 @@
+"""Tests for the clustering and containment applications."""
+
+import numpy as np
+import pytest
+
+from repro.applications import ContainmentIndex, MappedKMedoids, adjusted_rand_index
+from repro.features import FeatureSpace
+from repro.graph import LabeledGraph
+from repro.mining import mine_frequent_subgraphs
+from repro.utils.errors import GraphDimensionError
+
+
+class TestKMedoids:
+    def _two_blob_distances(self):
+        """Two well-separated blobs of 5 points each."""
+        n = 10
+        d = np.full((n, n), 10.0)
+        for i in range(n):
+            d[i, i] = 0.0
+        for block in (range(5), range(5, 10)):
+            for i in block:
+                for j in block:
+                    if i != j:
+                        d[i, j] = 1.0
+        return d
+
+    def test_recovers_two_blobs(self):
+        d = self._two_blob_distances()
+        km = MappedKMedoids(2, seed=0).fit(d)
+        labels = km.labels_
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_cost_positive_and_finite(self):
+        d = self._two_blob_distances()
+        km = MappedKMedoids(2, seed=0).fit(d)
+        assert 0 <= km.cost_ < np.inf
+
+    def test_k_capped(self):
+        d = np.zeros((3, 3))
+        km = MappedKMedoids(10, seed=0).fit(d)
+        assert len(km.medoids_) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphDimensionError):
+            MappedKMedoids(0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(GraphDimensionError):
+            MappedKMedoids(2).fit(np.zeros((3, 4)))
+
+    def test_deterministic_under_seed(self):
+        d = self._two_blob_distances()
+        a = MappedKMedoids(2, seed=5).fit(d)
+        b = MappedKMedoids(2, seed=5).fit(d)
+        assert (a.labels_ == b.labels_).all()
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_degenerate_all_same(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 0, 0]) == 1.0
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(GraphDimensionError):
+            adjusted_rand_index([0, 1], [0])
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=300)
+        b = rng.integers(0, 3, size=300)
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        ari = adjusted_rand_index(a, b)
+        assert 0.0 < ari < 1.0
+
+
+class TestContainmentIndex:
+    @pytest.fixture(scope="class")
+    def index(self, small_chemical_db):
+        feats = mine_frequent_subgraphs(small_chemical_db, min_support=0.2,
+                                        max_edges=3)
+        space = FeatureSpace(feats, len(small_chemical_db))
+        return ContainmentIndex(space, small_chemical_db), space
+
+    def test_filter_is_sound(self, index, small_chemical_db):
+        """Filtered answers equal the full-scan answers."""
+        idx, space = index
+        # Use mined features themselves as patterns: answers known = support.
+        for feat in space.features[:10]:
+            result = idx.query(feat.graph)
+            assert set(result.answers) == feat.support
+            assert set(result.answers) == set(idx.query_scan(feat.graph))
+
+    def test_filter_prunes(self, index, small_chemical_db):
+        idx, space = index
+        # A larger mined pattern should prune to (close to) its support.
+        biggest = max(space.features, key=lambda f: f.num_edges)
+        result = idx.query(biggest.graph)
+        assert result.candidates_after_filter <= len(small_chemical_db)
+        assert result.candidates_after_filter >= len(result.answers)
+        assert result.features_used > 0
+
+    def test_impossible_pattern(self, index):
+        idx, _space = index
+        pattern = LabeledGraph(["Zz", "Zz"], [(0, 1, "qq")])
+        result = idx.query(pattern)
+        assert result.answers == []
+
+    def test_restricted_feature_subset(self, small_chemical_db):
+        feats = mine_frequent_subgraphs(small_chemical_db, min_support=0.2,
+                                        max_edges=3)
+        space = FeatureSpace(feats, len(small_chemical_db))
+        idx = ContainmentIndex(space, small_chemical_db, selected=[0, 1])
+        result = idx.query(space.features[0].graph)
+        assert set(result.answers) == space.features[0].support
+
+    def test_size_mismatch_rejected(self, small_chemical_db):
+        feats = mine_frequent_subgraphs(small_chemical_db, min_support=0.2,
+                                        max_edges=3)
+        space = FeatureSpace(feats, len(small_chemical_db))
+        with pytest.raises(ValueError):
+            ContainmentIndex(space, small_chemical_db[:-1])

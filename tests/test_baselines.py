@@ -1,0 +1,199 @@
+"""Tests for the seven baseline feature selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MCFSSelector,
+    MICISelector,
+    NDFSSelector,
+    OriginalSelector,
+    SampleSelector,
+    SFSSelector,
+    UDFSSelector,
+)
+from repro.baselines.lasso import lambda_max, lasso_coordinate_descent, soft_threshold
+from repro.baselines.mici import mici_matrix
+from repro.baselines.spectral import graph_laplacian, knn_affinity, spectral_embedding
+from repro.features import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
+from repro.utils.errors import SelectionError
+
+
+@pytest.fixture(scope="module")
+def setup(small_chemical_db):
+    feats = mine_frequent_subgraphs(small_chemical_db, min_support=0.15,
+                                    max_edges=3)
+    space = FeatureSpace(feats, len(small_chemical_db))
+    delta = pairwise_dissimilarity_matrix(small_chemical_db,
+                                          DissimilarityCache())
+    return space, delta
+
+
+ALL_SELECTORS = [
+    lambda p: SampleSelector(p, seed=0),
+    lambda p: SFSSelector(p),
+    lambda p: MICISelector(p),
+    lambda p: MCFSSelector(p),
+    lambda p: UDFSSelector(p),
+    lambda p: NDFSSelector(p),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("factory", ALL_SELECTORS)
+    def test_selects_p_distinct_valid_features(self, factory, setup):
+        space, delta = setup
+        p = 8
+        selected = factory(p).select(space, delta)
+        assert len(selected) == p
+        assert len(set(selected)) == p
+        assert all(0 <= r < space.m for r in selected)
+
+    @pytest.mark.parametrize("factory", ALL_SELECTORS)
+    def test_p_capped_at_universe(self, factory, setup):
+        space, delta = setup
+        selected = factory(space.m + 50).select(space, delta)
+        assert len(selected) <= space.m
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(SelectionError):
+            SampleSelector(0)
+
+
+class TestOriginal:
+    def test_returns_whole_universe(self, setup):
+        space, _delta = setup
+        assert OriginalSelector().select(space) == list(range(space.m))
+
+
+class TestSample:
+    def test_deterministic_under_seed(self, setup):
+        space, _delta = setup
+        a = SampleSelector(6, seed=3).select(space)
+        b = SampleSelector(6, seed=3).select(space)
+        assert a == b
+
+    def test_different_seeds_differ(self, setup):
+        space, _delta = setup
+        if space.m > 12:
+            a = SampleSelector(6, seed=1).select(space)
+            b = SampleSelector(6, seed=2).select(space)
+            assert a != b
+
+
+class TestSFS:
+    def test_requires_delta(self, setup):
+        space, _delta = setup
+        with pytest.raises(SelectionError):
+            SFSSelector(3).select(space, None)
+
+    def test_first_pick_minimises_single_feature_stress(self, setup):
+        space, delta = setup
+        selected = SFSSelector(1).select(space, delta)
+        Y = space.incidence.astype(float)
+        iu = np.triu_indices(space.n, k=1)
+        target = delta[iu]
+
+        def stress(r):
+            y = Y[:, r]
+            h = np.abs(y[:, None] - y[None, :])[iu]
+            return ((np.sqrt(h) - target) ** 2).sum()
+
+        best = min(range(space.m), key=stress)
+        assert selected[0] == best
+
+    def test_normalized_variant_differs(self, setup):
+        space, delta = setup
+        literal = SFSSelector(6).select(space, delta)
+        normalized = SFSSelector(6, normalized=True).select(space, delta)
+        # The two objectives usually diverge after the first picks.
+        assert literal != normalized or space.m < 12
+
+
+class TestMICI:
+    def test_mici_matrix_properties(self, setup):
+        space, _delta = setup
+        lam2 = mici_matrix(space.incidence.astype(float))
+        assert lam2.shape == (space.m, space.m)
+        assert (lam2 >= -1e-9).all()
+        assert np.allclose(np.diag(lam2), 0.0)
+        assert np.allclose(lam2, lam2.T)
+
+    def test_identical_features_zero_mici(self):
+        Y = np.array([[1, 1], [0, 0], [1, 1], [0, 0]], dtype=float)
+        lam2 = mici_matrix(Y)
+        assert lam2[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSpectralMachinery:
+    def test_affinity_symmetric_nonnegative(self, setup):
+        space, _delta = setup
+        W = knn_affinity(space.incidence.astype(float), k=5)
+        assert np.allclose(W, W.T)
+        assert (W >= 0).all()
+        assert np.allclose(np.diag(W), 0.0)
+
+    def test_laplacian_rows_sum_zero(self, setup):
+        space, _delta = setup
+        W = knn_affinity(space.incidence.astype(float), k=5)
+        L, D = graph_laplacian(W)
+        assert np.allclose(L.sum(axis=1), 0.0)
+        assert np.allclose(np.diag(D), W.sum(axis=1))
+
+    def test_embedding_shape(self, setup):
+        space, _delta = setup
+        W = knn_affinity(space.incidence.astype(float), k=5)
+        U = spectral_embedding(W, 3)
+        assert U.shape == (space.n, 3)
+
+
+class TestLasso:
+    def test_soft_threshold(self):
+        assert soft_threshold(3.0, 1.0) == 2.0
+        assert soft_threshold(-3.0, 1.0) == -2.0
+        assert soft_threshold(0.5, 1.0) == 0.0
+
+    def test_zero_at_lambda_max(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((20, 5))
+        t = rng.random(20)
+        lam = lambda_max(X, t)
+        a = lasso_coordinate_descent(X, t, lam * 1.01)
+        assert np.allclose(a, 0.0)
+
+    def test_recovers_sparse_signal(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((60, 8))
+        true = np.zeros(8)
+        true[2] = 3.0
+        t = X @ true + 0.01 * rng.standard_normal(60)
+        a = lasso_coordinate_descent(X, t, lam=1.0)
+        assert np.argmax(np.abs(a)) == 2
+
+    def test_zero_column_ignored(self):
+        X = np.zeros((10, 2))
+        X[:, 1] = 1.0
+        a = lasso_coordinate_descent(X, np.ones(10), lam=0.1)
+        assert a[0] == 0.0
+
+
+class TestIterativeSelectors:
+    def test_udfs_scores_depend_on_gamma(self, setup):
+        space, _delta = setup
+        a = UDFSSelector(6, gamma=0.01).select(space)
+        b = UDFSSelector(6, gamma=10.0).select(space)
+        # Not a strict requirement, but wildly different regularisation
+        # should usually change the ranking; tolerate equality on tiny m.
+        assert isinstance(a, list) and isinstance(b, list)
+
+    def test_ndfs_runs_with_few_iterations(self, setup):
+        space, _delta = setup
+        selected = NDFSSelector(5, iterations=3).select(space)
+        assert len(selected) == 5
+
+    def test_mcfs_cluster_parameter(self, setup):
+        space, _delta = setup
+        selected = MCFSSelector(5, num_clusters=2).select(space)
+        assert len(selected) == 5

@@ -1,0 +1,194 @@
+"""Property tests for the Section 4.1 theory, checked against exact MCS.
+
+These tests generate random graph/subgraph pairs, compute the true
+dissimilarities and mapped distances, and assert the paper's bounds hold
+— i.e. our implementation of the theorems is consistent with our
+implementation of MCS, VF2, and the mapping.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import bounds
+from repro.graph import LabeledGraph, random_connected_graph
+from repro.isomorphism import mcs_edge_count
+from repro.similarity import delta1, delta2
+from repro.utils.rng import ensure_rng
+
+
+def random_subgraph(graph: LabeledGraph, rng, keep_fraction=0.6) -> LabeledGraph:
+    """A random edge-subgraph of *graph* (q' ⊆ q by construction)."""
+    edges = list(graph.edges())
+    keep = max(1, int(round(len(edges) * keep_fraction)))
+    idx = rng.choice(len(edges), size=keep, replace=False)
+    return graph.edge_subgraph([edges[i] for i in sorted(idx)])
+
+
+class TestInterval:
+    def test_contains(self):
+        iv = bounds.Interval(0.2, 0.8)
+        assert iv.contains(0.5)
+        assert iv.contains(0.2)
+        assert not iv.contains(0.9)
+        assert iv.width() == pytest.approx(0.6)
+
+    def test_slack(self):
+        iv = bounds.Interval(0.0, 1.0)
+        assert iv.contains(1.0 + 1e-12)
+
+
+class TestLemma41:
+    def test_interval_form(self):
+        iv = bounds.lemma_4_1_bounds(10, 7)
+        assert iv.lo == 0.0
+        assert iv.hi == 3.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            bounds.lemma_4_1_bounds(5, 6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_xi_within_bounds(self, seed):
+        """0 ≤ |E(mcs(q,g))| − |E(mcs(q',g))| ≤ |E(q)| − |E(q')|."""
+        rng = ensure_rng(seed)
+        q = random_connected_graph(6, 8, num_vertex_labels=2, seed=rng)
+        g = random_connected_graph(5, 6, num_vertex_labels=2, seed=rng)
+        q_sub = random_subgraph(q, rng)
+        xi = mcs_edge_count(q, g) - mcs_edge_count(q_sub, g)
+        iv = bounds.lemma_4_1_bounds(q.num_edges, q_sub.num_edges)
+        assert iv.contains(xi)
+
+
+class TestTheorems41And42:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_delta1_interval_holds(self, seed):
+        rng = ensure_rng(seed)
+        q = random_connected_graph(6, 8, num_vertex_labels=2, seed=rng)
+        g = random_connected_graph(5, 6, num_vertex_labels=2, seed=rng)
+        q_sub = random_subgraph(q, rng)
+        alpha = delta1(q, g)
+        iv = bounds.theorem_4_1_interval(
+            q.num_edges, q_sub.num_edges, g.num_edges, alpha
+        )
+        assert iv.contains(delta1(q_sub, g))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_delta2_interval_holds(self, seed):
+        rng = ensure_rng(seed)
+        q = random_connected_graph(6, 8, num_vertex_labels=2, seed=rng)
+        g = random_connected_graph(5, 6, num_vertex_labels=2, seed=rng)
+        q_sub = random_subgraph(q, rng)
+        alpha = delta2(q, g)
+        iv = bounds.theorem_4_2_interval(
+            q.num_edges, q_sub.num_edges, g.num_edges, alpha
+        )
+        assert iv.contains(delta2(q_sub, g))
+
+    def test_epsilons_shrink_as_qsub_approaches_q(self):
+        """ε terms vanish when q' = q (the paper's 'very close' remark)."""
+        assert bounds.epsilon_1r(10, 10, 8) == 0.0
+        assert bounds.epsilon_2(10, 10, 8) == 0.0
+        assert bounds.epsilon_1l(10, 8, 12, alpha=0.5) > bounds.epsilon_1l(
+            10, 10, 12, alpha=0.5
+        )
+
+
+class TestTheorem43:
+    def test_interval_form(self):
+        iv = bounds.theorem_4_3_interval(0.5, t=4, p=16)
+        assert iv.lo == pytest.approx(0.0)
+        assert iv.hi == pytest.approx(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            bounds.theorem_4_3_interval(0.5, t=1, p=0)
+        with pytest.raises(ValueError):
+            bounds.theorem_4_3_interval(0.5, t=-1, p=4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_mapped_distance_interval_holds(self, seed):
+        """β − √(t/p) ≤ d(y_q', y_g) ≤ β + √(t/p) with real embeddings.
+
+        We simulate F(q), F(q'), F(g) as random bit-vectors with
+        F(q') ⊆ F(q), which is exactly the structure Theorem 4.3 uses.
+        """
+        rng = ensure_rng(seed)
+        p = int(rng.integers(4, 32))
+        yq = (rng.random(p) < 0.5).astype(float)
+        # q' keeps a random subset of q's features.
+        keep = rng.random(p) < 0.7
+        yq_sub = yq * keep
+        yg = (rng.random(p) < 0.5).astype(float)
+        beta = math.sqrt(((yq - yg) ** 2).sum() / p)
+        d_sub = math.sqrt(((yq_sub - yg) ** 2).sum() / p)
+        t = int(yq.sum() - yq_sub.sum())
+        iv = bounds.theorem_4_3_interval(beta, t=t, p=p)
+        assert iv.contains(d_sub)
+
+
+class TestCorollaries:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_corollary_4_1_ratio_bounded(self, seed):
+        """λ = δ(q',g)/d(y_q',y_g) lies in the corollary's interval."""
+        rng = ensure_rng(seed)
+        q = random_connected_graph(6, 8, num_vertex_labels=2, seed=rng)
+        g = random_connected_graph(5, 6, num_vertex_labels=2, seed=rng)
+        q_sub = random_subgraph(q, rng)
+
+        # Simulated feature embeddings with F(q') ⊆ F(q).
+        p = 16
+        yq = (rng.random(p) < 0.6).astype(float)
+        yq_sub = yq * (rng.random(p) < 0.7)
+        yg = (rng.random(p) < 0.5).astype(float)
+        beta = math.sqrt(((yq - yg) ** 2).sum() / p)
+        d_sub = math.sqrt(((yq_sub - yg) ** 2).sum() / p)
+        if d_sub == 0 or beta == 0:
+            return  # ratio undefined; the corollary presumes positive distance
+        t = int(yq.sum() - yq_sub.sum())
+
+        for name, fn in (("delta1", delta1), ("delta2", delta2)):
+            alpha = fn(q, g)
+            iv = bounds.corollary_4_1_interval(
+                name, q.num_edges, q_sub.num_edges, g.num_edges,
+                alpha, beta, t, p,
+            )
+            assert iv.contains(fn(q_sub, g) / d_sub)
+
+    def test_corollary_4_2_unknown_dissimilarity(self):
+        with pytest.raises(ValueError):
+            bounds.corollary_4_2_interval("deltaX", 5, 4, 4, 0.5, 0.5, 1, 8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_corollary_4_2_ratio_bounded(self, seed):
+        """λ' = δ(q,g)/d(y_q,y_g) lies in Corollary 4.2's interval."""
+        rng = ensure_rng(seed)
+        q = random_connected_graph(6, 8, num_vertex_labels=2, seed=rng)
+        g = random_connected_graph(5, 6, num_vertex_labels=2, seed=rng)
+        q_sub = random_subgraph(q, rng)
+
+        p = 16
+        yq = (rng.random(p) < 0.6).astype(float)
+        yq_sub = yq * (rng.random(p) < 0.7)
+        yg = (rng.random(p) < 0.5).astype(float)
+        beta = math.sqrt(((yq - yg) ** 2).sum() / p)
+        beta_sub = math.sqrt(((yq_sub - yg) ** 2).sum() / p)
+        if beta == 0 or beta_sub == 0:
+            return
+        t = int(yq.sum() - yq_sub.sum())
+
+        for name, fn in (("delta1", delta1), ("delta2", delta2)):
+            alpha_sub = fn(q_sub, g)
+            iv = bounds.corollary_4_2_interval(
+                name, q.num_edges, q_sub.num_edges, g.num_edges,
+                alpha_sub, beta_sub, t, p,
+            )
+            assert iv.contains(fn(q, g) / beta)

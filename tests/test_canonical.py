@@ -1,0 +1,74 @@
+"""Tests for WL hashing and exact canonical signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LabeledGraph, random_connected_graph
+from repro.graph.canonical import (
+    are_isomorphic_small,
+    canonical_signature,
+    weisfeiler_lehman_hash,
+)
+
+
+def relabel(graph: LabeledGraph, permutation) -> LabeledGraph:
+    """Apply a vertex permutation: new_id = permutation[old_id]."""
+    labels = [None] * graph.num_vertices
+    for v in range(graph.num_vertices):
+        labels[permutation[v]] = graph.vertex_label(v)
+    g = LabeledGraph(labels)
+    for e in graph.edges():
+        g.add_edge(permutation[e.u], permutation[e.v], e.label)
+    return g
+
+
+class TestWLHash:
+    def test_equal_for_identical(self, triangle):
+        assert weisfeiler_lehman_hash(triangle) == weisfeiler_lehman_hash(triangle)
+
+    def test_invariant_under_relabeling(self, square_with_diagonal):
+        permuted = relabel(square_with_diagonal, [2, 3, 0, 1])
+        assert weisfeiler_lehman_hash(square_with_diagonal) == (
+            weisfeiler_lehman_hash(permuted)
+        )
+
+    def test_distinguishes_labels(self):
+        a = LabeledGraph(["a", "a"], [(0, 1, "x")])
+        b = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        assert weisfeiler_lehman_hash(a) != weisfeiler_lehman_hash(b)
+
+    def test_distinguishes_edge_count(self, triangle, path3):
+        assert weisfeiler_lehman_hash(triangle) != weisfeiler_lehman_hash(path3)
+
+
+class TestCanonicalSignature:
+    def test_invariant_under_permutation(self, triangle):
+        permuted = relabel(triangle, [2, 0, 1])
+        assert canonical_signature(triangle) == canonical_signature(permuted)
+
+    def test_different_structures_differ(self, triangle, path3):
+        assert canonical_signature(triangle) != canonical_signature(path3)
+
+    def test_rejects_large_graph(self):
+        g = LabeledGraph(["a"] * 20)
+        with pytest.raises(ValueError):
+            canonical_signature(g)
+
+    def test_empty_graph(self):
+        assert canonical_signature(LabeledGraph()) == ((), ())
+
+    def test_are_isomorphic_small(self, triangle):
+        permuted = relabel(triangle, [1, 2, 0])
+        assert are_isomorphic_small(triangle, permuted)
+        bigger = LabeledGraph(["a", "a", "b", "b"], [(0, 1, "x")])
+        assert not are_isomorphic_small(triangle, bigger)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.randoms(use_true_random=False))
+def test_canonical_signature_permutation_property(seed, rnd):
+    """Property: any vertex permutation preserves the canonical signature."""
+    g = random_connected_graph(6, 7, num_vertex_labels=2, num_edge_labels=2, seed=seed)
+    perm = list(range(6))
+    rnd.shuffle(perm)
+    assert canonical_signature(g) == canonical_signature(relabel(g, perm))

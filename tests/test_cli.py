@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig8", "--scale", "full", "--seed", "3", "--out", "/tmp/x"]
+        )
+        assert args.scale == "full"
+        assert args.seed == 3
+        assert args.out == "/tmp/x"
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(["demo", "--db-size", "10", "--k", "3"])
+        assert args.db_size == 10
+        assert args.k == 3
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig9" in out and "ablation" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo_small(self, capsys):
+        # Tiny demo end to end: index 12 graphs, answer one query.
+        assert main(["demo", "--db-size", "12", "--num-features", "4",
+                     "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out

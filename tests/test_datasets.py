@@ -1,0 +1,101 @@
+"""Tests for the chemical surrogate and synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    chemical_database,
+    chemical_query_set,
+    synthetic_database,
+    synthetic_query_set,
+)
+from repro.datasets.chemical import (
+    ABSOLUTE_VALENCE,
+    ATOMS,
+    SCAFFOLDS,
+    _used_valence,
+)
+
+
+class TestChemicalDatabase:
+    def test_size_range_respected(self):
+        db = chemical_database(25, size_range=(10, 20), seed=0)
+        assert len(db) == 25
+        for g in db:
+            assert 10 <= g.num_vertices <= 20
+
+    def test_connected(self):
+        for g in chemical_database(20, seed=1):
+            assert g.is_connected()
+
+    def test_deterministic(self):
+        a = chemical_database(10, seed=5)
+        b = chemical_database(10, seed=5)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_valence_limits_respected(self):
+        """No atom ever exceeds its absolute chemical valence.
+
+        Growth uses the conservative ATOMS valences; scaffolds may seed
+        hypervalent sulfonyl/phosphate groups up to ABSOLUTE_VALENCE.
+        """
+        for g in chemical_database(25, seed=2):
+            for v in range(g.num_vertices):
+                label = g.vertex_label(v)
+                assert _used_valence(g, v) <= ABSOLUTE_VALENCE[label], (
+                    f"{label} atom exceeds valence in {g.graph_id}"
+                )
+
+    def test_atom_labels_valid(self):
+        atoms = {a for a, _v, _w in ATOMS}
+        for g in chemical_database(15, seed=3):
+            for v in range(g.num_vertices):
+                assert g.vertex_label(v) in atoms
+
+    def test_bond_labels_valid(self):
+        for g in chemical_database(15, seed=4):
+            for e in g.edges():
+                assert e.label in ("s", "d")
+
+    def test_family_restriction(self):
+        db = chemical_database(10, num_families=1, seed=6)
+        # All graphs grow from the same scaffold (the benzene-like ring).
+        scaffold = SCAFFOLDS[0]()
+        for g in db:
+            assert g.num_vertices >= scaffold.num_vertices
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(ValueError):
+            chemical_database(5, size_range=(2, 4))
+
+    def test_query_set_distinct_ids(self):
+        queries = chemical_query_set(5, seed=9)
+        assert len({g.graph_id for g in queries}) == 5
+        assert all(str(g.graph_id).startswith("query") for g in queries)
+
+    def test_scaffolds_respect_absolute_valence(self):
+        for factory in SCAFFOLDS:
+            g = factory()
+            for v in range(g.num_vertices):
+                assert _used_valence(g, v) <= ABSOLUTE_VALENCE[g.vertex_label(v)]
+
+
+class TestSyntheticDataset:
+    def test_database_defaults(self):
+        db = synthetic_database(10, seed=0)
+        assert len(db) == 10
+        assert all(g.is_connected() for g in db)
+
+    def test_query_set(self):
+        queries = synthetic_query_set(5, seed=1)
+        assert len(queries) == 5
+
+    def test_label_alphabet(self):
+        db = synthetic_database(10, num_labels=4, seed=2)
+        labels = {g.vertex_label(v) for g in db for v in range(g.num_vertices)}
+        assert labels <= set(range(4))
+
+    def test_avg_edges_parameter(self):
+        small = synthetic_database(20, avg_edges=10, seed=3)
+        large = synthetic_database(20, avg_edges=25, seed=3)
+        mean = lambda db: sum(g.num_edges for g in db) / len(db)  # noqa: E731
+        assert mean(small) < mean(large)

@@ -1,0 +1,136 @@
+"""Tests for the DSPM majorization algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.dspm import DSPM, dspm_select
+from repro.features import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
+from repro.utils.errors import SelectionError
+
+
+@pytest.fixture(scope="module")
+def setup(small_synthetic_db):
+    feats = mine_frequent_subgraphs(small_synthetic_db, min_support=0.25,
+                                    max_edges=3)
+    space = FeatureSpace(feats, len(small_synthetic_db))
+    delta = pairwise_dissimilarity_matrix(small_synthetic_db,
+                                          DissimilarityCache())
+    return space, delta
+
+
+class TestValidation:
+    def test_bad_p(self):
+        with pytest.raises(SelectionError):
+            DSPM(0)
+
+    def test_bad_kernel(self):
+        with pytest.raises(SelectionError):
+            DSPM(3, kernel="fortran")
+
+    def test_p_larger_than_universe(self, setup):
+        space, delta = setup
+        with pytest.raises(SelectionError):
+            DSPM(space.m + 1).fit(space, delta)
+
+    def test_delta_shape_checked(self, setup):
+        space, _delta = setup
+        with pytest.raises(SelectionError):
+            DSPM(2).fit(space, np.zeros((3, 3)))
+
+
+class TestConvergence:
+    def test_objective_monotone_nonincreasing(self, setup):
+        space, delta = setup
+        res = DSPM(5, max_iterations=50, tolerance=0.0).fit(space, delta)
+        h = res.objective_history
+        assert all(h[i] >= h[i + 1] - 1e-9 for i in range(len(h) - 1)), (
+            "majorization must not increase the stress"
+        )
+
+    def test_objective_strictly_improves_from_init(self, setup):
+        space, delta = setup
+        res = DSPM(5, max_iterations=30).fit(space, delta)
+        assert res.objective_history[-1] < res.objective_history[0]
+
+    def test_converged_flag(self, setup):
+        space, delta = setup
+        res = DSPM(5, max_iterations=500, tolerance=1e-3).fit(space, delta)
+        assert res.converged
+        res2 = DSPM(5, max_iterations=1, tolerance=0.0).fit(space, delta)
+        assert not res2.converged
+
+    def test_iteration_count_reported(self, setup):
+        space, delta = setup
+        res = DSPM(5, max_iterations=7, tolerance=0.0).fit(space, delta)
+        assert res.iterations == 7
+
+
+class TestSelection:
+    def test_selects_requested_count(self, setup):
+        space, delta = setup
+        res = DSPM(6).fit(space, delta)
+        assert len(res.selected) == 6
+        assert len(set(res.selected)) == 6
+
+    def test_selected_have_largest_weights(self, setup):
+        space, delta = setup
+        res = DSPM(4).fit(space, delta)
+        chosen = set(res.selected)
+        min_chosen = min(res.weights[r] for r in res.selected)
+        others = [res.weights[r] for r in range(space.m) if r not in chosen]
+        assert all(w <= min_chosen + 1e-12 for w in others)
+
+    def test_weights_normalised(self, setup):
+        space, delta = setup
+        res = DSPM(4).fit(space, delta)
+        assert np.sqrt((res.weights**2).sum()) == pytest.approx(1.0)
+
+    def test_constant_feature_gets_zero_weight(self, setup):
+        space, delta = setup
+        Y = space.incidence.astype(float).copy()
+        Y[:, 0] = 1.0  # make feature 0 ubiquitous
+        res = DSPM(3).fit_matrix(Y, delta)
+        assert res.weights[0] == 0.0
+
+    def test_functional_facade(self, setup):
+        space, delta = setup
+        a = dspm_select(space, delta, 5)
+        b = DSPM(5).fit(space, delta)
+        assert a.selected == b.selected
+
+
+class TestKernelEquivalence:
+    def test_all_kernels_agree(self, setup):
+        space, delta = setup
+        n_sub = 10
+        Y = space.incidence[:n_sub].astype(float)
+        d = delta[:n_sub, :n_sub]
+        results = {
+            kernel: DSPM(3, max_iterations=4, tolerance=0.0, kernel=kernel)
+            .fit_matrix(Y, d)
+            for kernel in ("numpy", "inverted", "naive")
+        }
+        assert np.allclose(results["numpy"].weights, results["inverted"].weights)
+        assert np.allclose(results["numpy"].weights, results["naive"].weights)
+        assert results["numpy"].selected == results["naive"].selected
+
+    def test_objective_histories_agree(self, setup):
+        space, delta = setup
+        n_sub = 8
+        Y = space.incidence[:n_sub].astype(float)
+        d = delta[:n_sub, :n_sub]
+        h_np = DSPM(3, max_iterations=3, tolerance=0.0).fit_matrix(Y, d)
+        h_inv = DSPM(3, max_iterations=3, tolerance=0.0,
+                     kernel="inverted").fit_matrix(Y, d)
+        assert np.allclose(h_np.objective_history, h_inv.objective_history)
+
+
+class TestDistancePreservation:
+    def test_dspm_reduces_stress_vs_random(self, setup):
+        """The point of the algorithm: lower stress than a random c."""
+        space, delta = setup
+        res = DSPM(5, max_iterations=60).fit(space, delta)
+        # Compare final stress against the initial uniform-weight stress.
+        assert res.objective_history[-1] <= res.objective_history[0] * 0.9

@@ -1,0 +1,96 @@
+"""Tests for the shared effectiveness driver and fig7's bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.effectiveness import fingerprint_benchmark, run_effectiveness
+from repro.experiments.exp_fig7 import _bucket_queries
+from repro.experiments.harness import Scale, build_space
+from repro.datasets import chemical_database, chemical_query_set
+from repro.similarity import (
+    DissimilarityCache,
+    cross_dissimilarity_matrix,
+    pairwise_dissimilarity_matrix,
+)
+
+TINY = Scale(
+    name="tiny",
+    db_size=14,
+    query_count=3,
+    num_features=4,
+    min_support=0.3,
+    max_pattern_edges=2,
+    top_ks=(3,),
+    dspm_iterations=10,
+)
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    db = chemical_database(TINY.db_size, seed=3)
+    queries = chemical_query_set(TINY.query_count, seed=4)
+    space = build_space(db, TINY)
+    cache = DissimilarityCache()
+    delta_db = pairwise_dissimilarity_matrix(db, cache)
+    delta_q = cross_dissimilarity_matrix(queries, db, cache)
+    return db, queries, space, delta_db, delta_q
+
+
+class TestFingerprintBenchmark:
+    def test_measures_in_range(self, pieces):
+        db, queries, _space, _delta_db, delta_q = pieces
+        bench = fingerprint_benchmark(db, queries, delta_q, (3,))
+        for measure in ("precision", "kendall_tau", "inverse_rank"):
+            assert measure in bench
+            assert bench[measure][3] >= 0.0
+
+
+class TestRunEffectiveness:
+    def test_fingerprint_benchmark_mode(self, pieces):
+        db, queries, space, delta_db, delta_q = pieces
+        result = run_effectiveness(
+            db, queries, space, delta_db, delta_q, TINY, seed=0,
+            benchmark="fingerprint", algorithms=("DSPM", "Sample"),
+        )
+        assert set(result["raw"]["precision"]) == {"DSPM", "Sample"}
+        assert result["top_ks"] == [3]
+
+    def test_best_benchmark_mode_normalises_winner_to_one(self, pieces):
+        db, queries, space, delta_db, delta_q = pieces
+        result = run_effectiveness(
+            db, queries, space, delta_db, delta_q, TINY, seed=0,
+            benchmark="best", algorithms=("DSPM", "Sample"),
+        )
+        best = max(
+            result["relative"]["precision"][name][3]
+            for name in ("DSPM", "Sample")
+        )
+        assert best == pytest.approx(1.0)
+
+    def test_unknown_benchmark_rejected(self, pieces):
+        db, queries, space, delta_db, delta_q = pieces
+        with pytest.raises(ValueError):
+            run_effectiveness(
+                db, queries, space, delta_db, delta_q, TINY, seed=0,
+                benchmark="oracle", algorithms=("Sample",),
+            )
+
+
+class TestBucketQueries:
+    def test_every_query_bucketed_once(self):
+        queries = chemical_query_set(12, seed=5)
+        buckets, labels = _bucket_queries(queries)
+        flat = [qi for bucket in buckets for qi in bucket]
+        assert sorted(flat) == list(range(12))
+        assert len(labels) == len(buckets)
+
+    def test_buckets_ordered_by_size(self):
+        queries = chemical_query_set(12, seed=5)
+        buckets, _labels = _bucket_queries(queries)
+        previous_max = -1
+        for bucket in buckets:
+            if not bucket:
+                continue
+            sizes = [queries[qi].num_vertices for qi in bucket]
+            assert min(sizes) >= previous_max - 1  # non-overlapping ranges
+            previous_max = max(sizes)

@@ -1,0 +1,48 @@
+"""Unit tests for small experiment-module helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_fig1 import NUM_BINS, _histogram, histogram_intersection
+from repro.experiments.harness import estimate_pair_seconds
+from repro.datasets import chemical_database
+
+
+class TestHistogram:
+    def test_normalised(self):
+        values = np.array([0.1, 0.2, 0.3, 0.9])
+        h = _histogram(values)
+        assert h.sum() == pytest.approx(1.0)
+        assert len(h) == NUM_BINS
+
+    def test_empty_input(self):
+        h = _histogram(np.array([]))
+        assert h.sum() == 0.0
+
+    def test_out_of_range_clipped_out(self):
+        # histogram range is [0, 1]; values inside all land in bins
+        h = _histogram(np.array([0.0, 0.5, 0.999]))
+        assert h.sum() == pytest.approx(1.0)
+
+
+class TestHistogramIntersection:
+    def test_identical_is_one(self):
+        h = _histogram(np.array([0.1, 0.5, 0.9]))
+        assert histogram_intersection(h, h) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = _histogram(np.array([0.05] * 5))
+        b = _histogram(np.array([0.95] * 5))
+        assert histogram_intersection(a, b) == 0.0
+
+    def test_symmetric(self):
+        a = _histogram(np.array([0.1, 0.4]))
+        b = _histogram(np.array([0.4, 0.8]))
+        assert histogram_intersection(a, b) == histogram_intersection(b, a)
+
+
+class TestEstimatePairSeconds:
+    def test_positive_and_reasonable(self):
+        db = chemical_database(10, seed=0)
+        per = estimate_pair_seconds(db, seed=0, samples=10)
+        assert 0.0 < per < 1.0  # milliseconds-scale per MCS on molecules

@@ -1,0 +1,142 @@
+"""Integration tests for the experiment harness (small, cache-friendly)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    DSPMSelector,
+    SCALES,
+    Scale,
+    build_space,
+    cached_matrix,
+    evaluate_selector,
+    exact_topk_lists,
+    get_scale,
+    make_dataset,
+    make_selectors,
+    relative_to_benchmark,
+)
+from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
+
+
+TINY = Scale(
+    name="tiny",
+    db_size=15,
+    query_count=3,
+    num_features=5,
+    min_support=0.25,
+    max_pattern_edges=3,
+    top_ks=(3,),
+    dspm_iterations=20,
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert get_scale("small").name == "small"
+        assert get_scale("full").name == "full"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_scales_are_consistent(self):
+        for scale in SCALES.values():
+            assert scale.query_count > 0
+            assert scale.num_features > 0
+            assert all(k > 0 for k in scale.top_ks)
+
+
+class TestDatasets:
+    def test_chemical_deterministic(self):
+        a, qa = make_dataset("chemical", 8, 2, seed=1)
+        b, qb = make_dataset("chemical", 8, 2, seed=1)
+        assert all(x == y for x, y in zip(a, b))
+        assert all(x == y for x, y in zip(qa, qb))
+
+    def test_synthetic_kind(self):
+        db, queries = make_dataset("synthetic", 6, 2, seed=1, num_labels=4)
+        assert len(db) == 6 and len(queries) == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_dataset("quantum", 5, 1, seed=0)
+
+
+class TestCache:
+    def test_cached_matrix_round_trip(self, tmp_path, monkeypatch):
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return np.eye(3)
+
+        a = cached_matrix("t", ("x", 1), builder)
+        b = cached_matrix("t", ("x", 1), builder)
+        assert (a == b).all()
+        assert len(calls) == 1  # second call served from disk
+
+    def test_different_keys_different_files(self, tmp_path, monkeypatch):
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness, "CACHE_DIR", tmp_path)
+        a = cached_matrix("t", ("x", 1), lambda: np.zeros(2))
+        b = cached_matrix("t", ("x", 2), lambda: np.ones(2))
+        assert (a != b).any()
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def pieces(self):
+        db, queries = make_dataset("chemical", TINY.db_size,
+                                   TINY.query_count, seed=0)
+        space = build_space(db, TINY)
+        cache = DissimilarityCache()
+        delta_db = pairwise_dissimilarity_matrix(db, cache)
+        from repro.similarity import cross_dissimilarity_matrix
+
+        delta_q = cross_dissimilarity_matrix(queries, db, cache)
+        return db, queries, space, delta_db, delta_q
+
+    def test_exact_topk_lists(self, pieces):
+        _db, queries, _space, _delta_db, delta_q = pieces
+        lists = exact_topk_lists(delta_q, 3)
+        assert len(lists) == len(queries)
+        assert all(len(lst) == 3 for lst in lists)
+
+    def test_evaluate_dspm_selector(self, pieces):
+        db, queries, space, delta_db, delta_q = pieces
+        ev = evaluate_selector(
+            DSPMSelector(min(5, space.m), max_iterations=20),
+            space, delta_db, queries, delta_q, (3,),
+        )
+        assert ev.name == "DSPM"
+        assert 0.0 <= ev.precision[3] <= 1.0
+        assert ev.indexing_seconds > 0.0
+
+    def test_make_selectors_all(self):
+        selectors = make_selectors(TINY, seed=0)
+        names = [s.name for s in selectors]
+        assert names == [
+            "DSPM", "Original", "Sample", "SFS", "MICI", "MCFS", "UDFS", "NDFS",
+        ]
+
+    def test_make_selectors_subset(self):
+        selectors = make_selectors(TINY, seed=0, include=("DSPM", "Sample"))
+        assert [s.name for s in selectors] == ["DSPM", "Sample"]
+
+
+class TestRelative:
+    def test_relative_to_benchmark(self):
+        values = {"A": {5: 0.5}, "B": {5: 1.0}}
+        bench = {5: 0.5}
+        rel = relative_to_benchmark(values, bench)
+        assert rel["A"][5] == pytest.approx(1.0)
+        assert rel["B"][5] == pytest.approx(2.0)
+
+    def test_zero_benchmark(self):
+        rel = relative_to_benchmark({"A": {5: 0.5}}, {5: 0.0})
+        assert rel["A"][5] == 0.0

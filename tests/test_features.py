@@ -1,0 +1,133 @@
+"""Tests for the feature space: incidence, inverted lists, embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureSpace, jaccard_correlation, total_correlation_score
+from repro.features.binary_matrix import (
+    cross_normalized_euclidean_distances,
+    normalized_euclidean_distances,
+)
+from repro.isomorphism import is_subgraph
+from repro.mining import mine_frequent_subgraphs
+from repro.utils.errors import SelectionError
+
+
+@pytest.fixture(scope="module")
+def space_and_db(small_synthetic_db):
+    feats = mine_frequent_subgraphs(small_synthetic_db, min_support=0.3, max_edges=3)
+    return FeatureSpace(feats, len(small_synthetic_db)), small_synthetic_db
+
+
+class TestConstruction:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(SelectionError):
+            FeatureSpace([], 10)
+
+    def test_incidence_matches_supports(self, space_and_db):
+        space, _db = space_and_db
+        for r, feat in enumerate(space.features):
+            assert set(space.inverted_feature_list(r).tolist()) == feat.support
+
+    def test_support_counts(self, space_and_db):
+        space, _db = space_and_db
+        assert (space.support_counts == space.incidence.sum(axis=0)).all()
+
+    def test_out_of_range_support_rejected(self, space_and_db):
+        space, db = space_and_db
+        feats = list(space.features)
+        bad = type(feats[0])(feats[0].graph, {999}, feats[0].dfs_code)
+        with pytest.raises(SelectionError):
+            FeatureSpace([bad], len(db))
+
+
+class TestInvertedLists:
+    def test_ig_consistent_with_if(self, space_and_db):
+        space, _db = space_and_db
+        for i in range(space.n):
+            for r in space.inverted_graph_list(i):
+                assert i in space.inverted_feature_list(r)
+
+
+class TestEmbeddings:
+    def test_database_embedding_full(self, space_and_db):
+        space, _db = space_and_db
+        emb = space.embed_database()
+        assert emb.shape == (space.n, space.m)
+        assert set(np.unique(emb)) <= {0.0, 1.0}
+
+    def test_database_embedding_selected(self, space_and_db):
+        space, _db = space_and_db
+        sel = [0, min(2, space.m - 1)]
+        emb = space.embed_database(sel)
+        assert emb.shape == (space.n, len(sel))
+        assert (emb == space.incidence[:, sel]).all()
+
+    def test_query_embedding_matches_vf2(self, space_and_db):
+        space, db = space_and_db
+        q = db[0]  # a database graph used as query
+        vec = space.embed_query(q)
+        for r in range(space.m):
+            assert vec[r] == float(is_subgraph(space.features[r].graph, q))
+
+    def test_database_graph_as_query_matches_incidence(self, space_and_db):
+        space, db = space_and_db
+        vec = space.embed_query(db[3])
+        assert (vec == space.incidence[3]).all()
+
+    def test_embed_many(self, space_and_db):
+        space, db = space_and_db
+        stack = space.embed_queries(db[:3])
+        assert stack.shape == (3, space.m)
+
+
+class TestDistances:
+    def test_normalized_distance_range(self, space_and_db):
+        space, _db = space_and_db
+        d = normalized_euclidean_distances(space.embed_database())
+        assert (d >= 0).all() and (d <= 1).all()
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.allclose(d, d.T)
+
+    def test_cross_distance_matches_pairwise(self, space_and_db):
+        space, _db = space_and_db
+        emb = space.embed_database()
+        cross = cross_normalized_euclidean_distances(emb[:4], emb)
+        full = normalized_euclidean_distances(emb)
+        assert np.allclose(cross, full[:4])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cross_normalized_euclidean_distances(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_zero_dimensional(self):
+        d = normalized_euclidean_distances(np.zeros((3, 0)))
+        assert (d == 0).all()
+
+
+class TestCorrelation:
+    def test_self_correlation_is_one(self, space_and_db):
+        space, _db = space_and_db
+        r = 0
+        assert jaccard_correlation(space, r, r) == pytest.approx(1.0)
+
+    def test_symmetric(self, space_and_db):
+        space, _db = space_and_db
+        if space.m >= 2:
+            assert jaccard_correlation(space, 0, 1) == pytest.approx(
+                jaccard_correlation(space, 1, 0)
+            )
+
+    def test_total_matches_manual_sum(self, space_and_db):
+        space, _db = space_and_db
+        sel = list(range(min(5, space.m)))
+        manual = sum(
+            jaccard_correlation(space, sel[i], sel[j])
+            for i in range(len(sel))
+            for j in range(i + 1, len(sel))
+        )
+        assert total_correlation_score(space, sel) == pytest.approx(manual)
+
+    def test_single_feature_zero(self, space_and_db):
+        space, _db = space_and_db
+        assert total_correlation_score(space, [0]) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the dictionary fingerprint and Tanimoto ranking."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import DictionaryFingerprint, tanimoto
+from repro.fingerprint.dictionary import enumerate_label_paths
+from repro.graph import LabeledGraph
+
+
+class TestPathEnumeration:
+    def test_single_vertex_paths(self):
+        g = LabeledGraph(["a", "b"])
+        paths = enumerate_label_paths(g, max_edges=2)
+        assert len(paths) == 2  # the two 0-edge paths
+
+    def test_edge_paths_counted_once(self):
+        g = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        paths = enumerate_label_paths(g, max_edges=1)
+        one_edge = [k for k in paths if len(k) == 3]
+        assert len(one_edge) == 1
+
+    def test_path_and_reverse_identified(self):
+        ab = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        ba = LabeledGraph(["b", "a"], [(0, 1, "x")])
+        paths_ab = set(enumerate_label_paths(ab, 1))
+        paths_ba = set(enumerate_label_paths(ba, 1))
+        assert paths_ab == paths_ba
+
+    def test_simple_paths_only(self, triangle):
+        # In a triangle, 2-edge simple paths exist but no path revisits.
+        paths = enumerate_label_paths(triangle, max_edges=3)
+        lengths = {(len(k) - 1) // 2 for k in paths}
+        assert max(lengths) <= 3
+
+
+class TestTanimoto:
+    def test_identical(self):
+        a = np.array([1, 0, 1, 1])
+        assert tanimoto(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert tanimoto(np.array([1, 0]), np.array([0, 1])) == 0.0
+
+    def test_empty_vectors(self):
+        z = np.zeros(4)
+        assert tanimoto(z, z) == 0.0
+
+    def test_known_value(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([1, 0, 1, 0])
+        assert tanimoto(a, b) == pytest.approx(1 / 3)
+
+
+class TestDictionaryFingerprint:
+    def test_dictionary_capped(self, small_chemical_db):
+        fp = DictionaryFingerprint(small_chemical_db, dictionary_size=50,
+                                   max_path_edges=3)
+        assert fp.num_bits <= 50
+
+    def test_encoding_binary(self, small_chemical_db):
+        fp = DictionaryFingerprint(small_chemical_db, dictionary_size=100,
+                                   max_path_edges=3)
+        bits = fp.encode(small_chemical_db[0])
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_reference_graphs_nonzero(self, small_chemical_db):
+        fp = DictionaryFingerprint(small_chemical_db, dictionary_size=100,
+                                   max_path_edges=3)
+        for g in small_chemical_db[:5]:
+            assert fp.encode(g).sum() > 0
+
+    def test_rank_self_first(self, small_chemical_db):
+        fp = DictionaryFingerprint(small_chemical_db, dictionary_size=200,
+                                   max_path_edges=3)
+        db_bits = fp.encode_many(small_chemical_db)
+        ranking = fp.rank(small_chemical_db[4], db_bits, k=5)
+        assert ranking[0] == 4  # identical fingerprint → Tanimoto 1.0
+
+    def test_encode_many_shape(self, small_chemical_db):
+        fp = DictionaryFingerprint(small_chemical_db[:10], dictionary_size=80,
+                                   max_path_edges=2)
+        stack = fp.encode_many(small_chemical_db[:10])
+        assert stack.shape == (10, fp.num_bits)
+
+    def test_dictionary_deterministic(self, small_chemical_db):
+        a = DictionaryFingerprint(small_chemical_db, dictionary_size=60,
+                                  max_path_edges=2)
+        b = DictionaryFingerprint(small_chemical_db, dictionary_size=60,
+                                  max_path_edges=2)
+        assert a.dictionary == b.dictionary

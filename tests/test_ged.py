@@ -1,0 +1,96 @@
+"""Tests for exact and bipartite graph edit distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LabeledGraph, random_connected_graph
+from repro.isomorphism.ged import ged_bipartite, ged_exact
+from repro.utils.rng import ensure_rng
+
+
+class TestExactGED:
+    def test_identical_zero(self, triangle):
+        assert ged_exact(triangle, triangle) == 0.0
+
+    def test_single_edge_deletion(self, triangle, path3):
+        # triangle -> path: delete one edge.
+        assert ged_exact(triangle, path3) == 1.0
+
+    def test_label_substitution(self):
+        a = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        b = LabeledGraph(["a", "c"], [(0, 1, "x")])
+        assert ged_exact(a, b) == 1.0
+
+    def test_edge_label_substitution(self):
+        a = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        b = LabeledGraph(["a", "b"], [(0, 1, "y")])
+        assert ged_exact(a, b) == 1.0
+
+    def test_vertex_insertion(self):
+        a = LabeledGraph(["a"])
+        b = LabeledGraph(["a", "b"], [(0, 1, "x")])
+        # insert vertex b + insert edge
+        assert ged_exact(a, b) == 2.0
+
+    def test_empty_graphs(self):
+        assert ged_exact(LabeledGraph(), LabeledGraph()) == 0.0
+
+    def test_symmetry(self, triangle, path3):
+        assert ged_exact(triangle, path3) == ged_exact(path3, triangle)
+
+    def test_size_guard(self):
+        big = LabeledGraph(["a"] * 12)
+        with pytest.raises(ValueError):
+            ged_exact(big, big)
+
+
+class TestBipartiteGED:
+    def test_identical_zero(self, triangle):
+        assert ged_bipartite(triangle, triangle) == 0.0
+
+    def test_upper_bounds_exact(self, triangle, path3):
+        assert ged_bipartite(triangle, path3) >= ged_exact(triangle, path3)
+
+    def test_nonnegative(self, small_chemical_db):
+        a, b = small_chemical_db[0], small_chemical_db[1]
+        assert ged_bipartite(a, b) >= 0.0
+
+    def test_scales_to_molecules(self, small_chemical_db):
+        # just run on real-sized molecules (exact would explode)
+        values = [
+            ged_bipartite(small_chemical_db[i], small_chemical_db[i + 1])
+            for i in range(4)
+        ]
+        assert all(v >= 0 for v in values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_bipartite_upper_bounds_exact_property(seed):
+    """Property: BP-GED >= exact GED, and both are symmetric-ish."""
+    rng = ensure_rng(seed)
+    v1 = int(rng.integers(2, 5))
+    e1 = int(rng.integers(v1 - 1, v1 * (v1 - 1) // 2 + 1))
+    v2 = int(rng.integers(2, 5))
+    e2 = int(rng.integers(v2 - 1, v2 * (v2 - 1) // 2 + 1))
+    g1 = random_connected_graph(v1, e1, num_vertex_labels=2, seed=rng)
+    g2 = random_connected_graph(v2, e2, num_vertex_labels=2, seed=rng)
+    exact = ged_exact(g1, g2)
+    approx = ged_bipartite(g1, g2)
+    assert approx >= exact - 1e-9
+    assert exact >= 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_exact_ged_triangle_inequality(seed):
+    """Property: exact GED satisfies the triangle inequality."""
+    rng = ensure_rng(seed)
+    graphs = [
+        random_connected_graph(3, int(rng.integers(2, 4)), 2, seed=rng)
+        for _ in range(3)
+    ]
+    d01 = ged_exact(graphs[0], graphs[1])
+    d12 = ged_exact(graphs[1], graphs[2])
+    d02 = ged_exact(graphs[0], graphs[2])
+    assert d02 <= d01 + d12 + 1e-9

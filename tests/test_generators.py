@@ -1,0 +1,90 @@
+"""Tests for the random graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import graphgen_database, random_connected_graph
+from repro.graph.generators import _vertex_count_for
+
+
+class TestRandomConnectedGraph:
+    def test_exact_counts(self):
+        g = random_connected_graph(8, 12, num_vertex_labels=3, seed=0)
+        assert g.num_vertices == 8
+        assert g.num_edges == 12
+
+    def test_connected(self):
+        for seed in range(5):
+            g = random_connected_graph(10, 12, num_vertex_labels=4, seed=seed)
+            assert g.is_connected()
+
+    def test_tree_case(self):
+        g = random_connected_graph(6, 5, num_vertex_labels=2, seed=3)
+        assert g.num_edges == 5
+        assert g.is_connected()
+
+    def test_complete_graph_case(self):
+        g = random_connected_graph(5, 10, num_vertex_labels=2, seed=4)
+        assert g.num_edges == 10
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(5, 3, num_vertex_labels=2)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(4, 7, num_vertex_labels=2)
+
+    def test_deterministic_under_seed(self):
+        a = random_connected_graph(8, 10, num_vertex_labels=3, seed=42)
+        b = random_connected_graph(8, 10, num_vertex_labels=3, seed=42)
+        assert a == b
+
+    def test_labels_in_range(self):
+        g = random_connected_graph(10, 12, num_vertex_labels=3,
+                                   num_edge_labels=2, seed=5)
+        assert all(0 <= g.vertex_label(v) < 3 for v in range(10))
+        assert all(0 <= e.label < 2 for e in g.edges())
+
+    def test_label_weights_respected(self):
+        # weight fully on label 0
+        g = random_connected_graph(
+            12, 14, num_vertex_labels=3, seed=1, label_weights=[1.0, 0.0, 0.0]
+        )
+        assert all(g.vertex_label(v) == 0 for v in range(12))
+
+
+class TestGraphGenDatabase:
+    def test_size_and_determinism(self):
+        a = graphgen_database(10, avg_edges=12, num_labels=5, density=0.25, seed=9)
+        b = graphgen_database(10, avg_edges=12, num_labels=5, density=0.25, seed=9)
+        assert len(a) == 10
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_all_connected(self):
+        for g in graphgen_database(15, avg_edges=10, num_labels=4, density=0.3, seed=2):
+            assert g.is_connected()
+
+    def test_edge_counts_near_average(self):
+        db = graphgen_database(40, avg_edges=20, num_labels=5, density=0.2, seed=3)
+        mean_edges = sum(g.num_edges for g in db) / len(db)
+        assert 15 <= mean_edges <= 25
+
+    def test_graph_ids_assigned(self):
+        db = graphgen_database(3, avg_edges=8, num_labels=3, density=0.3, seed=1)
+        assert [g.graph_id for g in db] == ["syn-0", "syn-1", "syn-2"]
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            _vertex_count_for(10, 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_edges=st.integers(min_value=5, max_value=30),
+    density=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_vertex_count_always_feasible(num_edges, density):
+    """Property: the derived vertex count admits a simple connected graph."""
+    v = _vertex_count_for(num_edges, density)
+    assert v - 1 <= num_edges <= v * (v - 1) // 2

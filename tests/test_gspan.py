@@ -1,0 +1,136 @@
+"""Tests for the gSpan miner: correctness of supports, canonicality, bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LabeledGraph, graphgen_database
+from repro.graph.canonical import canonical_signature
+from repro.isomorphism import is_subgraph
+from repro.mining import GSpanMiner, mine_frequent_subgraphs
+from repro.utils.errors import MiningError
+
+
+class TestParameterValidation:
+    def test_empty_database_rejected(self):
+        with pytest.raises(MiningError):
+            GSpanMiner([], min_support=0.5)
+
+    def test_nonpositive_support_rejected(self, small_synthetic_db):
+        with pytest.raises(MiningError):
+            GSpanMiner(small_synthetic_db, min_support=0.0)
+
+    def test_min_edges_validated(self, small_synthetic_db):
+        with pytest.raises(MiningError):
+            GSpanMiner(small_synthetic_db, min_edges=0)
+
+    def test_max_lt_min_rejected(self, small_synthetic_db):
+        with pytest.raises(MiningError):
+            GSpanMiner(small_synthetic_db, min_edges=3, max_edges=2)
+
+
+class TestMiningSemantics:
+    def test_supports_match_vf2(self, small_synthetic_db):
+        """Every reported support set equals the true containment set."""
+        patterns = mine_frequent_subgraphs(
+            small_synthetic_db, min_support=0.3, max_edges=3
+        )
+        assert patterns, "expected some frequent patterns"
+        for f in patterns:
+            for gid, g in enumerate(small_synthetic_db):
+                assert is_subgraph(f.graph, g) == (gid in f.support), (
+                    f"support mismatch for pattern {f.dfs_code} in graph {gid}"
+                )
+
+    def test_support_threshold_respected(self, small_synthetic_db):
+        n = len(small_synthetic_db)
+        for f in mine_frequent_subgraphs(small_synthetic_db, min_support=0.4,
+                                         max_edges=3):
+            assert f.support_count >= 0.4 * n - 1e-9
+
+    def test_no_duplicate_patterns(self, small_synthetic_db):
+        patterns = mine_frequent_subgraphs(
+            small_synthetic_db, min_support=0.3, max_edges=4
+        )
+        signatures = [canonical_signature(f.graph) for f in patterns]
+        assert len(signatures) == len(set(signatures)), "duplicate pattern mined"
+
+    def test_patterns_connected(self, small_synthetic_db):
+        for f in mine_frequent_subgraphs(small_synthetic_db, min_support=0.3,
+                                         max_edges=4):
+            assert f.graph.is_connected()
+
+    def test_max_edges_cap(self, small_synthetic_db):
+        for f in mine_frequent_subgraphs(small_synthetic_db, min_support=0.2,
+                                         max_edges=2):
+            assert 1 <= f.num_edges <= 2
+
+    def test_min_edges_floor(self, small_synthetic_db):
+        patterns = mine_frequent_subgraphs(
+            small_synthetic_db, min_support=0.3, max_edges=3, min_edges=2
+        )
+        assert all(f.num_edges >= 2 for f in patterns)
+
+    def test_absolute_support(self, small_synthetic_db):
+        rel = mine_frequent_subgraphs(small_synthetic_db, min_support=0.5,
+                                      max_edges=2)
+        absolute = mine_frequent_subgraphs(small_synthetic_db,
+                                           min_support=10, max_edges=2)
+        assert {f.dfs_code for f in rel} == {f.dfs_code for f in absolute}
+
+    def test_anti_monotone_property(self, small_synthetic_db):
+        """Every (connected) sub-pattern of a frequent pattern is frequent.
+
+        Check at the level of DFS-code prefixes: a longer pattern's
+        support can never exceed its 1-edge-smaller ancestor's.
+        """
+        patterns = mine_frequent_subgraphs(
+            small_synthetic_db, min_support=0.3, max_edges=3
+        )
+        by_code = {f.dfs_code: f for f in patterns}
+        for f in patterns:
+            if len(f.dfs_code) < 2:
+                continue
+            # Single-edge sub-pattern: the first DFS edge always exists
+            # as a mined 1-edge pattern.
+            first = f.dfs_code[0]
+            single = tuple([first])
+            if single in by_code:
+                assert by_code[single].support_count >= f.support_count
+
+    def test_frequency_helper(self, small_synthetic_db):
+        patterns = mine_frequent_subgraphs(small_synthetic_db, min_support=0.3,
+                                           max_edges=2)
+        n = len(small_synthetic_db)
+        for f in patterns:
+            assert f.frequency(n) == pytest.approx(f.support_count / n)
+
+
+class TestMixedLabels:
+    def test_string_labels(self, small_chemical_db):
+        patterns = mine_frequent_subgraphs(small_chemical_db, min_support=0.4,
+                                           max_edges=2)
+        assert patterns
+        labels = {
+            f.graph.vertex_label(v)
+            for f in patterns
+            for v in range(f.graph.num_vertices)
+        }
+        assert labels <= {"C", "N", "O", "S", "P", "F", "Cl"}
+
+    def test_single_graph_database(self):
+        g = LabeledGraph(["a", "b", "c"], [(0, 1, "x"), (1, 2, "y")])
+        patterns = mine_frequent_subgraphs([g], min_support=1.0)
+        codes = {f.dfs_code for f in patterns}
+        # 2 single edges + 1 two-edge path
+        assert len(codes) == 3
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_gspan_supports_property(seed):
+    """Property: mined supports are exactly the VF2 containment sets."""
+    db = graphgen_database(8, avg_edges=8, num_labels=3, density=0.35, seed=seed)
+    patterns = mine_frequent_subgraphs(db, min_support=0.5, max_edges=2)
+    for f in patterns:
+        truth = {gid for gid, g in enumerate(db) if is_subgraph(f.graph, g)}
+        assert truth == f.support

@@ -1,0 +1,92 @@
+"""Tests for the DS-preserved mapping facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import (
+    DSPreservedMapping,
+    build_mapping,
+    mapping_from_selection,
+)
+from repro.features import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
+from repro.utils.errors import SelectionError
+
+
+@pytest.fixture(scope="module")
+def setup(small_chemical_db):
+    feats = mine_frequent_subgraphs(small_chemical_db, min_support=0.2,
+                                    max_edges=3)
+    space = FeatureSpace(feats, len(small_chemical_db))
+    delta = pairwise_dissimilarity_matrix(small_chemical_db,
+                                          DissimilarityCache())
+    return space, small_chemical_db, delta
+
+
+class TestBuildMapping:
+    def test_one_call_build(self, small_chemical_db):
+        mapping = build_mapping(
+            small_chemical_db, num_features=6, min_support=0.2,
+            max_pattern_edges=3,
+        )
+        assert isinstance(mapping, DSPreservedMapping)
+        assert mapping.dimensionality == 6
+        assert mapping.database_vectors.shape == (len(small_chemical_db), 6)
+
+    def test_with_prebuilt_artifacts(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=5, space=space, delta=delta)
+        assert mapping.dimensionality == 5
+
+    def test_p_capped_at_universe(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=10_000, space=space, delta=delta)
+        assert mapping.dimensionality == space.m
+
+
+class TestMappingFromSelection:
+    def test_empty_selection_rejected(self, setup):
+        space, _db, _delta = setup
+        with pytest.raises(SelectionError):
+            mapping_from_selection(space, [])
+
+    def test_vectors_match_incidence(self, setup):
+        space, _db, _delta = setup
+        sel = [0, 1, 2]
+        mapping = mapping_from_selection(space, sel)
+        assert (mapping.database_vectors == space.incidence[:, sel]).all()
+
+    def test_selected_features_accessor(self, setup):
+        space, _db, _delta = setup
+        mapping = mapping_from_selection(space, [2, 0])
+        feats = mapping.selected_features()
+        assert feats[0] is space.features[2]
+        assert feats[1] is space.features[0]
+
+
+class TestQueryMapping:
+    def test_database_graph_maps_to_own_row(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=6, space=space, delta=delta)
+        vec = mapping.map_query(db[0])
+        assert (vec == mapping.database_vectors[0]).all()
+
+    def test_query_distance_zero_to_itself(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=6, space=space, delta=delta)
+        vec = mapping.map_query(db[4])
+        d = mapping.query_distances(vec[None, :])[0]
+        assert d[4] == pytest.approx(0.0)
+
+    def test_distances_in_unit_interval(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=6, space=space, delta=delta)
+        d = mapping.database_distances()
+        assert (d >= 0).all() and (d <= 1).all()
+
+    def test_map_queries_stacks(self, setup):
+        space, db, delta = setup
+        mapping = build_mapping(db, num_features=6, space=space, delta=delta)
+        stack = mapping.map_queries(db[:3])
+        assert stack.shape == (3, 6)

@@ -1,0 +1,107 @@
+"""Tests for the ranked-list quality measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.measures import (
+    PERFECT_INVERSE_RANK,
+    inverse_rank_distance,
+    kendall_tau_topk,
+    precision_at_k,
+    rank_distance,
+)
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_disjoint(self):
+        assert precision_at_k([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 9]) == 0.5
+
+    def test_order_irrelevant(self):
+        assert precision_at_k([3, 2, 1], [1, 2, 3]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], [1])
+
+
+class TestKendallTau:
+    def test_perfect_ranking_positive(self):
+        tau = kendall_tau_topk([1, 2, 3], [1, 2, 3], database_size=10)
+        assert tau > 0
+
+    def test_perfect_beats_reversed(self):
+        perfect = kendall_tau_topk([1, 2, 3, 4], [1, 2, 3, 4], 20)
+        reversed_ = kendall_tau_topk([4, 3, 2, 1], [1, 2, 3, 4], 20)
+        assert perfect > reversed_
+
+    def test_normalisation_formula(self):
+        # k=2, n=5: perfect list scores 1/(k(2n-k-1)) * Σ...
+        tau = kendall_tau_topk([1, 2], [1, 2], 5)
+        # one concordant pair / (2 * (10-2-1)) = 1/14
+        assert tau == pytest.approx(1 / 14)
+
+    def test_absent_items_handled(self):
+        tau = kendall_tau_topk([8, 9], [1, 2], 10)
+        assert tau >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_topk([], [1], 5)
+
+
+class TestRankDistance:
+    def test_perfect_zero(self):
+        assert rank_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_swap_costs_two(self):
+        # positions (1,2) vs true (2,1): |1-2| + |2-1| = 2, /k = 1
+        assert rank_distance([2, 1], [1, 2]) == 1.0
+
+    def test_absent_item_penalised(self):
+        # item 9 absent from truth => true rank k+1 = 3
+        assert rank_distance([9, 1], [1, 2]) == pytest.approx((2 + 1) / 2)
+
+    def test_inverse_perfect_capped(self):
+        assert inverse_rank_distance([1, 2], [1, 2]) == PERFECT_INVERSE_RANK
+
+    def test_inverse_monotone_in_quality(self):
+        good = inverse_rank_distance([1, 2, 4], [1, 2, 3])
+        bad = inverse_rank_distance([9, 8, 7], [1, 2, 3])
+        assert good > bad
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    perm=st.permutations(list(range(8))),
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_measures_bounded(perm, k):
+    """Property: all measures stay within their documented ranges."""
+    approx = list(perm)[:k]
+    truth = list(range(k))
+    n = 20
+    assert 0.0 <= precision_at_k(approx, truth) <= 1.0
+    assert 0.0 <= kendall_tau_topk(approx, truth, n) <= 1.0
+    assert rank_distance(approx, truth) >= 0.0
+    assert 0.0 < inverse_rank_distance(approx, truth) <= PERFECT_INVERSE_RANK
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=st.integers(min_value=1, max_value=10))
+def test_perfect_ranking_dominates(k):
+    """Property: the identity ranking maximises every measure."""
+    truth = list(range(k))
+    shuffled = list(reversed(truth))
+    assert precision_at_k(truth, truth) >= precision_at_k(shuffled, truth)
+    assert kendall_tau_topk(truth, truth, 30) >= kendall_tau_topk(
+        shuffled, truth, 30
+    )
+    assert inverse_rank_distance(truth, truth) >= inverse_rank_distance(
+        shuffled, truth
+    )

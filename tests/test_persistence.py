@@ -1,0 +1,72 @@
+"""Round-trip tests for mapping persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import build_mapping
+from repro.core.persistence import load_mapping, save_mapping
+from repro.query.topk import MappedTopKEngine
+
+
+@pytest.fixture(scope="module")
+def built_mapping(small_chemical_db):
+    return build_mapping(
+        small_chemical_db, num_features=6, min_support=0.2, max_pattern_edges=3
+    )
+
+
+class TestRoundTrip:
+    def test_vectors_preserved(self, built_mapping, tmp_path):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        restored = load_mapping(path)
+        assert (restored.database_vectors == built_mapping.database_vectors).all()
+        assert restored.dimensionality == built_mapping.dimensionality
+
+    def test_supports_preserved(self, built_mapping, tmp_path):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        restored = load_mapping(path)
+        original = built_mapping.selected_features()
+        for i, feat in enumerate(restored.selected_features()):
+            assert feat.support == original[i].support
+
+    def test_queries_identical_after_reload(
+        self, built_mapping, tmp_path, small_chemical_queries
+    ):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        restored = load_mapping(path)
+        before = MappedTopKEngine(built_mapping)
+        after = MappedTopKEngine(restored)
+        for q in small_chemical_queries:
+            assert before.query(q, 5).ranking == after.query(q, 5).ranking
+
+    def test_version_check(self, built_mapping, tmp_path):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_mapping(path)
+
+    def test_corrupt_supports_detected(self, built_mapping, tmp_path):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        payload = json.loads(path.read_text())
+        payload["feature_supports"] = payload["feature_supports"][:-1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_mapping(path)
+
+    def test_corrupt_vectors_detected(self, built_mapping, tmp_path):
+        path = tmp_path / "index.json"
+        save_mapping(built_mapping, path)
+        payload = json.loads(path.read_text())
+        payload["database_vectors"] = payload["database_vectors"][:-1]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_mapping(path)

@@ -1,0 +1,74 @@
+"""Tests for the Riesen-Bunke prototype embedding baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.prototype import PrototypeEmbedding
+from repro.utils.errors import SelectionError
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        with pytest.raises(SelectionError):
+            PrototypeEmbedding(0)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(SelectionError):
+            PrototypeEmbedding(3, strategy="psychic")
+
+    def test_embed_before_fit_rejected(self, triangle):
+        emb = PrototypeEmbedding(2)
+        with pytest.raises(SelectionError):
+            emb.embed(triangle)
+        with pytest.raises(SelectionError):
+            emb.query(triangle, 3)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SelectionError):
+            PrototypeEmbedding(2).fit([])
+
+
+class TestFitAndEmbed:
+    def test_fit_selects_k_prototypes(self, small_chemical_db):
+        emb = PrototypeEmbedding(4, seed=0).fit(small_chemical_db[:10])
+        assert len(emb.prototypes) == 4
+        assert emb.database_vectors.shape == (10, 4)
+
+    def test_k_capped_at_database(self, small_chemical_db):
+        emb = PrototypeEmbedding(100, seed=0).fit(small_chemical_db[:5])
+        assert len(emb.prototypes) == 5
+
+    def test_prototype_embeds_to_zero_coordinate(self, small_chemical_db):
+        db = small_chemical_db[:8]
+        emb = PrototypeEmbedding(3, seed=1).fit(db)
+        for proto in emb.prototypes:
+            vec = emb.embed(proto)
+            assert min(vec) == pytest.approx(0.0)
+
+    def test_random_strategy(self, small_chemical_db):
+        emb = PrototypeEmbedding(3, strategy="random", seed=2).fit(
+            small_chemical_db[:8]
+        )
+        assert len(emb.prototypes) == 3
+
+    def test_ged_call_accounting(self, small_chemical_db):
+        db = small_chemical_db[:6]
+        emb = PrototypeEmbedding(2, strategy="random", seed=0)
+        emb.fit(db)
+        calls_after_fit = emb.ged_calls
+        assert calls_after_fit == len(db) * 2  # embed_many only
+        emb.embed(small_chemical_db[10])
+        assert emb.ged_calls == calls_after_fit + 2  # k GEDs per query
+
+
+class TestQuery:
+    def test_database_graph_ranks_itself_first(self, small_chemical_db):
+        db = small_chemical_db[:10]
+        emb = PrototypeEmbedding(4, seed=0).fit(db)
+        ranking = emb.query(db[3], k=3)
+        assert ranking[0] == 3  # identical embedding, distance 0
+
+    def test_query_size(self, small_chemical_db):
+        db = small_chemical_db[:10]
+        emb = PrototypeEmbedding(4, seed=0).fit(db)
+        assert len(emb.query(small_chemical_db[12], k=5)) == 5

@@ -1,0 +1,50 @@
+"""Tests for experiment reporting helpers."""
+
+from pathlib import Path
+
+from repro.experiments.reporting import format_table, series_table, write_report
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "-" * len("Title")
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.500" in text
+        assert "0.125" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["x"], [])
+        assert "x" in text
+
+    def test_custom_float_format(self):
+        text = format_table("T", ["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in text
+        assert "1.23" not in text
+
+
+class TestSeriesTable:
+    def test_series_columns(self):
+        text = series_table(
+            "S", "k", [1, 2], {"A": [0.1, 0.2], "B": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        header = lines[2]
+        assert header.split() == ["k", "A", "B"]
+        assert "0.100" in text and "0.400" in text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        write_report("hello\n", tmp_path, "r.txt")
+        assert (tmp_path / "r.txt").read_text() == "hello\n"
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_report("x", target, "r.txt")
+        assert (target / "r.txt").exists()
+
+    def test_none_out_dir_noop(self):
+        write_report("x", None, "r.txt")  # must not raise

@@ -1,0 +1,93 @@
+"""Tests for the exact and mapped top-k engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import build_mapping
+from repro.query.topk import ExactTopKEngine, MappedTopKEngine, rank_with_ties
+from repro.similarity import DissimilarityCache
+from repro.utils.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def mapping(small_chemical_db):
+    return build_mapping(
+        small_chemical_db, num_features=8, min_support=0.2, max_pattern_edges=3
+    )
+
+
+class TestRankWithTies:
+    def test_basic_order(self):
+        ranking, scores = rank_with_ties(np.array([0.3, 0.1, 0.2]), 2)
+        assert ranking == [1, 2]
+        assert scores == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_tie_broken_by_index(self):
+        ranking, _scores = rank_with_ties(np.array([0.5, 0.1, 0.1]), 2)
+        assert ranking == [1, 2]
+
+    def test_k_larger_than_n(self):
+        ranking, _ = rank_with_ties(np.array([0.2, 0.1]), 5)
+        assert len(ranking) == 2
+
+
+class TestExactEngine:
+    def test_self_query_ranks_first(self, small_chemical_db):
+        engine = ExactTopKEngine(small_chemical_db)
+        result = engine.query(small_chemical_db[3], k=5)
+        assert result.ranking[0] == 3
+        assert result.scores[0] == pytest.approx(0.0)
+
+    def test_scores_nondecreasing(self, small_chemical_db):
+        engine = ExactTopKEngine(small_chemical_db)
+        result = engine.query(small_chemical_db[0], k=10)
+        assert result.scores == sorted(result.scores)
+
+    def test_invalid_k(self, small_chemical_db):
+        engine = ExactTopKEngine(small_chemical_db)
+        with pytest.raises(QueryError):
+            engine.query(small_chemical_db[0], k=0)
+
+    def test_query_from_row(self):
+        engine = ExactTopKEngine([])
+        row = np.array([0.4, 0.1, 0.9, 0.2])
+        result = engine.query_from_row(row, k=2)
+        assert result.ranking == [1, 3]
+
+    def test_cache_shared_across_queries(self, small_chemical_db):
+        cache = DissimilarityCache()
+        engine = ExactTopKEngine(small_chemical_db, cache)
+        engine.query(small_chemical_db[0], k=3)
+        misses = cache.misses
+        engine.query(small_chemical_db[0], k=5)  # same pairs, cached
+        assert cache.misses == misses
+
+
+class TestMappedEngine:
+    def test_self_query_distance_zero(self, mapping, small_chemical_db):
+        engine = MappedTopKEngine(mapping)
+        result = engine.query(small_chemical_db[2], k=3)
+        assert 2 in result.ranking[:3]
+        assert min(result.scores) == pytest.approx(0.0)
+
+    def test_timing_breakdown_populated(self, mapping, small_chemical_db):
+        engine = MappedTopKEngine(mapping)
+        result = engine.query(small_chemical_db[0], k=3)
+        assert result.mapping_seconds >= 0.0
+        assert result.search_seconds >= 0.0
+        assert result.total_seconds == pytest.approx(
+            result.mapping_seconds + result.search_seconds
+        )
+
+    def test_query_from_vector_matches_query(self, mapping, small_chemical_db):
+        engine = MappedTopKEngine(mapping)
+        q = small_chemical_db[5]
+        direct = engine.query(q, k=4)
+        vector = mapping.map_query(q)
+        from_vec = engine.query_from_vector(vector, k=4)
+        assert direct.ranking == from_vec.ranking
+
+    def test_k_capped(self, mapping, small_chemical_db):
+        engine = MappedTopKEngine(mapping)
+        result = engine.query(small_chemical_db[0], k=10_000)
+        assert len(result.ranking) == len(small_chemical_db)

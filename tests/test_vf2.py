@@ -1,0 +1,111 @@
+"""Tests for VF2 subgraph isomorphism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LabeledGraph, random_connected_graph
+from repro.isomorphism import count_embeddings, find_embedding, is_subgraph
+from repro.utils.rng import ensure_rng
+
+
+class TestBasicContainment:
+    def test_triangle_in_square_with_diagonal(self, triangle, square_with_diagonal):
+        # the square's diagonal creates triangles, but labels must match:
+        # the triangle has labels a,a,b; the square is all a.
+        assert not is_subgraph(triangle, square_with_diagonal)
+
+    def test_all_a_triangle_in_square_with_diagonal(self, square_with_diagonal):
+        tri = LabeledGraph(["a"] * 3, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        assert is_subgraph(tri, square_with_diagonal)
+
+    def test_graph_contains_itself(self, triangle):
+        assert is_subgraph(triangle, triangle)
+
+    def test_larger_pattern_never_contained(self, triangle, path3):
+        assert not is_subgraph(triangle, path3)  # more edges than target
+
+    def test_path_in_triangle(self, triangle, path3):
+        # path a-a-b is inside triangle a-a-b (non-induced matching)
+        assert is_subgraph(path3, triangle)
+
+    def test_empty_pattern_always_contained(self, triangle):
+        assert is_subgraph(LabeledGraph(), triangle)
+
+    def test_single_vertex_pattern(self, triangle):
+        assert is_subgraph(LabeledGraph(["b"]), triangle)
+        assert not is_subgraph(LabeledGraph(["z"]), triangle)
+
+    def test_edge_label_must_match(self):
+        pattern = LabeledGraph(["a", "a"], [(0, 1, "y")])
+        target = LabeledGraph(["a", "a"], [(0, 1, "x")])
+        assert not is_subgraph(pattern, target)
+
+    def test_disconnected_pattern(self):
+        pattern = LabeledGraph(["a", "b", "c", "d"], [(0, 1, "x"), (2, 3, "x")])
+        target = LabeledGraph(
+            ["a", "b", "c", "d", "e"],
+            [(0, 1, "x"), (2, 3, "x"), (1, 2, "x"), (3, 4, "x")],
+        )
+        assert is_subgraph(pattern, target)
+
+
+class TestEmbeddings:
+    def test_embedding_is_valid_mapping(self, square_with_diagonal):
+        tri = LabeledGraph(["a"] * 3, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        mapping = find_embedding(tri, square_with_diagonal)
+        assert mapping is not None
+        assert len(set(mapping.values())) == 3  # injective
+        for e in tri.edges():
+            assert square_with_diagonal.has_edge(mapping[e.u], mapping[e.v])
+
+    def test_find_embedding_none_when_absent(self, triangle):
+        big = LabeledGraph(["z"] * 5, [(i, i + 1, "x") for i in range(4)])
+        assert find_embedding(triangle, big) is None
+
+    def test_count_embeddings_triangle_in_itself(self):
+        tri = LabeledGraph(["a"] * 3, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        # 3! orderings of an unlabeled triangle
+        assert count_embeddings(tri, tri) == 6
+
+    def test_count_embeddings_with_limit(self):
+        tri = LabeledGraph(["a"] * 3, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        assert count_embeddings(tri, tri, limit=2) == 2
+
+
+def brute_force_subgraph(pattern, target) -> bool:
+    """Exhaustive monomorphism check for cross-validation."""
+    from itertools import permutations
+
+    pv = list(range(pattern.num_vertices))
+    tv = list(range(target.num_vertices))
+    if len(pv) > len(tv):
+        return False
+    for image in permutations(tv, len(pv)):
+        mapping = dict(zip(pv, image))
+        if any(
+            pattern.vertex_label(v) != target.vertex_label(mapping[v]) for v in pv
+        ):
+            continue
+        ok = True
+        for e in pattern.edges():
+            tu, tw = mapping[e.u], mapping[e.v]
+            if not target.has_edge(tu, tw) or target.edge_label(tu, tw) != e.label:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_vf2_agrees_with_brute_force(seed):
+    """Property: VF2 matches exhaustive search on small random pairs."""
+    rng = ensure_rng(seed)
+    pv = int(rng.integers(2, 5))
+    pe = int(rng.integers(pv - 1, pv * (pv - 1) // 2 + 1))
+    tvn = int(rng.integers(3, 7))
+    te = int(rng.integers(tvn - 1, tvn * (tvn - 1) // 2 + 1))
+    pattern = random_connected_graph(pv, pe, num_vertex_labels=2, seed=rng)
+    target = random_connected_graph(tvn, te, num_vertex_labels=2, seed=rng)
+    assert is_subgraph(pattern, target) == brute_force_subgraph(pattern, target)
