@@ -28,7 +28,7 @@ from repro.datasets import (
 from repro.features import FeatureSpace
 from repro.graph import LabeledGraph
 from repro.mining import FrequentSubgraph, mine_frequent_subgraphs
-from repro.query import ExactTopKEngine, MappedTopKEngine
+from repro.query import ExactTopKEngine, MappedTopKEngine, QueryEngine
 from repro.similarity import DissimilarityCache, delta1, delta2
 
 __version__ = "1.0.0"
@@ -44,6 +44,7 @@ __all__ = [
     "FrequentSubgraph",
     "LabeledGraph",
     "MappedTopKEngine",
+    "QueryEngine",
     "build_mapping",
     "chemical_database",
     "chemical_query_set",

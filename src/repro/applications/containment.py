@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.features.binary_matrix import FeatureSpace
 from repro.graph.labeled_graph import LabeledGraph
-from repro.isomorphism.vf2 import is_subgraph
+from repro.isomorphism.vf2 import PatternProfile, TargetProfile, is_subgraph
 
 
 @dataclass
@@ -67,20 +67,26 @@ class ContainmentIndex:
 
     def query(self, pattern: LabeledGraph) -> ContainmentAnswer:
         """All database graphs containing *pattern* (filter + VF2 verify)."""
-        # Features contained in the pattern prune the candidate set.
+        # Features contained in the pattern prune the candidate set.  One
+        # TargetProfile serves every feature match against the pattern,
+        # one PatternProfile every verification of the pattern.
+        target_profile = TargetProfile(pattern)
         contained = [
             r
             for r in self.selected
-            if is_subgraph(self.space.features[r].graph, pattern)
+            if is_subgraph(self.space.features[r].graph, pattern, target_profile)
         ]
         candidates = np.ones(self.space.n, dtype=bool)
         for r in contained:
             candidates &= self.space.incidence[:, r].astype(bool)
 
+        pattern_profile = PatternProfile(pattern)
         answers = [
             int(i)
             for i in np.flatnonzero(candidates)
-            if is_subgraph(pattern, self.database[i])
+            if is_subgraph(
+                pattern, self.database[i], pattern_profile=pattern_profile
+            )
         ]
         return ContainmentAnswer(
             answers=answers,
@@ -90,6 +96,9 @@ class ContainmentIndex:
 
     def query_scan(self, pattern: LabeledGraph) -> List[int]:
         """Reference answer without filtering (full VF2 scan)."""
+        pattern_profile = PatternProfile(pattern)
         return [
-            i for i, g in enumerate(self.database) if is_subgraph(pattern, g)
+            i
+            for i, g in enumerate(self.database)
+            if is_subgraph(pattern, g, pattern_profile=pattern_profile)
         ]

@@ -55,7 +55,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.mapping import build_mapping
     from repro.datasets import chemical_database, chemical_query_set
-    from repro.query.topk import ExactTopKEngine, MappedTopKEngine
+    from repro.query.topk import ExactTopKEngine
 
     print(f"generating {args.db_size} molecule-like graphs ...")
     db = chemical_database(args.db_size, seed=args.seed)
@@ -74,18 +74,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"({mapping.dimensionality} dimensions out of {mapping.space.m} mined)"
     )
 
-    engine = MappedTopKEngine(mapping)
+    engine = mapping.query_engine()
+    print(
+        f"  feature lattice: {engine.lattice.num_edges} containment pairs "
+        f"({engine.lattice.vf2_checks} offline VF2 checks)"
+    )
     exact = ExactTopKEngine(db)
     q = queries[0]
     result = engine.query(q, args.k)
     truth = exact.query(q, args.k)
     print(f"query {q.graph_id}: |V|={q.num_vertices} |E|={q.num_edges}")
     print(f"  mapped  top-{args.k}: {[db[i].graph_id for i in result.ranking]}")
-    print(f"          in {result.total_seconds * 1e3:.2f} ms")
+    print(
+        f"          in {result.total_seconds * 1e3:.2f} ms "
+        f"({engine.stats.vf2_calls} VF2 calls, "
+        f"{engine.stats.features_pruned} lattice-pruned)"
+    )
     print(f"  exact   top-{args.k}: {[db[i].graph_id for i in truth.ranking]}")
     print(f"          in {truth.total_seconds * 1e3:.2f} ms")
     overlap = len(set(result.ranking) & set(truth.ranking))
     print(f"  precision: {overlap}/{args.k}")
+    return 0
+
+
+def _cmd_bench_queries(args: argparse.Namespace) -> int:
+    """Naive per-feature VF2 path vs the lattice-pruned engine, in q/s."""
+    from repro.query.bench import run_query_engine_bench
+
+    try:
+        result = run_query_engine_bench(
+            db_size=args.db_size,
+            query_count=args.queries,
+            num_features=args.num_features,
+            k=args.k,
+            seed=args.seed,
+            batch_sizes=tuple(args.batch_sizes),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result["report"])
     return 0
 
 
@@ -116,6 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--k", type=int, default=5)
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(func=_cmd_demo)
+
+    bench = sub.add_parser(
+        "bench-queries",
+        help="measure naive vs lattice-pruned query throughput (q/s)",
+    )
+    bench.add_argument("--db-size", type=int, default=60)
+    bench.add_argument("--queries", type=int, default=64)
+    bench.add_argument("--num-features", type=int, default=30)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 16, 64]
+    )
+    bench.set_defaults(func=_cmd_bench_queries)
     return parser
 
 

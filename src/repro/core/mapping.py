@@ -15,6 +15,7 @@ distance ``d(y_i, y_j) = sqrt((1/p) Σ (y_ir − y_jr)²) ∈ [0, 1]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -71,6 +72,16 @@ class DSPreservedMapping:
     # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
+    @cached_property
+    def database_sq_norms(self) -> np.ndarray:
+        """Per-row squared norms of ``database_vectors``, computed once.
+
+        The database side of every cross-distance call is fixed for the
+        life of the mapping, so its squared norms are cached here instead
+        of being recomputed inside every query.
+        """
+        return (self.database_vectors**2).sum(axis=1)
+
     def database_distances(self) -> np.ndarray:
         """All-pairs mapped distance among database graphs."""
         return normalized_euclidean_distances(self.database_vectors)
@@ -78,8 +89,28 @@ class DSPreservedMapping:
     def query_distances(self, query_vectors: np.ndarray) -> np.ndarray:
         """Mapped distances of query vectors against the database."""
         return cross_normalized_euclidean_distances(
-            query_vectors, self.database_vectors
+            query_vectors,
+            self.database_vectors,
+            right_sq_norms=self.database_sq_norms,
         )
+
+    # ------------------------------------------------------------------
+    # query engine
+    # ------------------------------------------------------------------
+    @cached_property
+    def _query_engine(self) -> "QueryEngine":
+        from repro.query.engine import QueryEngine
+
+        return QueryEngine(self)
+
+    def query_engine(self) -> "QueryEngine":
+        """The lattice-pruned :class:`~repro.query.engine.QueryEngine`.
+
+        Built lazily on first use (the containment lattice costs a batch
+        of pattern-vs-pattern VF2 calls) and cached for the life of the
+        mapping.
+        """
+        return self._query_engine
 
 
 def build_mapping(

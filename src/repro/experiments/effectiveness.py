@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.mapping import mapping_from_selection
 from repro.experiments.harness import (
     Scale,
     evaluate_selector,
@@ -76,7 +77,12 @@ def run_effectiveness(
 
     *benchmark* is ``"fingerprint"`` (chemical) or ``"best"`` (synthetic).
     """
-    query_vectors_full = space.embed_queries(queries)
+    # Embed the queries over the whole universe once, through the
+    # lattice-pruned engine (identical vectors to the naive
+    # ``space.embed_queries``, a fraction of the VF2 calls); every
+    # selector's query vectors are then column slices of this matrix.
+    full_mapping = mapping_from_selection(space, list(range(space.m)))
+    query_vectors_full = full_mapping.query_engine().embed_many(queries)
     evaluations = []
     for selector in make_selectors(scale_cfg, seed, include=algorithms):
         evaluations.append(

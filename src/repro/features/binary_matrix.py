@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.graph.labeled_graph import LabeledGraph
-from repro.isomorphism.vf2 import is_subgraph
+from repro.isomorphism.vf2 import TargetProfile, is_subgraph
 from repro.mining.gspan import FrequentSubgraph
 from repro.utils.errors import SelectionError
 
@@ -86,15 +86,21 @@ class FeatureSpace:
         self,
         query: LabeledGraph,
         selected: Optional[Sequence[int]] = None,
+        profile: Optional[TargetProfile] = None,
     ) -> np.ndarray:
         """The binary vector of an unseen *query* graph.
 
-        Each selected feature is matched against the query with VF2.
+        Each selected feature is matched against the query with VF2.  The
+        query's invariants (label histograms, degree sequence, label
+        buckets) are computed once per call and shared across all feature
+        matches; pass *profile* to share them across calls too.
         """
         indices = list(range(self.m)) if selected is None else list(selected)
+        if profile is None:
+            profile = TargetProfile(query)
         vector = np.zeros(len(indices), dtype=float)
         for out_pos, r in enumerate(indices):
-            if is_subgraph(self.features[r].graph, query):
+            if is_subgraph(self.features[r].graph, query, profile):
                 vector[out_pos] = 1.0
         return vector
 
@@ -133,15 +139,27 @@ def normalized_euclidean_distances(vectors: np.ndarray) -> np.ndarray:
 
 
 def cross_normalized_euclidean_distances(
-    left: np.ndarray, right: np.ndarray
+    left: np.ndarray,
+    right: np.ndarray,
+    right_sq_norms: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Normalised Euclidean distances between two vector collections."""
+    """Normalised Euclidean distances between two vector collections.
+
+    *right_sq_norms* — the precomputed per-row squared norms of *right* —
+    lets a caller that queries a fixed database repeatedly (the online
+    top-k path) skip recomputing them on every call.
+    """
     if left.shape[1] != right.shape[1]:
         raise ValueError("dimension mismatch between embeddings")
     p = left.shape[1]
     if p == 0:
         return np.zeros((left.shape[0], right.shape[0]))
     sq_l = (left**2).sum(axis=1)
-    sq_r = (right**2).sum(axis=1)
+    if right_sq_norms is None:
+        sq_r = (right**2).sum(axis=1)
+    else:
+        sq_r = np.asarray(right_sq_norms, dtype=float)
+        if sq_r.shape != (right.shape[0],):
+            raise ValueError("right_sq_norms shape does not match right")
     d2 = np.maximum(sq_l[:, None] + sq_r[None, :] - 2 * left @ right.T, 0.0)
     return np.sqrt(d2 / p)

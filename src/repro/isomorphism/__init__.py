@@ -1,9 +1,15 @@
 """Subgraph isomorphism (VF2) and maximum common subgraph computation."""
 
-from repro.isomorphism.vf2 import is_subgraph, find_embedding, count_embeddings
+from repro.isomorphism.vf2 import (
+    TargetProfile,
+    count_embeddings,
+    find_embedding,
+    is_subgraph,
+)
 from repro.isomorphism.mcs import mcs_edge_count, MCSResult, maximum_common_subgraph
 
 __all__ = [
+    "TargetProfile",
     "is_subgraph",
     "find_embedding",
     "count_embeddings",

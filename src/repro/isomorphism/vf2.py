@@ -16,31 +16,143 @@ pruning:
 * a degree look-ahead (a pattern vertex cannot map to a target vertex of
   smaller degree),
 * a global label-multiset pre-check before search starts.
+
+When the same target is matched against many patterns (feature matching
+at query time), the per-target invariants — label histograms, degree
+sequence, label buckets — can be computed once in a :class:`TargetProfile`
+and passed to :func:`is_subgraph` / :func:`find_embedding`, instead of
+being rebuilt inside every call.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterator, List, Optional
 
 from repro.graph.labeled_graph import LabeledGraph
 
 
-def _label_counts_ok(pattern: LabeledGraph, target: LabeledGraph) -> bool:
-    """Cheap necessary condition: target must cover pattern's label counts."""
+class TargetProfile:
+    """Precomputed match-target invariants, shared across many patterns.
+
+    Holds the target's vertex-label histogram, edge-label histogram,
+    descending degree sequence, and per-label vertex buckets.  All four
+    are pure functions of the target, so one profile serves every
+    pattern matched against it — the per-query cache of the online path.
+    """
+
+    __slots__ = (
+        "target",
+        "num_vertices",
+        "num_edges",
+        "vertex_label_counts",
+        "edge_label_counts",
+        "degrees_desc",
+        "by_label",
+    )
+
+    def __init__(self, target: LabeledGraph) -> None:
+        self.target = target
+        self.num_vertices = target.num_vertices
+        self.num_edges = target.num_edges
+        vcounts: Dict[object, int] = {}
+        by_label: Dict[object, List[int]] = {}
+        degrees: List[int] = []
+        for v in range(target.num_vertices):
+            lab = target.vertex_label(v)
+            vcounts[lab] = vcounts.get(lab, 0) + 1
+            by_label.setdefault(lab, []).append(v)
+            degrees.append(target.degree(v))
+        ecounts: Dict[object, int] = {}
+        for e in target.edges():
+            ecounts[e.label] = ecounts.get(e.label, 0) + 1
+        self.vertex_label_counts = vcounts
+        self.edge_label_counts = ecounts
+        self.degrees_desc = sorted(degrees, reverse=True)
+        self.by_label = by_label
+
+
+class PatternProfile:
+    """Precomputed pattern-side invariants plus the VF2 search order.
+
+    The counterpart of :class:`TargetProfile` for the other side of the
+    match: when one pattern is matched against many targets (a feature
+    across a query stream), its label histograms, degree sequence, and
+    search order are pure functions of the pattern and can be computed
+    once at index-build time.
+    """
+
+    __slots__ = (
+        "pattern",
+        "num_vertices",
+        "num_edges",
+        "vertex_label_counts",
+        "edge_label_counts",
+        "degrees_desc",
+        "search_order",
+    )
+
+    def __init__(self, pattern: LabeledGraph) -> None:
+        self.pattern = pattern
+        self.num_vertices = pattern.num_vertices
+        self.num_edges = pattern.num_edges
+        vcounts: Dict[object, int] = {}
+        degrees: List[int] = []
+        for v in range(pattern.num_vertices):
+            lab = pattern.vertex_label(v)
+            vcounts[lab] = vcounts.get(lab, 0) + 1
+            degrees.append(pattern.degree(v))
+        ecounts: Dict[object, int] = {}
+        for e in pattern.edges():
+            ecounts[e.label] = ecounts.get(e.label, 0) + 1
+        self.vertex_label_counts = vcounts
+        self.edge_label_counts = ecounts
+        self.degrees_desc = sorted(degrees, reverse=True)
+        self.search_order = _search_order(pattern)
+
+
+def _profile_for(
+    target: LabeledGraph, profile: Optional[TargetProfile]
+) -> TargetProfile:
+    if profile is None:
+        return TargetProfile(target)
+    if profile.target is not target:
+        raise ValueError("TargetProfile was built for a different target graph")
+    return profile
+
+
+def _pattern_profile_for(
+    pattern: LabeledGraph, profile: Optional[PatternProfile]
+) -> PatternProfile:
+    if profile is None:
+        return PatternProfile(pattern)
+    if profile.pattern is not pattern:
+        raise ValueError("PatternProfile was built for a different pattern")
+    return profile
+
+
+def _label_counts_ok(pattern: PatternProfile, target: TargetProfile) -> bool:
+    """Cheap necessary conditions: the target must dominate the pattern's
+    size, label histograms, and degree sequence."""
     if pattern.num_vertices > target.num_vertices:
         return False
     if pattern.num_edges > target.num_edges:
         return False
-    counts: Dict[object, int] = {}
-    for v in range(target.num_vertices):
-        lab = target.vertex_label(v)
-        counts[lab] = counts.get(lab, 0) + 1
-    for v in range(pattern.num_vertices):
-        lab = pattern.vertex_label(v)
-        remaining = counts.get(lab, 0)
-        if remaining == 0:
+    target_vcounts = target.vertex_label_counts
+    for lab, need in pattern.vertex_label_counts.items():
+        if target_vcounts.get(lab, 0) < need:
             return False
-        counts[lab] = remaining - 1
+    target_ecounts = target.edge_label_counts
+    for lab, need in pattern.edge_label_counts.items():
+        if target_ecounts.get(lab, 0) < need:
+            return False
+    # Degree-sequence dominance: the i-th largest pattern degree must not
+    # exceed the i-th largest target degree (Hall's condition for the
+    # nested "degree >= d" candidate sets).
+    target_degrees = target.degrees_desc
+    for i, d in enumerate(pattern.degrees_desc):
+        if target_degrees[i] < d:
+            return False
     return True
 
 
@@ -50,12 +162,26 @@ def _search_order(pattern: LabeledGraph) -> List[int]:
     Starting from the highest-degree vertex and always extending along
     edges keeps the partial mapping connected, which makes the neighbor
     consistency check maximally restrictive early.
+
+    The frontier is maintained incrementally as a max-heap keyed by
+    (degree, smallest id): each vertex is pushed at most once when it
+    first becomes reachable, so building the order is O(E log V) instead
+    of the O(V²) full-rebuild per step.
     """
     n = pattern.num_vertices
     if n == 0:
         return []
     visited = [False] * n
+    in_frontier = [False] * n
     order: List[int] = []
+    heap: List[tuple] = []
+
+    def push_neighbors(v: int) -> None:
+        for w in pattern.neighbors(v):
+            if not visited[w] and not in_frontier[w]:
+                in_frontier[w] = True
+                heapq.heappush(heap, (-pattern.degree(w), w))
+
     while len(order) < n:
         # Seed each component with its highest-degree unvisited vertex.
         seed = max(
@@ -64,38 +190,37 @@ def _search_order(pattern: LabeledGraph) -> List[int]:
         )
         visited[seed] = True
         order.append(seed)
-        frontier = [w for w in pattern.neighbors(seed) if not visited[w]]
-        while frontier:
-            nxt = max(frontier, key=lambda v: pattern.degree(v))
+        push_neighbors(seed)
+        while heap:
+            _, nxt = heapq.heappop(heap)
+            in_frontier[nxt] = False
             visited[nxt] = True
             order.append(nxt)
-            frontier = [
-                w
-                for u in order
-                for w in pattern.neighbors(u)
-                if not visited[w]
-            ]
+            push_neighbors(nxt)
     return order
 
 
 def _embeddings(
-    pattern: LabeledGraph, target: LabeledGraph
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    profile: Optional[TargetProfile] = None,
+    pattern_profile: Optional[PatternProfile] = None,
 ) -> Iterator[Dict[int, int]]:
     """Yield injective label-preserving embeddings of pattern into target."""
     if pattern.num_vertices == 0:
         yield {}
         return
-    if not _label_counts_ok(pattern, target):
+    profile = _profile_for(target, profile)
+    pattern_profile = _pattern_profile_for(pattern, pattern_profile)
+    if not _label_counts_ok(pattern_profile, profile):
         return
 
-    order = _search_order(pattern)
+    order = pattern_profile.search_order
     mapping: Dict[int, int] = {}
     used = [False] * target.num_vertices
 
-    # Pre-bucket target vertices by label for candidate generation.
-    by_label: Dict[object, List[int]] = {}
-    for v in range(target.num_vertices):
-        by_label.setdefault(target.vertex_label(v), []).append(v)
+    # Target vertices bucketed by label, from the (possibly shared) profile.
+    by_label = profile.by_label
 
     def candidates(pv: int) -> Iterator[int]:
         """Target candidates for pattern vertex *pv* under current mapping."""
@@ -144,25 +269,43 @@ def _embeddings(
 
 
 def find_embedding(
-    pattern: LabeledGraph, target: LabeledGraph
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    profile: Optional[TargetProfile] = None,
+    pattern_profile: Optional[PatternProfile] = None,
 ) -> Optional[Dict[int, int]]:
     """The first embedding of *pattern* in *target*, or ``None``."""
-    for mapping in _embeddings(pattern, target):
+    for mapping in _embeddings(pattern, target, profile, pattern_profile):
         return mapping
     return None
 
 
-def is_subgraph(pattern: LabeledGraph, target: LabeledGraph) -> bool:
-    """``True`` iff *pattern* is subgraph-isomorphic to *target*."""
-    return find_embedding(pattern, target) is not None
+def is_subgraph(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    profile: Optional[TargetProfile] = None,
+    pattern_profile: Optional[PatternProfile] = None,
+) -> bool:
+    """``True`` iff *pattern* is subgraph-isomorphic to *target*.
+
+    Pass a :class:`TargetProfile` of *target* (resp. a
+    :class:`PatternProfile` of *pattern*) to amortise the invariant
+    computation across many patterns matched against the same target
+    (resp. many targets matched by the same pattern).
+    """
+    return find_embedding(pattern, target, profile, pattern_profile) is not None
 
 
 def count_embeddings(
-    pattern: LabeledGraph, target: LabeledGraph, limit: Optional[int] = None
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: Optional[int] = None,
+    profile: Optional[TargetProfile] = None,
+    pattern_profile: Optional[PatternProfile] = None,
 ) -> int:
     """Count embeddings of *pattern* in *target* (capped at *limit*)."""
     count = 0
-    for _ in _embeddings(pattern, target):
+    for _ in _embeddings(pattern, target, profile, pattern_profile):
         count += 1
         if limit is not None and count >= limit:
             break

@@ -1,6 +1,12 @@
 """Top-k similarity query engines and ranked-list quality measures."""
 
 from repro.query.topk import ExactTopKEngine, MappedTopKEngine, TopKResult
+from repro.query.engine import (
+    BatchQueryResult,
+    EngineStats,
+    FeatureLattice,
+    QueryEngine,
+)
 from repro.query.measures import (
     inverse_rank_distance,
     kendall_tau_topk,
@@ -9,8 +15,12 @@ from repro.query.measures import (
 )
 
 __all__ = [
+    "BatchQueryResult",
+    "EngineStats",
     "ExactTopKEngine",
+    "FeatureLattice",
     "MappedTopKEngine",
+    "QueryEngine",
     "TopKResult",
     "precision_at_k",
     "kendall_tau_topk",

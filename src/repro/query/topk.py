@@ -63,9 +63,29 @@ def _check_k(k: int, n: int) -> int:
 
 
 def rank_with_ties(values: np.ndarray, k: int) -> Tuple[List[int], List[float]]:
-    """Smallest-k indices of *values* with (value, index) tie-breaking."""
-    order = np.lexsort((np.arange(len(values)), values))
-    top = order[:k]
+    """Smallest-k indices of *values* with (value, index) tie-breaking.
+
+    For ``k < n`` an ``argpartition`` narrows the array to the top-k
+    candidates first, so large databases cost O(n + k log k) instead of
+    the O(n log n) full sort.  Ties at the k-th value are resolved by
+    ascending index, identically to the full-lexsort path.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if k <= 0 or n == 0:
+        return [], []
+    candidates = None
+    if k < n:
+        part = np.argpartition(values, k - 1)
+        threshold = values[part[k - 1]]
+        if not np.isnan(threshold):
+            below = np.flatnonzero(values < threshold)
+            equal = np.flatnonzero(values == threshold)[: k - below.size]
+            candidates = np.concatenate((below, equal))
+    if candidates is None:
+        candidates = np.arange(n)
+    order = np.lexsort((candidates, values[candidates]))
+    top = candidates[order[:k]]
     return [int(i) for i in top], [float(values[i]) for i in top]
 
 

@@ -1,0 +1,298 @@
+"""Equivalence and property tests for the lattice-pruned query engine.
+
+The engine's contract is *bit-identical results at lower cost*, so
+nearly every test here compares an optimised path against its naive
+reference: lattice-pruned embedding vs per-feature VF2, partitioned
+top-k vs full lexsort, profile-carrying VF2 vs profile-free, fused DSPM
+iterates vs the literal kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dspm import DSPM
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import (
+    FeatureSpace,
+    cross_normalized_euclidean_distances,
+)
+from repro.graph.generators import graphgen_database
+from repro.isomorphism.vf2 import (
+    PatternProfile,
+    TargetProfile,
+    _search_order,
+    is_subgraph,
+)
+from repro.mining import mine_frequent_subgraphs
+from repro.query.engine import FeatureLattice, QueryEngine
+from repro.query.topk import MappedTopKEngine, rank_with_ties
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = synthetic_database(40, avg_edges=16, density=0.3, num_labels=5, seed=3)
+    queries = synthetic_query_set(
+        50, avg_edges=16, density=0.3, num_labels=5, seed=99
+    )
+    features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+    space = FeatureSpace(features, len(db))
+    return db, queries, space
+
+
+@pytest.fixture(scope="module")
+def selected_mapping(setup):
+    _db, _queries, space = setup
+    # A deterministic mid-support selection (mimics DSPM's preference).
+    s = space.support_counts
+    score = s * (space.n - s)
+    order = np.lexsort((np.arange(space.m), -score))
+    return mapping_from_selection(space, [int(r) for r in order[:20]])
+
+
+@pytest.fixture(scope="module")
+def full_mapping(setup):
+    _db, _queries, space = setup
+    return mapping_from_selection(space, list(range(space.m)))
+
+
+class TestLattice:
+    def test_ancestors_are_contained(self, selected_mapping):
+        engine = selected_mapping.query_engine()
+        lattice = engine.lattice
+        for r, anc in enumerate(lattice.ancestors):
+            for a in anc:
+                assert is_subgraph(engine.patterns[a], engine.patterns[r])
+
+    def test_descendants_transpose_ancestors(self, selected_mapping):
+        lattice = selected_mapping.query_engine().lattice
+        pairs = {(a, r) for r, anc in enumerate(lattice.ancestors) for a in anc}
+        transposed = {
+            (r, d) for r, desc in enumerate(lattice.descendants) for d in desc
+        }
+        assert pairs == transposed
+        assert lattice.num_edges == len(pairs)
+
+    def test_order_is_smallest_first_permutation(self, full_mapping):
+        engine = full_mapping.query_engine()
+        order = list(engine.lattice.order)
+        assert sorted(order) == list(range(len(engine.patterns)))
+        sizes = [engine.patterns[r].num_edges for r in order]
+        assert sizes == sorted(sizes)
+
+    def test_transitivity_shortcut_skips_checks(self, full_mapping):
+        lattice = full_mapping.query_engine().lattice
+        p = len(lattice.ancestors)
+        # Worst case is one VF2 per ordered size-compatible pair; the
+        # shortcut must have skipped at least the closed triangles.
+        assert lattice.vf2_checks < p * (p - 1) // 2 + p
+
+
+class TestEmbeddingEquivalence:
+    def test_engine_equals_naive_on_50_queries(self, setup, selected_mapping):
+        _db, queries, space = setup
+        engine = selected_mapping.query_engine()
+        for q in queries:
+            naive = space.embed_query(q, selected_mapping.selected)
+            assert np.array_equal(engine.embed(q), naive)
+
+    def test_engine_equals_naive_full_universe(self, setup, full_mapping):
+        _db, queries, space = setup
+        engine = full_mapping.query_engine()
+        vectors = engine.embed_many(queries)
+        assert np.array_equal(vectors, space.embed_queries(queries))
+
+    def test_pivot_engine_is_also_exact(self, setup, selected_mapping):
+        _db, queries, _space = setup
+        pivoted = QueryEngine(selected_mapping, use_pivots=True)
+        plain = selected_mapping.query_engine()
+        for q in queries[:20]:
+            assert np.array_equal(pivoted.embed(q), plain.embed(q))
+        assert len(pivoted.patterns) >= len(plain.patterns)
+
+    def test_pruning_saves_vf2_calls(self, setup, full_mapping):
+        _db, queries, space = setup
+        engine = QueryEngine(full_mapping)
+        engine.embed_many(queries)
+        assert engine.stats.vf2_calls < engine.stats.queries * space.m
+        assert engine.stats.features_pruned > 0
+
+    def test_empty_batch(self, selected_mapping):
+        engine = selected_mapping.query_engine()
+        vectors = engine.embed_many([])
+        assert vectors.shape == (0, selected_mapping.dimensionality)
+
+
+class TestQueryEquivalence:
+    def test_single_query_matches_naive_engine(self, setup, selected_mapping):
+        db, queries, _space = setup
+        naive = MappedTopKEngine(selected_mapping)
+        engine = selected_mapping.query_engine()
+        for q in queries[:25]:
+            a = naive.query(q, 7)
+            b = engine.query(q, 7)
+            assert a.ranking == b.ranking
+            assert a.scores == b.scores
+
+    def test_batch_query_matches_naive_engine(self, setup, selected_mapping):
+        _db, queries, _space = setup
+        naive = MappedTopKEngine(selected_mapping)
+        engine = selected_mapping.query_engine()
+        batch = engine.batch_query(queries, 5)
+        assert len(batch) == len(queries)
+        for q, res in zip(queries, batch):
+            ref = naive.query(q, 5)
+            assert ref.ranking == res.ranking
+            assert ref.scores == res.scores
+        assert batch.query_vectors.shape == (
+            len(queries),
+            selected_mapping.dimensionality,
+        )
+        assert batch.total_seconds == pytest.approx(
+            batch.mapping_seconds + batch.search_seconds
+        )
+
+    def test_query_engine_is_cached_on_mapping(self, selected_mapping):
+        assert selected_mapping.query_engine() is selected_mapping.query_engine()
+
+
+class TestRankWithTies:
+    @staticmethod
+    def _reference(values, k):
+        order = np.lexsort((np.arange(len(values)), values))
+        top = order[:k]
+        return [int(i) for i in top], [float(values[i]) for i in top]
+
+    def test_matches_full_lexsort_on_tie_heavy_arrays(self):
+        rng = np.random.default_rng(0)
+        for trial in range(50):
+            n = int(rng.integers(1, 200))
+            # Few distinct values => many ties, including at the boundary.
+            values = rng.integers(0, 4, size=n).astype(float) / 3.0
+            k = int(rng.integers(1, n + 1))
+            assert rank_with_ties(values, k) == self._reference(values, k)
+
+    def test_k_zero_and_empty(self):
+        assert rank_with_ties(np.array([1.0, 2.0]), 0) == ([], [])
+        assert rank_with_ties(np.array([]), 3) == ([], [])
+
+    def test_nan_values_rank_last(self):
+        values = np.array([0.5, np.nan, 0.1, np.nan])
+        ranking, scores = rank_with_ties(values, 3)
+        ref_ranking, ref_scores = self._reference(values, 3)
+        assert ranking == ref_ranking
+        assert scores == pytest.approx(ref_scores, nan_ok=True)
+
+
+class TestProfiles:
+    def test_profiled_is_subgraph_equals_plain(self):
+        graphs = graphgen_database(12, avg_edges=8, num_labels=3, seed=5)
+        for pattern in graphs[:4]:
+            pp = PatternProfile(pattern)
+            for target in graphs:
+                tp = TargetProfile(target)
+                assert is_subgraph(pattern, target, tp, pp) == is_subgraph(
+                    pattern, target
+                )
+
+    def test_mismatched_profiles_raise(self, setup):
+        db, _queries, _space = setup
+        with pytest.raises(ValueError):
+            is_subgraph(db[0], db[1], TargetProfile(db[2]))
+        with pytest.raises(ValueError):
+            is_subgraph(db[0], db[1], None, PatternProfile(db[2]))
+
+    def test_search_order_is_connected_permutation(self):
+        graphs = graphgen_database(10, avg_edges=12, num_labels=3, seed=11)
+        for g in graphs:
+            order = _search_order(g)
+            assert sorted(order) == list(range(g.num_vertices))
+            # A vertex with no earlier neighbor starts a new component;
+            # every other vertex must extend the visited set along an
+            # edge.  Exactly one seed per connected component.
+            seen = set()
+            seeds = 0
+            for v in order:
+                if not any(w in seen for w in g.neighbors(v)):
+                    seeds += 1
+                seen.add(v)
+            assert seeds == len(g.connected_components())
+
+
+class TestDistanceCaching:
+    def test_precomputed_norms_identical(self):
+        rng = np.random.default_rng(1)
+        left = (rng.random((7, 13)) < 0.5).astype(float)
+        right = (rng.random((9, 13)) < 0.5).astype(float)
+        plain = cross_normalized_euclidean_distances(left, right)
+        cached = cross_normalized_euclidean_distances(
+            left, right, right_sq_norms=(right**2).sum(axis=1)
+        )
+        assert np.array_equal(plain, cached)
+
+    def test_bad_norms_shape_raises(self):
+        left = np.zeros((2, 3))
+        right = np.zeros((4, 3))
+        with pytest.raises(ValueError):
+            cross_normalized_euclidean_distances(
+                left, right, right_sq_norms=np.zeros(5)
+            )
+
+    def test_mapping_caches_sq_norms(self, selected_mapping):
+        first = selected_mapping.database_sq_norms
+        assert selected_mapping.database_sq_norms is first
+        assert np.array_equal(
+            first, (selected_mapping.database_vectors**2).sum(axis=1)
+        )
+
+
+class TestFusedDSPM:
+    @pytest.fixture(scope="class")
+    def matrix_setup(self):
+        rng = np.random.default_rng(7)
+        Y = (rng.random((12, 18)) < 0.45).astype(float)
+        delta = np.abs(rng.normal(size=(12, 12)))
+        delta = (delta + delta.T) / 2
+        np.fill_diagonal(delta, 0.0)
+        return Y, delta
+
+    def test_histories_agree_across_all_kernels(self, matrix_setup):
+        Y, delta = matrix_setup
+        histories = {
+            kernel: DSPM(4, max_iterations=5, tolerance=0.0, kernel=kernel)
+            .fit_matrix(Y, delta)
+            .objective_history
+            for kernel in ("numpy", "inverted", "naive")
+        }
+        assert np.allclose(histories["numpy"], histories["inverted"])
+        assert np.allclose(histories["numpy"], histories["naive"])
+
+    def test_fused_kernel_counts_one_distance_per_iterate(self, matrix_setup):
+        Y, delta = matrix_setup
+        result = DSPM(4, max_iterations=5, tolerance=0.0).fit_matrix(Y, delta)
+        assert result.distance_evaluations == result.iterations + 1
+
+    def test_literal_kernels_count_two_per_iterate(self, matrix_setup):
+        Y, delta = matrix_setup
+        for kernel in ("inverted", "naive"):
+            result = DSPM(
+                4, max_iterations=3, tolerance=0.0, kernel=kernel
+            ).fit_matrix(Y, delta)
+            assert result.distance_evaluations == 2 * result.iterations + 1
+
+    def test_fused_matches_unfused_reference_loop(self, matrix_setup):
+        """Replay the pre-fusion loop (separate objective / transform
+        distance computations) and demand the exact same trajectory."""
+        Y, delta = matrix_setup
+        n, m = Y.shape
+        support = Y.sum(axis=0)
+        c = np.full(m, 1.0 / np.sqrt(m))
+        Z = Y * c
+        history = [DSPM._objective_numpy(Y, c, Z, delta)]
+        for _ in range(4):
+            xbar = DSPM._xbar_numpy(Z, delta)
+            c = DSPM._c_numpy(Y, xbar, support, n)
+            Z = Y * c
+            history.append(DSPM._objective_numpy(Y, c, Z, delta))
+        fused = DSPM(4, max_iterations=4, tolerance=0.0).fit_matrix(Y, delta)
+        assert fused.objective_history == history
