@@ -1,0 +1,43 @@
+"""Bench: the sharded QueryService vs the single-threaded engine.
+
+Shapes asserted:
+
+* every stream answer is bit-identical to the engine path (checked
+  inside the bench runner before any throughput number is reported);
+* on the repeat-heavy synthetic stream (the multi-user traffic model),
+  the service at 4 workers / 4 shards is at least 1.5× the
+  single-threaded engine's batch-16 queries/sec.  On a single-CPU host
+  the whole margin comes from the exact embedding cache (the worker
+  pools hardware-gate themselves off); with real cores the forked
+  embedding workers add parallel speedup on top;
+* the cache actually fires (repeats served without VF2), and the number
+  of embedded queries stays bounded by the pool size.
+"""
+
+from pathlib import Path
+
+from repro.serving.bench import run_serving_bench
+
+REPORT_NAME = "serving_small.txt"
+
+
+def test_query_service_throughput(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_serving_bench(
+            db_size=100, pool_size=48, stream_length=192, num_features=100,
+            k=10, seed=0, batch_size=16, n_shards=4, n_workers=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    assert result["speedup"] >= 1.5, (
+        f"service should be >= 1.5x engine q/s at batch 16 with 4 workers, "
+        f"got {result['speedup']:.2f}x"
+    )
+    # The cache must do real work on a repeat-heavy stream ...
+    assert result["cache_hits"] > 0
+    # ... and unique embeddings cannot exceed the distinct query pool.
+    assert result["embedded_queries"] <= result["pool_size"]
+    assert result["n_shards"] == 4

@@ -19,7 +19,7 @@ from repro.core.mapping import build_mapping
 from repro.datasets import chemical_database, chemical_query_set
 from repro.fingerprint import DictionaryFingerprint
 from repro.query.measures import kendall_tau_topk, precision_at_k
-from repro.query.topk import ExactTopKEngine, MappedTopKEngine
+from repro.query.topk import ExactTopKEngine
 
 DB_SIZE = 60
 NUM_QUERIES = 10
@@ -36,7 +36,7 @@ def main() -> None:
     mapping = build_mapping(database, num_features=30,
                             min_support=0.10, max_pattern_edges=6)
     dspm_build = time.perf_counter() - start
-    dspm_engine = MappedTopKEngine(mapping)
+    dspm_engine = mapping.query_engine()
     print(f"DSPM index: {mapping.dimensionality} subgraph dimensions "
           f"(from {mapping.space.m} mined), built in {dspm_build:.1f}s")
 

@@ -22,7 +22,7 @@ from repro.datasets import chemical_database, chemical_query_set
 from repro.features import FeatureSpace
 from repro.mining import mine_frequent_subgraphs
 from repro.query.measures import precision_at_k
-from repro.query.topk import ExactTopKEngine, MappedTopKEngine
+from repro.query.topk import ExactTopKEngine
 from repro.similarity import DissimilarityCache, pairwise_dissimilarity_matrix
 
 DB_SIZE = 80
@@ -31,7 +31,7 @@ K = 10
 
 
 def evaluate(mapping, queries, exact_rankings) -> float:
-    engine = MappedTopKEngine(mapping)
+    engine = mapping.query_engine()
     scores = [
         precision_at_k(engine.query(q, K).ranking, truth)
         for q, truth in zip(queries, exact_rankings)

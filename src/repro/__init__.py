@@ -1,24 +1,36 @@
 """repro — reproduction of "Leveraging Graph Dimensions in Online Graph Search".
 
-Zhu, Yu & Qin, PVLDB 8(1), 2014.  The public API re-exports the pieces a
-downstream user needs for the common path:
+Zhu, Yu & Qin, PVLDB 8(1), 2014.  The deployment story in four lines:
+build the index offline, persist it as a versioned artifact, reload it
+cold-start-free, and serve traffic through the sharded query service —
 
->>> from repro import build_mapping, chemical_database, MappedTopKEngine
+>>> from repro import build_mapping, chemical_database, load_index, save_index
 >>> db = chemical_database(60, seed=0)
->>> mapping = build_mapping(db, num_features=20, min_support=0.1)
->>> engine = MappedTopKEngine(mapping)
+>>> save_index(build_mapping(db, num_features=20, min_support=0.1), "index.json")
+>>> mapping = load_index("index.json")   # zero VF2 calls: lattice + profiles restored
+>>> with mapping.query_service(n_shards=4, n_workers=4) as service:
+...     answers = service.batch_query(queries, k=10)
+
+``load_index`` restores the complete format-v2 :class:`IndexArtifact`
+(feature lattice, VF2 pattern profiles, cached norms, label codec), so
+``mapping.query_engine()`` is warm immediately; ``query_service`` shards
+the database vectors and answers bit-identically to the single-shard
+engine while caching repeated queries and fanning VF2 embedding out to
+worker processes.
 
 Sub-packages expose the full machinery: ``repro.graph`` (labeled graphs,
 I/O, generators), ``repro.isomorphism`` (VF2, MCS, GED), ``repro.mining``
 (gSpan), ``repro.similarity`` (δ1/δ2), ``repro.features``,
-``repro.core`` (DSPM, DSPMap, bounds), ``repro.baselines``,
-``repro.query``, ``repro.fingerprint``, ``repro.datasets``,
-``repro.applications``, and ``repro.experiments``.
+``repro.core`` (DSPM, DSPMap, bounds, persistence), ``repro.index``
+(the on-disk artifact), ``repro.serving`` (the sharded query service),
+``repro.baselines``, ``repro.query``, ``repro.fingerprint``,
+``repro.datasets``, ``repro.applications``, and ``repro.experiments``.
 """
 
 from repro.core.dspm import DSPM, DSPMResult, dspm_select
 from repro.core.dspmap import DSPMap
 from repro.core.mapping import DSPreservedMapping, build_mapping
+from repro.core.persistence import load_mapping, save_mapping
 from repro.datasets import (
     chemical_database,
     chemical_query_set,
@@ -27,11 +39,13 @@ from repro.datasets import (
 )
 from repro.features import FeatureSpace
 from repro.graph import LabeledGraph
+from repro.index import IndexArtifact, load_index, save_index
 from repro.mining import FrequentSubgraph, mine_frequent_subgraphs
 from repro.query import ExactTopKEngine, MappedTopKEngine, QueryEngine
+from repro.serving import QueryService
 from repro.similarity import DissimilarityCache, delta1, delta2
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DSPM",
@@ -42,16 +56,22 @@ __all__ = [
     "ExactTopKEngine",
     "FeatureSpace",
     "FrequentSubgraph",
+    "IndexArtifact",
     "LabeledGraph",
     "MappedTopKEngine",
     "QueryEngine",
+    "QueryService",
     "build_mapping",
     "chemical_database",
     "chemical_query_set",
     "delta1",
     "delta2",
     "dspm_select",
+    "load_index",
+    "load_mapping",
     "mine_frequent_subgraphs",
+    "save_index",
+    "save_mapping",
     "synthetic_database",
     "synthetic_query_set",
 ]

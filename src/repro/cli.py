@@ -18,9 +18,19 @@ Run an interactive-style demo search::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+
+def _emit_bench_result(result: Dict, as_json: bool) -> None:
+    """Print a bench result: human report, or machine-readable JSON."""
+    if as_json:
+        payload = {k: v for k, v in result.items() if k != "report"}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result["report"])
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -100,6 +110,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_bench_queries(args: argparse.Namespace) -> int:
     """Naive per-feature VF2 path vs the lattice-pruned engine, in q/s."""
     from repro.query.bench import run_query_engine_bench
+    from repro.utils.errors import GraphDimensionError
 
     try:
         result = run_query_engine_bench(
@@ -110,10 +121,35 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
             seed=args.seed,
             batch_sizes=tuple(args.batch_sizes),
         )
-    except ValueError as exc:
+    except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result["report"])
+    _emit_bench_result(result, args.json)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Sharded QueryService vs the single-threaded engine, in q/s."""
+    from repro.serving.bench import run_serving_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_serving_bench(
+            db_size=args.db_size,
+            pool_size=args.pool,
+            stream_length=args.stream,
+            num_features=args.num_features,
+            k=args.k,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            n_shards=args.shards,
+            n_workers=args.workers,
+            cache_size=args.cache_size,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
     return 0
 
 
@@ -157,7 +193,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--batch-sizes", type=int, nargs="+", default=[1, 16, 64]
     )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
     bench.set_defaults(func=_cmd_bench_queries)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="measure sharded QueryService vs single-threaded engine (q/s)",
+    )
+    serve.add_argument("--db-size", type=int, default=100)
+    serve.add_argument("--pool", type=int, default=48,
+                       help="distinct queries in the traffic pool")
+    serve.add_argument("--stream", type=int, default=192,
+                       help="total queries drawn from the pool")
+    serve.add_argument("--num-features", type=int, default=100)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -25,9 +25,11 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.dspm import DSPM, DSPMResult
+from repro.core.mapping import DSPreservedMapping
 from repro.core.partition import partition_database
 from repro.features.binary_matrix import FeatureSpace
 from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.gspan import FrequentSubgraph
 from repro.similarity.dissimilarity import DissimilarityCache
 from repro.utils.errors import SelectionError
 from repro.utils.rng import RngLike, ensure_rng
@@ -155,6 +157,78 @@ class DSPMap:
         c_bridge = self._dspm_on(np.sort(bridge), space, delta_fn)
 
         return c_left + c_right + c_bridge
+
+    # ------------------------------------------------------------------
+    # partition-local online structures
+    # ------------------------------------------------------------------
+    def block_mappings(
+        self, mapping: DSPreservedMapping
+    ) -> List[DSPreservedMapping]:
+        """Per-partition sub-mappings over each block's restricted features.
+
+        For every partition block of the last :meth:`fit`, build a
+        mapping whose database is the block's rows and whose dimensions
+        are the block's *restricted feature set* ``F'`` (the features of
+        *mapping*'s selection actually present in the block — the same
+        restriction Algorithm 6 applies offline).  Each sub-mapping gets
+        its engine pre-attached with a **per-partition lattice**: the
+        parent engine's containment DAG projected onto ``F'``, plus the
+        parent's pattern profiles — so constructing every block engine
+        costs zero VF2 calls.
+
+        These power partition-local search (distances are normalised by
+        ``|F'|``, the block's own dimensionality) and partition-sharded
+        serving diagnostics.  For globally exact answers over the whole
+        database, pass ``self.partitions_`` as the ``shards`` of a
+        :class:`~repro.serving.service.QueryService` instead.
+        """
+        if not self.partitions_:
+            raise SelectionError("fit() must run before block_mappings()")
+        # The caller's contract: *mapping* is built over the same database
+        # fit() partitioned.  Only the row count is verifiable from here;
+        # it catches the size-mismatch misuse loudly.
+        if sum(len(block) for block in self.partitions_) != mapping.space.n:
+            raise SelectionError(
+                f"partition rows ({sum(len(b) for b in self.partitions_)}) "
+                f"and mapping.space.n ({mapping.space.n}) disagree — the "
+                "mapping must index the database fit() partitioned"
+            )
+        engine = mapping.query_engine()
+        parent_features = mapping.selected_features()
+        out: List[DSPreservedMapping] = []
+        for block in self.partitions_:
+            rows = np.asarray(sorted(int(i) for i in block), dtype=np.int64)
+            sub_vectors = mapping.database_vectors[rows]
+            present = [
+                int(r) for r in np.flatnonzero(sub_vectors.sum(axis=0) > 0)
+            ]
+            if not present:
+                # A block matching no selected feature keeps the full
+                # selection (all-zero rows; any feature set is as good).
+                present = list(range(mapping.dimensionality))
+            features = [
+                FrequentSubgraph(
+                    parent_features[pos].graph,
+                    {int(i) for i in np.flatnonzero(sub_vectors[:, pos])},
+                )
+                for pos in present
+            ]
+            block_space = FeatureSpace(features, len(rows))
+            sub_mapping = DSPreservedMapping(
+                space=block_space,
+                selected=list(range(len(features))),
+                database_vectors=np.ascontiguousarray(
+                    sub_vectors[:, present], dtype=float
+                ),
+            )
+            sub_mapping._build_engine(
+                lattice=engine.lattice.restrict(present),
+                pattern_profiles=[
+                    engine._pattern_profiles[pos] for pos in present
+                ],
+            )
+            out.append(sub_mapping)
+        return out
 
     def _dspm_on(
         self,

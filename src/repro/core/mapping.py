@@ -14,9 +14,9 @@ distance ``d(y_i, y_j) = sqrt((1/p) Σ (y_ir − y_jr)²) ∈ [0, 1]``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,11 @@ from repro.mining.gspan import FrequentSubgraph, mine_frequent_subgraphs
 from repro.similarity.dissimilarity import DissimilarityCache
 from repro.similarity.matrix import pairwise_dissimilarity_matrix
 from repro.utils.errors import SelectionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.isomorphism.vf2 import PatternProfile
+    from repro.query.engine import FeatureLattice, QueryEngine
+    from repro.serving.service import QueryService
 
 
 @dataclass
@@ -50,6 +55,13 @@ class DSPreservedMapping:
     space: FeatureSpace
     selected: List[int]
     database_vectors: np.ndarray
+    # The memoised online engine.  Never assign this directly — every
+    # construction (lazy, loader-restored, post-mutation) must go through
+    # :meth:`_build_engine`, the single construction point, so a reloaded
+    # or mutated mapping can never serve a stale lattice.
+    _engine: Optional["QueryEngine"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def dimensionality(self) -> int:
@@ -95,22 +107,76 @@ class DSPreservedMapping:
         )
 
     # ------------------------------------------------------------------
-    # query engine
+    # query engine / query service
     # ------------------------------------------------------------------
-    @cached_property
-    def _query_engine(self) -> "QueryEngine":
+    def _build_engine(
+        self,
+        lattice: Optional["FeatureLattice"] = None,
+        pattern_profiles: Optional[Sequence["PatternProfile"]] = None,
+    ) -> "QueryEngine":
+        """The single engine construction point.
+
+        Both the lazy :meth:`query_engine` path and the index-artifact
+        loader (which passes the persisted lattice and pattern profiles
+        for a zero-VF2 cold start) funnel through here, so whatever
+        engine the mapping memoises always belongs to *this* mapping's
+        current feature selection and vectors.
+        """
         from repro.query.engine import QueryEngine
 
-        return QueryEngine(self)
+        engine = QueryEngine(
+            self, lattice=lattice, pattern_profiles=pattern_profiles
+        )
+        self._engine = engine
+        return engine
 
     def query_engine(self) -> "QueryEngine":
         """The lattice-pruned :class:`~repro.query.engine.QueryEngine`.
 
         Built lazily on first use (the containment lattice costs a batch
         of pattern-vs-pattern VF2 calls) and cached for the life of the
-        mapping.
+        mapping.  Mappings reloaded from a format-v2 index artifact come
+        with the engine pre-attached, so this never re-runs VF2 there.
         """
-        return self._query_engine
+        if self._engine is None:
+            return self._build_engine()
+        return self._engine
+
+    def invalidate_caches(self) -> None:
+        """Drop the memoised engine and squared norms.
+
+        Any future path that mutates ``selected`` / ``database_vectors``
+        must call this so the next :meth:`query_engine` rebuild goes
+        through :meth:`_build_engine` against the fresh state.
+        """
+        self._engine = None
+        self.__dict__.pop("database_sq_norms", None)
+
+    def query_service(
+        self,
+        n_shards: int = 4,
+        n_workers: int = 0,
+        shards: Optional[Sequence[np.ndarray]] = None,
+        **kwargs,
+    ) -> "QueryService":
+        """A sharded :class:`~repro.serving.service.QueryService`.
+
+        Results are bit-identical to :meth:`query_engine`'s
+        ``batch_query``; the database vectors are split into *n_shards*
+        contiguous shards (or the explicit *shards* assignment, e.g.
+        DSPMap partition blocks).  A new service is built per call —
+        services own worker pools, so ``close()`` them (or use them as a
+        context manager).
+        """
+        from repro.serving.service import QueryService
+
+        return QueryService(
+            self.query_engine(),
+            n_shards=n_shards,
+            n_workers=n_workers,
+            shards=shards,
+            **kwargs,
+        )
 
 
 def build_mapping(

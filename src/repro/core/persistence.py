@@ -1,40 +1,164 @@
 """Persistence for built DS-preserved mappings.
 
 An index is expensive to build (mining + NP-hard dissimilarities +
-selection), so a downstream deployment wants to build once and reload at
-serving time.  The on-disk format is a single JSON document containing
+selection + the pattern-vs-pattern VF2 lattice pass), so a downstream
+deployment wants to build once and reload at serving time.  Two on-disk
+formats exist:
 
-* the selected dimension subgraphs (gSpan text — portable and diffable),
-* their support sets (so the inverted lists rebuild without re-matching),
-* the database embedding.
+* **format v2** (current) — the complete
+  :class:`~repro.index.artifact.IndexArtifact`: selected dimension
+  subgraphs (gSpan text), support sets, database embedding, the
+  feature-containment lattice, per-feature VF2 pattern profiles, cached
+  database squared norms, and a :class:`LabelCodec` so non-string labels
+  round-trip.  ``load_mapping(...).query_engine()`` cold-starts with
+  **zero** VF2 calls.
+* **format v1** (legacy) — mapping data only.  Still loads; the engine
+  rebuilds its lattice on first use, and labels come back as strings
+  (the historical caveat the codec fixes in v2).
 
-Only what query processing needs is stored: the full mined universe is
-not persisted (rebuilding it is only needed to re-run selection).
+This module is the stable entry point (:func:`save_mapping` /
+:func:`load_mapping`); the v2 heavy lifting lives in :mod:`repro.index`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, Iterable, List, Union
 
 import numpy as np
 
 from repro.core.mapping import DSPreservedMapping
 from repro.features.binary_matrix import FeatureSpace
 from repro.graph.io import dumps_gspan, loads_gspan
+from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.mining.gspan import FrequentSubgraph
 
 PathLike = Union[str, Path]
 
-FORMAT_VERSION = 1
+LEGACY_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+
+class LabelCodec:
+    """Round-trips graph labels through string-only serialisation.
+
+    gSpan text stringifies labels, so a mapping saved from the synthetic
+    datasets (integer labels) used to reload with *string* labels and
+    silently match nothing against integer-labeled queries.  The codec
+    records, per distinct label text, the original type tag (``int`` /
+    ``float`` / ``str``) and converts back on load.
+
+    Two distinct labels whose ``str()`` forms collide (e.g. ``1`` and
+    ``"1"`` in the same index) cannot be represented and are rejected at
+    save time — better a loud save error than a silent wrong match at
+    query time.
+    """
+
+    _DECODERS = {"int": int, "float": float, "str": str}
+
+    def __init__(self, table: Dict[str, str]) -> None:
+        unknown = set(table.values()) - set(self._DECODERS)
+        if unknown:
+            raise ValueError(f"unknown label type tags: {sorted(unknown)}")
+        self.table = dict(table)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def for_graphs(cls, graphs: Iterable[LabeledGraph]) -> "LabelCodec":
+        """Collect every vertex/edge label of *graphs* into a codec."""
+        table: Dict[str, str] = {}
+        for g in graphs:
+            for v in range(g.num_vertices):
+                cls._register(table, g.vertex_label(v))
+            for e in g.edges():
+                cls._register(table, e.label)
+        return cls(table)
+
+    @staticmethod
+    def _tag_of(label: Label) -> str:
+        if isinstance(label, bool):
+            raise ValueError("boolean labels cannot be persisted")
+        if isinstance(label, int):
+            return "int"
+        if isinstance(label, float):
+            return "float"
+        if isinstance(label, str):
+            return "str"
+        raise ValueError(
+            f"label {label!r} of type {type(label).__name__} cannot be "
+            "persisted (supported: int, float, str)"
+        )
+
+    @classmethod
+    def _register(cls, table: Dict[str, str], label: Label) -> None:
+        tag = cls._tag_of(label)
+        text = str(label)
+        if text == "" or any(c.isspace() for c in text):
+            # The gSpan text layer splits records on whitespace, so such
+            # a label would silently truncate on reload — reject loudly.
+            raise ValueError(
+                f"label {label!r} contains whitespace (or is empty) and "
+                "cannot survive the gSpan text format"
+            )
+        prev = table.setdefault(text, tag)
+        if prev != tag:
+            raise ValueError(
+                f"labels of types {prev!r} and {tag!r} both serialise to "
+                f"{text!r}; cannot persist this label set"
+            )
+
+    # -- codec ----------------------------------------------------------
+    def encode(self, label: Label) -> str:
+        return str(label)
+
+    def decode(self, text: str) -> Label:
+        tag = self.table.get(text)
+        if tag is None:
+            return text
+        return self._DECODERS[tag](text)
+
+    def decode_graph(self, g: LabeledGraph) -> LabeledGraph:
+        """Rebuild *g* with every label passed through :meth:`decode`."""
+        out = LabeledGraph(
+            [self.decode(g.vertex_label(v)) for v in range(g.num_vertices)],
+            graph_id=g.graph_id,
+        )
+        for e in g.edges():
+            out.add_edge(e.u, e.v, self.decode(e.label))
+        return out
+
+    # -- payload --------------------------------------------------------
+    def to_payload(self) -> Dict[str, str]:
+        return dict(sorted(self.table.items()))
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, str]) -> "LabelCodec":
+        return cls(payload or {})
 
 
 def save_mapping(mapping: DSPreservedMapping, path: PathLike) -> None:
-    """Serialise *mapping* to *path* (JSON)."""
+    """Serialise *mapping* to *path* as a format-v2 index artifact.
+
+    The artifact captures everything the online path needs — including
+    the feature lattice and pattern profiles, built here (offline) if
+    the mapping has not answered a query yet — so reloading never
+    repeats any VF2 work.
+    """
+    from repro.index.artifact import IndexArtifact
+
+    IndexArtifact.from_mapping(mapping).save(path)
+
+
+def save_mapping_v1(mapping: DSPreservedMapping, path: PathLike) -> None:
+    """Write the legacy v1 format (mapping data only, string labels).
+
+    Kept for backward-compat testing and for producing files readable by
+    pre-v2 deployments; new code should use :func:`save_mapping`.
+    """
     features = mapping.selected_features()
     payload = {
-        "format_version": FORMAT_VERSION,
+        "format_version": LEGACY_FORMAT_VERSION,
         "database_size": mapping.space.n,
         "dimensionality": mapping.dimensionality,
         "feature_graphs": dumps_gspan([f.graph for f in features]),
@@ -44,24 +168,8 @@ def save_mapping(mapping: DSPreservedMapping, path: PathLike) -> None:
     Path(path).write_text(json.dumps(payload))
 
 
-def load_mapping(path: PathLike) -> DSPreservedMapping:
-    """Reload a mapping saved by :func:`save_mapping`.
-
-    The restored object answers queries exactly like the original; its
-    feature space contains only the selected dimensions (indices
-    ``0..p-1``).
-
-    Note: gSpan text stringifies labels, so a mapping whose labels were
-    not strings round-trips with string labels.  Query graphs must use
-    the same label convention as the features (true for the string-
-    labeled chemical datasets; synthetic integer labels need the same
-    stringification on the query side).
-    """
-    payload = json.loads(Path(path).read_text())
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported mapping format version {version!r}")
-
+def _load_v1(payload: Dict) -> DSPreservedMapping:
+    """Legacy loader: rebuild-fallback semantics, string labels."""
     graphs = loads_gspan(payload["feature_graphs"])
     supports = payload["feature_supports"]
     if len(graphs) != len(supports):
@@ -79,3 +187,31 @@ def load_mapping(path: PathLike) -> DSPreservedMapping:
         selected=list(range(len(features))),
         database_vectors=vectors,
     )
+
+
+def load_mapping(path: PathLike) -> DSPreservedMapping:
+    """Reload a mapping saved by :func:`save_mapping` (v2 or legacy v1).
+
+    The restored object answers queries exactly like the original; its
+    feature space contains only the selected dimensions (indices
+    ``0..p-1``).
+
+    * v2 files restore the full index artifact: the returned mapping has
+      its query engine pre-attached (persisted lattice + pattern
+      profiles + squared norms) and labels decoded to their original
+      types, so ``load_mapping(path).query_engine()`` performs zero VF2
+      calls.
+    * v1 files lack the lattice and the label codec: the engine rebuilds
+      its lattice on first use, and labels come back as strings (query
+      graphs must use the same stringified convention — the documented
+      legacy caveat).
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version == LEGACY_FORMAT_VERSION:
+        return _load_v1(payload)
+    if version == FORMAT_VERSION:
+        from repro.index.artifact import IndexArtifact
+
+        return IndexArtifact(payload).to_mapping()
+    raise ValueError(f"unsupported mapping format version {version!r}")

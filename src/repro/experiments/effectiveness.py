@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.mapping import mapping_from_selection
 from repro.experiments.harness import (
     Scale,
+    embed_queries_full,
     evaluate_selector,
     exact_topk_lists,
     make_selectors,
@@ -78,11 +79,9 @@ def run_effectiveness(
     *benchmark* is ``"fingerprint"`` (chemical) or ``"best"`` (synthetic).
     """
     # Embed the queries over the whole universe once, through the
-    # lattice-pruned engine (identical vectors to the naive
-    # ``space.embed_queries``, a fraction of the VF2 calls); every
-    # selector's query vectors are then column slices of this matrix.
-    full_mapping = mapping_from_selection(space, list(range(space.m)))
-    query_vectors_full = full_mapping.query_engine().embed_many(queries)
+    # lattice-pruned engine; every selector's query vectors are then
+    # column slices of this matrix.
+    query_vectors_full = embed_queries_full(space, queries)
     evaluations = []
     for selector in make_selectors(scale_cfg, seed, include=algorithms):
         evaluations.append(

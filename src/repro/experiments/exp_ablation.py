@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     dataset_delta_keys,
     build_space,
     database_delta,
+    embed_queries_full,
     exact_topk_lists,
     get_scale,
     make_dataset,
@@ -77,7 +78,7 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
     # ------------------------------------------------------------------
     dspm = DSPM(p, max_iterations=cfg.dspm_iterations).fit(space, delta_db)
     mapping = mapping_from_selection(space, dspm.selected)
-    queries_vec_full = space.embed_queries(queries)
+    queries_vec_full = embed_queries_full(space, queries)
     truth = exact_topk_lists(delta_q, k)
 
     q_bin = queries_vec_full[:, dspm.selected]

@@ -28,6 +28,7 @@ from repro.experiments.harness import (
     dataset_delta_keys,
     build_space,
     database_delta,
+    embed_queries_full,
     get_scale,
     make_dataset,
     query_delta,
@@ -74,7 +75,7 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
     dist_orig_db = normalized_euclidean_distances(full_vectors)[iu]
 
     # Query-vs-database distances.
-    q_full = space.embed_queries(queries)
+    q_full = embed_queries_full(space, queries)
     dist_dspm_q = mapping.query_distances(q_full[:, dspm.selected]).ravel()
     dist_orig_q = cross_normalized_euclidean_distances(
         q_full, full_vectors

@@ -23,6 +23,7 @@ from repro.experiments.harness import (
     dataset_delta_keys,
     build_space,
     database_delta,
+    embed_queries_full,
     estimate_pair_seconds,
     exact_topk_lists,
     get_scale,
@@ -55,7 +56,7 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
     delta_db = database_delta(db, db_key)
     delta_q = query_delta(queries, db, q_key)
     space = build_space(db, cfg)
-    queries_vec_full = space.embed_queries(queries)
+    queries_vec_full = embed_queries_full(space, queries)
     k = cfg.top_ks[-1]
     p = min(cfg.num_features, space.m)
 

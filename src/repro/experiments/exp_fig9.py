@@ -28,6 +28,7 @@ from repro.experiments.harness import (
     Scale,
     build_space,
     database_delta,
+    embed_queries_full,
     estimate_pair_seconds,
     exact_topk_lists,
     get_scale,
@@ -35,7 +36,7 @@ from repro.experiments.harness import (
     query_delta,
 )
 from repro.query.measures import precision_at_k
-from repro.query.topk import ExactTopKEngine, MappedTopKEngine, rank_with_ties
+from repro.query.topk import ExactTopKEngine, rank_with_ties
 from repro.similarity import DissimilarityCache
 
 FIGURE = "fig9"
@@ -83,7 +84,7 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
         db, queries = make_dataset("chemical", n, num_queries, seed)
         db_key, q_key = dataset_delta_keys("chemical", n, num_queries, seed)
         space = build_space(db, cfg)
-        queries_vec_full = space.embed_queries(queries)
+        queries_vec_full = embed_queries_full(space, queries)
         delta_q = query_delta(queries, db, q_key)
         p_eff = min(p, space.m)
 
@@ -116,8 +117,10 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
         )
 
         # --- query time: mapped vs exact, on a few queries. ---
+        # DSPMap's online path goes through the engine like every other
+        # selector's (its lattice covers the selected features only).
         mapping = mapping_from_selection(space, res.selected)
-        engine_mapped = MappedTopKEngine(mapping)
+        engine_mapped = mapping.query_engine()
         engine_exact = ExactTopKEngine(db, DissimilarityCache())
         t_map = t_exact = 0.0
         sample = queries[:timing_queries]

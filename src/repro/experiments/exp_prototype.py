@@ -34,7 +34,6 @@ from repro.experiments.harness import (
     query_delta,
 )
 from repro.query.measures import precision_at_k
-from repro.query.topk import MappedTopKEngine
 
 FIGURE = "prototype"
 
@@ -54,7 +53,7 @@ def run(scale: str = "small", seed: int = 0, out_dir: Optional[str] = None) -> D
 
     # --- DSPM ---------------------------------------------------------
     dspm = DSPM(p, max_iterations=cfg.dspm_iterations).fit(space, delta_db)
-    engine = MappedTopKEngine(mapping_from_selection(space, dspm.selected))
+    engine = mapping_from_selection(space, dspm.selected).query_engine()
     dspm_precisions, dspm_seconds = [], 0.0
     for qi, q in enumerate(queries):
         start = time.perf_counter()

@@ -334,7 +334,7 @@ def evaluate_selector(
 
     mapping = mapping_from_selection(space, selected)
     if query_vectors_full is None:
-        query_vectors_full = space.embed_queries(queries)
+        query_vectors_full = embed_queries_full(space, queries)
     q_vectors = query_vectors_full[:, selected]
     distances = mapping.query_distances(q_vectors)
 
@@ -354,6 +354,20 @@ def evaluate_selector(
         evaluation.kendall_tau[k] = float(np.mean(taus))
         evaluation.inverse_rank[k] = float(np.mean(ranks))
     return evaluation
+
+
+def embed_queries_full(
+    space: FeatureSpace, queries: Sequence[LabeledGraph]
+) -> np.ndarray:
+    """Queries embedded over the **whole** universe, engine-routed.
+
+    Identical vectors to the naive ``space.embed_queries(queries)``, via
+    the lattice-pruned engine instead (one containment DAG build, then a
+    fraction of the per-query VF2 calls).  Experiments slice per-selector
+    query vectors out of this matrix.
+    """
+    full_mapping = mapping_from_selection(space, list(range(space.m)))
+    return full_mapping.query_engine().embed_many(queries)
 
 
 def estimate_pair_seconds(

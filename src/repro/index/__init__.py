@@ -1,0 +1,18 @@
+"""The versioned on-disk index artifact (format v2).
+
+The paper's economics are "pay offline, serve cheap": mining, the
+NP-hard dissimilarity matrix, DSPM selection — and, since the engine
+overhaul, the pattern-vs-pattern VF2 lattice pass — all happen once at
+index-build time.  :class:`IndexArtifact` persists *every* product of
+that offline work, so a reloaded index cold-starts its
+:class:`~repro.query.engine.QueryEngine` with zero VF2 calls.
+"""
+
+from repro.index.artifact import (
+    FORMAT_VERSION,
+    IndexArtifact,
+    load_index,
+    save_index,
+)
+
+__all__ = ["FORMAT_VERSION", "IndexArtifact", "load_index", "save_index"]

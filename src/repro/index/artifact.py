@@ -1,0 +1,251 @@
+"""The format-v2 index artifact: everything the online path needs.
+
+Format v1 (``repro.core.persistence``) persisted the mapping alone, so
+every reload re-ran the offline pattern-vs-pattern VF2 pass to rebuild
+the feature-containment lattice and recomputed each feature's VF2
+invariants.  The v2 artifact adds:
+
+* the :class:`~repro.query.engine.FeatureLattice` DAG (order + transitive
+  ancestor sets; descendants are the transpose, derived on load),
+* per-feature :class:`~repro.isomorphism.vf2.PatternProfile` invariants
+  (label histograms, degree sequence, VF2 search order),
+* the cached database squared norms (the fixed half of every
+  query-database distance computation — cheap to recompute, so the load
+  path cross-checks them against the vectors as an integrity check
+  before seeding the mapping's cache), and
+* a :class:`~repro.core.persistence.LabelCodec` so non-string labels
+  (the synthetic datasets' integers) round-trip exactly.
+
+``load_index(path).query_engine()`` therefore performs **zero** VF2
+calls — the test suite enforces this with call counters.  The document
+is a single JSON file: portable, diffable, and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.mapping import DSPreservedMapping
+from repro.core.persistence import FORMAT_VERSION, LabelCodec
+from repro.features.binary_matrix import FeatureSpace
+from repro.graph.io import dumps_gspan, loads_gspan
+from repro.isomorphism.vf2 import PatternProfile
+from repro.mining.gspan import FrequentSubgraph
+from repro.query.engine import FeatureLattice
+
+PathLike = Union[str, Path]
+
+ARTIFACT_KIND = "repro-graphdim-index"
+
+__all__ = ["FORMAT_VERSION", "IndexArtifact", "load_index", "save_index"]
+
+
+def _corrupt(detail: str) -> ValueError:
+    return ValueError(f"corrupt mapping file: {detail}")
+
+
+@dataclass
+class IndexArtifact:
+    """A format-v2 index document (the parsed JSON payload).
+
+    Construct with :meth:`from_mapping` (serialising a built index) or
+    :meth:`load` (reading a saved one); turn back into a live, fully
+    warmed mapping with :meth:`to_mapping`.
+    """
+
+    payload: Dict
+
+    # ------------------------------------------------------------------
+    # mapping -> artifact
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: DSPreservedMapping) -> "IndexArtifact":
+        """Capture *mapping* plus its engine's offline products.
+
+        Builds the engine first if the mapping has not served a query yet
+        — saving is exactly the moment to pay the offline lattice cost.
+        A pivot-enabled engine's extra patterns are not part of the
+        output space; its lattice is projected onto the selected
+        positions (zero VF2) before persisting.
+        """
+        engine = mapping.query_engine()
+        p = mapping.dimensionality
+        lattice = engine.lattice
+        profiles = engine._pattern_profiles
+        if len(engine.patterns) > p:
+            lattice = lattice.restrict(range(p))
+            profiles = profiles[:p]
+
+        features = mapping.selected_features()
+        codec = LabelCodec.for_graphs([f.graph for f in features])
+
+        def counts_payload(counts: Dict) -> List[Tuple[str, int]]:
+            return sorted(
+                ((codec.encode(lab), int(n)) for lab, n in counts.items())
+            )
+
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "kind": ARTIFACT_KIND,
+            "database_size": mapping.space.n,
+            "dimensionality": p,
+            "feature_graphs": dumps_gspan([f.graph for f in features]),
+            "feature_supports": [sorted(f.support) for f in features],
+            "label_codec": codec.to_payload(),
+            "database_vectors": mapping.database_vectors.astype(int).tolist(),
+            "database_sq_norms": [
+                int(v) for v in mapping.database_sq_norms
+            ],
+            "lattice": {
+                "order": [int(r) for r in lattice.order],
+                "ancestors": [
+                    [int(a) for a in anc] for anc in lattice.ancestors
+                ],
+                "vf2_checks": int(lattice.vf2_checks),
+            },
+            "pattern_profiles": [
+                {
+                    "vertex_label_counts": counts_payload(
+                        prof.vertex_label_counts
+                    ),
+                    "edge_label_counts": counts_payload(
+                        prof.edge_label_counts
+                    ),
+                    "degrees_desc": list(prof.degrees_desc),
+                    "search_order": list(prof.search_order),
+                }
+                for prof in profiles
+            ],
+        }
+        return cls(payload)
+
+    # ------------------------------------------------------------------
+    # artifact -> mapping
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> DSPreservedMapping:
+        """Reconstruct the mapping with its engine pre-attached.
+
+        Every persisted offline product is restored, not recomputed: the
+        lattice, the pattern profiles, and the database squared norms.
+        The engine is wired in through the mapping's single construction
+        point, so nothing can later race it with a stale rebuild.
+        """
+        payload = self.payload
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported mapping format version {version!r}")
+        kind = payload.get("kind")
+        if kind != ARTIFACT_KIND:
+            raise ValueError(
+                f"not a {ARTIFACT_KIND!r} artifact (kind={kind!r})"
+            )
+
+        codec_payload = payload.get("label_codec")
+        if not isinstance(codec_payload, dict) or not codec_payload:
+            # Tolerating a dropped codec would silently reintroduce the
+            # string-label mismatch bug v2 exists to fix.
+            raise _corrupt("missing label codec")
+        codec = LabelCodec.from_payload(codec_payload)
+        graphs = [
+            codec.decode_graph(g)
+            for g in loads_gspan(payload["feature_graphs"])
+        ]
+        supports = payload["feature_supports"]
+        if len(graphs) != len(supports):
+            raise _corrupt("feature/support count mismatch")
+        features = [
+            FrequentSubgraph(graph, set(support))
+            for graph, support in zip(graphs, supports)
+        ]
+        n = int(payload["database_size"])
+        p = int(payload["dimensionality"])
+        if len(features) != p:
+            raise _corrupt("feature/dimensionality count mismatch")
+        space = FeatureSpace(features, n)
+
+        vectors = np.asarray(payload["database_vectors"], dtype=float)
+        if vectors.shape != (n, p):
+            raise _corrupt("embedding shape mismatch")
+        mapping = DSPreservedMapping(
+            space=space,
+            selected=list(range(p)),
+            database_vectors=vectors,
+        )
+
+        sq_norms = np.asarray(payload["database_sq_norms"], dtype=float)
+        if sq_norms.shape != (n,):
+            raise _corrupt("squared-norm shape mismatch")
+        if not np.array_equal(sq_norms, (vectors**2).sum(axis=1)):
+            raise _corrupt("squared norms disagree with vectors")
+        mapping.database_sq_norms = sq_norms
+
+        mapping._build_engine(
+            lattice=self._restore_lattice(p),
+            pattern_profiles=self._restore_profiles(features, codec),
+        )
+        return mapping
+
+    def _restore_lattice(self, p: int) -> FeatureLattice:
+        lat = self.payload.get("lattice")
+        if not isinstance(lat, dict):
+            raise _corrupt("missing lattice")
+        if len(lat["ancestors"]) != p:
+            raise _corrupt("lattice does not match the feature count")
+        try:
+            return FeatureLattice.from_ancestors(
+                [int(r) for r in lat["order"]],
+                lat["ancestors"],
+                vf2_checks=int(lat.get("vf2_checks", 0)),
+            )
+        except ValueError as exc:
+            raise _corrupt(str(exc)) from exc
+
+    def _restore_profiles(
+        self, features: List[FrequentSubgraph], codec: LabelCodec
+    ) -> List[PatternProfile]:
+        entries = self.payload.get("pattern_profiles")
+        if not isinstance(entries, list) or len(entries) != len(features):
+            raise _corrupt("pattern profile count mismatch")
+
+        def decode_counts(pairs) -> Dict:
+            return {codec.decode(text): int(n) for text, n in pairs}
+
+        return [
+            PatternProfile.restore(
+                feature.graph,
+                decode_counts(entry["vertex_label_counts"]),
+                decode_counts(entry["edge_label_counts"]),
+                [int(d) for d in entry["degrees_desc"]],
+                [int(v) for v in entry["search_order"]],
+            )
+            for feature, entry in zip(features, entries)
+        ]
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.payload))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "IndexArtifact":
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported mapping format version {version!r}")
+        return cls(payload)
+
+
+def save_index(mapping: DSPreservedMapping, path: PathLike) -> None:
+    """Persist *mapping* (and all its offline products) as format v2."""
+    IndexArtifact.from_mapping(mapping).save(path)
+
+
+def load_index(path: PathLike) -> DSPreservedMapping:
+    """Reload a v2 artifact into a mapping with a zero-VF2 warm engine."""
+    return IndexArtifact.load(path).to_mapping()

@@ -110,6 +110,51 @@ class PatternProfile:
         self.degrees_desc = sorted(degrees, reverse=True)
         self.search_order = _search_order(pattern)
 
+    @classmethod
+    def restore(
+        cls,
+        pattern: LabeledGraph,
+        vertex_label_counts: Dict[object, int],
+        edge_label_counts: Dict[object, int],
+        degrees_desc: List[int],
+        search_order: List[int],
+    ) -> "PatternProfile":
+        """Rebuild a profile from persisted invariants (index cold start).
+
+        Every invariant that affects *correctness* is validated against
+        the pattern (histograms, degree sequence, and that the search
+        order is a permutation) — O(V+E), no VF2, so corruption fails
+        loudly instead of silently mismatching.  The search order itself
+        is the one genuinely restored value: any permutation is sound
+        for VF2 (it only affects pruning speed), so the persisted order
+        is honoured as saved.
+        """
+        vcounts: Dict[object, int] = {}
+        degrees: List[int] = []
+        for v in range(pattern.num_vertices):
+            lab = pattern.vertex_label(v)
+            vcounts[lab] = vcounts.get(lab, 0) + 1
+            degrees.append(pattern.degree(v))
+        ecounts: Dict[object, int] = {}
+        for e in pattern.edges():
+            ecounts[e.label] = ecounts.get(e.label, 0) + 1
+        if (
+            dict(vertex_label_counts) != vcounts
+            or dict(edge_label_counts) != ecounts
+            or list(degrees_desc) != sorted(degrees, reverse=True)
+            or sorted(search_order) != list(range(pattern.num_vertices))
+        ):
+            raise ValueError("persisted profile does not match its pattern")
+        self = cls.__new__(cls)
+        self.pattern = pattern
+        self.num_vertices = pattern.num_vertices
+        self.num_edges = pattern.num_edges
+        self.vertex_label_counts = vcounts
+        self.edge_label_counts = ecounts
+        self.degrees_desc = list(degrees_desc)
+        self.search_order = list(search_order)
+        return self
+
 
 def _profile_for(
     target: LabeledGraph, profile: Optional[TargetProfile]

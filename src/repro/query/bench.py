@@ -28,7 +28,7 @@ from repro.mining import mine_frequent_subgraphs
 from repro.query.topk import MappedTopKEngine
 
 
-def _variance_selection(space: FeatureSpace, p: int) -> List[int]:
+def variance_selection(space: FeatureSpace, p: int) -> List[int]:
     """Top-p features by binary-column variance s_r(n − s_r).
 
     Mimics DSPM's preference for discriminative mid-support features
@@ -115,7 +115,7 @@ def run_query_engine_bench(
     space = FeatureSpace(features, len(db))
 
     selected = mapping_from_selection(
-        space, _variance_selection(space, num_features)
+        space, variance_selection(space, num_features)
     )
     original = mapping_from_selection(space, list(range(space.m)))
 

@@ -117,25 +117,83 @@ class FeatureLattice:
                     anc.add(a)
                     anc |= ancestor_sets[a]
             ancestor_sets[b] = anc
+        return cls.from_ancestors(
+            order,
+            [sorted(ancestor_sets[r]) for r in range(p)],
+            vf2_checks=checks,
+        )
+
+    @classmethod
+    def from_ancestors(
+        cls,
+        order: Sequence[int],
+        ancestors: Sequence[Sequence[int]],
+        vf2_checks: int = 0,
+    ) -> "FeatureLattice":
+        """Construct from (transitively closed) ancestor sets.
+
+        Descendants are derived as the transpose.  Shared by
+        :meth:`build` and the index-artifact loader, so the built and
+        reloaded construction paths cannot drift.
+        """
+        p = len(ancestors)
+        if sorted(order) != list(range(p)):
+            raise ValueError("lattice order must be a permutation of positions")
+        ancestors = tuple(
+            tuple(sorted(int(a) for a in anc)) for anc in ancestors
+        )
+        if any(not 0 <= a < p for anc in ancestors for a in anc):
+            raise ValueError("lattice ancestor position out of range")
         descendant_sets: Dict[int, set] = {r: set() for r in range(p)}
-        for b, anc in ancestor_sets.items():
+        for b, anc in enumerate(ancestors):
             for a in anc:
                 descendant_sets[a].add(b)
         return cls(
-            order=tuple(order),
-            ancestors=tuple(
-                tuple(sorted(ancestor_sets[r])) for r in range(p)
-            ),
+            order=tuple(int(r) for r in order),
+            ancestors=ancestors,
             descendants=tuple(
                 tuple(sorted(descendant_sets[r])) for r in range(p)
             ),
-            vf2_checks=checks,
+            vf2_checks=vf2_checks,
         )
 
     @property
     def num_edges(self) -> int:
         """Number of (transitively closed) containment pairs."""
         return sum(len(a) for a in self.ancestors)
+
+    def restrict(self, positions: Sequence[int]) -> "FeatureLattice":
+        """Project the lattice onto *positions* — zero VF2 calls.
+
+        Containment among a subset of patterns is the induced sub-DAG,
+        and because ``ancestors`` stores the transitive closure the
+        projection stays transitively closed.  Used to derive
+        per-partition lattices (a DSPMap block's restricted feature set)
+        and to strip pivot positions before persisting an engine's
+        lattice, without re-running any pattern-vs-pattern matching.
+        """
+        positions = list(positions)
+        if len(set(positions)) != len(positions):
+            raise ValueError("restrict positions must be unique")
+        index_of = {r: i for i, r in enumerate(positions)}
+        kept = set(positions)
+        order = tuple(index_of[r] for r in self.order if r in kept)
+        if len(order) != len(positions):
+            raise ValueError("restrict positions outside the lattice")
+        ancestors = tuple(
+            tuple(sorted(index_of[a] for a in self.ancestors[r] if a in kept))
+            for r in positions
+        )
+        descendants = tuple(
+            tuple(sorted(index_of[d] for d in self.descendants[r] if d in kept))
+            for r in positions
+        )
+        return FeatureLattice(
+            order=order,
+            ancestors=ancestors,
+            descendants=descendants,
+            vf2_checks=0,
+        )
 
 
 @dataclass
@@ -169,6 +227,31 @@ class BatchQueryResult:
     def __getitem__(self, i: int) -> TopKResult:
         return self.results[i]
 
+    @classmethod
+    def with_shared_timing(
+        cls,
+        results: List[TopKResult],
+        query_vectors: np.ndarray,
+        mapping_seconds: float,
+        search_seconds: float,
+    ) -> "BatchQueryResult":
+        """Construct, spreading the batch wall-clock evenly per query.
+
+        Existing per-query timing consumers keep working; engine and
+        service share this one spreading rule so their timings stay
+        comparable.
+        """
+        share = max(len(results), 1)
+        for res in results:
+            res.mapping_seconds = mapping_seconds / share
+            res.search_seconds = search_seconds / share
+        return cls(
+            results=results,
+            query_vectors=query_vectors,
+            mapping_seconds=mapping_seconds,
+            search_seconds=search_seconds,
+        )
+
 
 class QueryEngine:
     """Lattice-pruned, batched top-k engine over a frozen mapping.
@@ -183,6 +266,7 @@ class QueryEngine:
         mapping: DSPreservedMapping,
         lattice: Optional[FeatureLattice] = None,
         use_pivots: bool = False,
+        pattern_profiles: Optional[Sequence[PatternProfile]] = None,
     ) -> None:
         self.mapping = mapping
         selected_patterns: List[LabeledGraph] = [
@@ -208,9 +292,23 @@ class QueryEngine:
             ]
         self.patterns = selected_patterns + pivot_patterns
         # Pattern-side VF2 invariants (histograms, degree sequence,
-        # search order) are fixed per feature — computed once here and
-        # shared with the lattice build and every online match call.
-        self._pattern_profiles = [PatternProfile(g) for g in self.patterns]
+        # search order) are fixed per feature — computed once here (or
+        # restored from a persisted index artifact) and shared with the
+        # lattice build and every online match call.
+        if pattern_profiles is not None:
+            pattern_profiles = list(pattern_profiles)
+            if len(pattern_profiles) != len(self.patterns):
+                raise ValueError(
+                    "pattern_profiles does not match the engine's pattern list"
+                )
+            for prof, graph in zip(pattern_profiles, self.patterns):
+                if prof.pattern is not graph:
+                    raise ValueError(
+                        "pattern profile was built for a different pattern"
+                    )
+            self._pattern_profiles = pattern_profiles
+        else:
+            self._pattern_profiles = [PatternProfile(g) for g in self.patterns]
         self.lattice = lattice or FeatureLattice.build(
             self.patterns, self._pattern_profiles
         )
@@ -322,17 +420,6 @@ class QueryEngine:
             ranking, scores = rank_with_ties(row, k)
             results.append(TopKResult(ranking, scores))
         end = time.perf_counter()
-        mapping_seconds = mapped - start
-        search_seconds = end - mapped
-        # Spread the batch's wall-clock evenly over per-query results so
-        # existing per-query timing consumers keep working.
-        share = max(len(results), 1)
-        for res in results:
-            res.mapping_seconds = mapping_seconds / share
-            res.search_seconds = search_seconds / share
-        return BatchQueryResult(
-            results=results,
-            query_vectors=vectors,
-            mapping_seconds=mapping_seconds,
-            search_seconds=search_seconds,
+        return BatchQueryResult.with_shared_timing(
+            results, vectors, mapped - start, end - mapped
         )

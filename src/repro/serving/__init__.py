@@ -1,0 +1,13 @@
+"""Multi-user query serving on top of the online engine.
+
+:class:`QueryService` is the traffic-facing layer of the ROADMAP
+north-star: database vectors split into shards, worker pools for the
+embedding and distance stages, and an exact embedding cache for the
+repeat-heavy streams real services see — all while staying bit-identical
+to the single-shard :class:`~repro.query.engine.QueryEngine`.
+"""
+
+from repro.serving.bench import run_serving_bench
+from repro.serving.service import QueryService, ServiceStats, Shard
+
+__all__ = ["QueryService", "ServiceStats", "Shard", "run_serving_bench"]

@@ -1,0 +1,154 @@
+"""Serving-throughput benchmark: QueryService vs the single-thread engine.
+
+Shared by the ``repro-graphdim serve-bench`` CLI command and the
+``benchmarks/test_bench_serving.py`` perf test, so the number the perf
+trajectory tracks is the number an operator can reproduce.
+
+The workload models multi-user traffic: a stream of ``stream_length``
+queries drawn (with repetition, seeded) from a ``pool_size``-query pool,
+served in batches.  The single-threaded engine re-embeds every
+occurrence; the service answers repeats from its exact embedding cache
+and fans the remaining VF2 work out to forked workers — so it wins on a
+single core (fewer embeddings) *and* scales with cores.  Every stream
+answer is asserted bit-identical to the engine's before any number is
+reported.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.serving.service import ServiceStats
+
+
+def run_serving_bench(
+    db_size: int = 100,
+    pool_size: int = 48,
+    stream_length: int = 192,
+    num_features: int = 100,
+    k: int = 10,
+    seed: int = 0,
+    batch_size: int = 16,
+    n_shards: int = 4,
+    n_workers: int = 4,
+    cache_size: int = 1024,
+    num_labels: int = 6,
+    density: float = 0.3,
+    avg_edges: float = 20.0,
+    min_support: float = 0.10,
+    max_pattern_edges: int = 6,
+) -> Dict:
+    """Measure engine vs service queries/sec on a repeat-heavy stream."""
+    if db_size < 1 or pool_size < 1 or stream_length < 1:
+        raise ValueError("db_size, pool_size and stream_length must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    db = synthetic_database(
+        db_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed,
+    )
+    pool = synthetic_query_set(
+        pool_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed + 10_000,
+    )
+    features = mine_frequent_subgraphs(
+        db, min_support=min_support, max_edges=max_pattern_edges
+    )
+    space = FeatureSpace(features, len(db))
+    mapping = mapping_from_selection(
+        space, variance_selection(space, num_features)
+    )
+    engine = mapping.query_engine()
+
+    rng = np.random.default_rng(seed + 99)
+    stream = [pool[int(i)] for i in rng.integers(0, len(pool), stream_length)]
+    batches = [
+        stream[lo : lo + batch_size]
+        for lo in range(0, len(stream), batch_size)
+    ]
+
+    # --- single-threaded engine pass (re-embeds every occurrence) -----
+    start = time.perf_counter()
+    engine_answers: List = []
+    for batch in batches:
+        engine_answers.extend(engine.batch_query(batch, k))
+    engine_seconds = time.perf_counter() - start
+
+    # --- sharded service pass ----------------------------------------
+    service = mapping.query_service(
+        n_shards=n_shards, n_workers=n_workers, cache_size=cache_size
+    )
+    try:
+        # Spin up worker pools on off-stream queries, then start cold.
+        warmup = synthetic_query_set(
+            2, avg_edges=avg_edges, density=density,
+            num_labels=num_labels, seed=seed + 55_555,
+        )
+        service.batch_query(warmup, k)
+        service.clear_cache()
+        service.stats = ServiceStats()
+
+        start = time.perf_counter()
+        service_answers: List = []
+        for batch in batches:
+            service_answers.extend(service.batch_query(batch, k))
+        service_seconds = time.perf_counter() - start
+
+        for a, b in zip(engine_answers, service_answers):
+            if a.ranking != b.ranking or a.scores != b.scores:
+                raise AssertionError(
+                    "service results diverged from the engine path"
+                )
+        stats = service.stats
+        result = {
+            "db_size": db_size,
+            "pool_size": pool_size,
+            "stream_length": stream_length,
+            "batch_size": batch_size,
+            "k": k,
+            "num_candidate_features": space.m,
+            "dimensionality": mapping.dimensionality,
+            "n_shards": len(service.shards),
+            "n_workers": service.n_workers,
+            "embed_mode": service.embed_mode,
+            "engine_qps": stream_length / engine_seconds,
+            "service_qps": stream_length / service_seconds,
+            "speedup": engine_seconds / service_seconds,
+            "cache_hits": stats.cache_hits,
+            "embedded_queries": stats.embedded_queries,
+            "cache_hit_rate": stats.cache_hits / max(stats.queries, 1),
+            "shard_sizes": [s.num_rows for s in service.shards],
+            "varying_columns": [len(s.varying) for s in service.shards],
+        }
+    finally:
+        service.close()
+
+    lines = [
+        f"query service throughput — synthetic stream "
+        f"({stream_length} queries from a {pool_size}-query pool, "
+        f"batch {batch_size}, k={k}, n={db_size}, "
+        f"p={mapping.dimensionality})",
+        "",
+        f"{'path':<28}{'q/s':>10}",
+        f"{'engine (single-thread)':<28}{result['engine_qps']:>10.0f}",
+        f"{'service':<28}{result['service_qps']:>10.0f}",
+        "",
+        f"speedup: {result['speedup']:.2f}x  "
+        f"(shards={result['n_shards']}, workers={result['n_workers']}, "
+        f"embed={result['embed_mode']})",
+        f"embedding cache: {result['cache_hits']} hits / "
+        f"{result['embedded_queries']} embedded "
+        f"({100 * result['cache_hit_rate']:.0f}% hit rate)",
+        f"shard sizes: {result['shard_sizes']}, varying columns per shard: "
+        f"{result['varying_columns']}",
+    ]
+    result["report"] = "\n".join(lines) + "\n"
+    return result

@@ -1,0 +1,470 @@
+"""The sharded, worker-based query service.
+
+The paper makes one query cheap; a deployment has to make *streams* of
+queries from many users cheap.  :class:`QueryService` layers three
+serving mechanics over :meth:`QueryEngine.batch_query
+<repro.query.engine.QueryEngine.batch_query>` without changing a single
+result bit:
+
+* **Sharding.**  The database vectors are split into ``n_shards``
+  contiguous shards (or any explicit assignment, e.g. DSPMap partition
+  blocks).  Each shard task computes its local distance block and local
+  top-k; a merge step re-ranks the shard candidates with the same
+  ``(distance, index)`` tie-breaking as :func:`rank_with_ties`, so the
+  merged answer equals the single-shard scan exactly.  Within a shard,
+  columns that are *constant* across the shard's rows (common when
+  shards follow DSPMap's similarity partitions) are folded into one
+  per-query scalar, shrinking the distance block to the shard's varying
+  columns — exact, because all terms are small integers in float64.
+* **Workers.**  Shard tasks run on a thread pool (the distance blocks
+  are BLAS calls, which release the GIL).  The VF2 embedding stage is
+  pure Python, so it is fanned out to *forked worker processes* instead;
+  on platforms without ``fork`` it falls back to in-process embedding.
+* **Embedding cache.**  Real multi-user traffic repeats queries.  An
+  LRU cache keyed by the query's exact structure (labels + edge set)
+  returns φ(q) without any VF2 — exact, since equal structure implies
+  an equal embedding.
+
+Bit-identity with the engine path is enforced by the serving test suite
+and re-asserted on every benchmark run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mapping import DSPreservedMapping
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.engine import BatchQueryResult, QueryEngine
+from repro.query.topk import TopKResult, _check_k, rank_with_ties
+
+
+def _effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _structural_key(g: LabeledGraph) -> Tuple:
+    """An exact identity key: same labels + same edge set ⇒ same φ(q)."""
+    return (
+        tuple(g.vertex_label(v) for v in range(g.num_vertices)),
+        tuple(sorted((e.u, e.v, e.label) for e in map(
+            lambda edge: edge.normalized(), g.edges()
+        ))),
+    )
+
+
+# ----------------------------------------------------------------------
+# forked embedding workers
+# ----------------------------------------------------------------------
+_WORKER_ENGINE: Optional[QueryEngine] = None
+
+
+def _init_embed_worker(engine: QueryEngine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _embed_chunk(
+    queries: List[LabeledGraph],
+) -> Tuple[np.ndarray, int, int]:
+    """Embed a chunk in a worker; returns vectors + VF2 stat deltas."""
+    engine = _WORKER_ENGINE
+    calls, pruned = engine.stats.vf2_calls, engine.stats.features_pruned
+    vectors = engine.embed_many(queries)
+    return (
+        vectors,
+        engine.stats.vf2_calls - calls,
+        engine.stats.features_pruned - pruned,
+    )
+
+
+@dataclass
+class Shard:
+    """One database shard's precomputed distance-block inputs.
+
+    ``indices`` are global row ids.  Columns constant across the shard
+    (``constant`` with values ``constant_values``) contribute one scalar
+    per query; only ``varying`` columns enter the BLAS block.
+    """
+
+    indices: np.ndarray
+    varying: np.ndarray
+    constant: np.ndarray
+    constant_values: np.ndarray
+    vectors: np.ndarray
+    sq_norms: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters of one :class:`QueryService`."""
+
+    batches: int = 0
+    queries: int = 0
+    embedded_queries: int = 0
+    cache_hits: int = 0
+    vf2_calls: int = 0
+    features_pruned: int = 0
+    shard_tasks: int = 0
+    embed_seconds: float = 0.0
+    search_seconds: float = 0.0
+
+
+class QueryService:
+    """Sharded top-k serving, bit-identical to the single-shard engine.
+
+    Parameters
+    ----------
+    engine_or_mapping:
+        A warm :class:`QueryEngine`, or a mapping (its engine is used).
+    n_shards:
+        Number of contiguous shards (ignored when *shards* is given).
+    n_workers:
+        ``0``/``1`` runs everything in-process; ``>1`` enables the shard
+        thread pool and, where ``fork`` is available, the embedding
+        process pool.
+    shards:
+        Optional explicit shard assignment: index arrays that partition
+        ``0..n-1`` (e.g. ``DSPMap.partitions_``).
+    cache_size:
+        LRU capacity of the exact embedding cache (``0`` disables it).
+    embed_mode:
+        ``"auto"`` (processes when available and ``n_workers > 1``),
+        ``"process"``, ``"thread"``, or ``"serial"``.
+
+    The service owns worker pools — ``close()`` it, or use it as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        engine_or_mapping: Union[QueryEngine, DSPreservedMapping],
+        n_shards: int = 4,
+        n_workers: int = 0,
+        shards: Optional[Sequence[np.ndarray]] = None,
+        cache_size: int = 1024,
+        embed_mode: str = "auto",
+    ) -> None:
+        if isinstance(engine_or_mapping, DSPreservedMapping):
+            engine = engine_or_mapping.query_engine()
+        else:
+            engine = engine_or_mapping
+        self.engine = engine
+        self.mapping = engine.mapping
+        vectors = self.mapping.database_vectors
+        n = vectors.shape[0]
+
+        if shards is None:
+            if n_shards < 1:
+                raise ValueError("n_shards must be >= 1")
+            assignment = np.array_split(np.arange(n), min(n_shards, n))
+        else:
+            assignment = [np.asarray(s, dtype=np.int64) for s in shards]
+            flat = sorted(
+                int(i) for block in assignment for i in block
+            )
+            if flat != list(range(n)):
+                raise ValueError(
+                    "shards must partition the database rows exactly once"
+                )
+        self.shards: List[Shard] = [
+            self._build_shard(block) for block in assignment if len(block)
+        ]
+
+        self.n_workers = max(int(n_workers), 0)
+        self._cpus = _effective_cpus()
+        if embed_mode not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown embed_mode {embed_mode!r}")
+        if embed_mode == "auto":
+            # Workers only pay off with real parallel hardware: on a
+            # single-CPU host the configured worker count degrades to
+            # serial embedding (the cache still serves repeats), instead
+            # of paying IPC overhead for no parallelism.
+            fork_ok = "fork" in multiprocessing.get_all_start_methods()
+            embed_mode = (
+                "process"
+                if (self.n_workers > 1 and fork_ok and self._cpus > 1)
+                else "serial"
+            )
+        if self.n_workers <= 1 and embed_mode in ("process", "thread"):
+            embed_mode = "serial"
+        self.embed_mode = embed_mode
+        # Same hardware gate for the shard thread pool.
+        self._parallel_shards = (
+            self.n_workers > 1 and self._cpus > 1 and len(self.shards) > 1
+        )
+
+        self._cache: Optional[OrderedDict] = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self._cache_size = int(cache_size)
+        self._embed_pool = None
+        self._shard_pool = None
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # shard construction
+    # ------------------------------------------------------------------
+    def _build_shard(self, block: np.ndarray) -> Shard:
+        indices = np.asarray(sorted(int(i) for i in block), dtype=np.int64)
+        rows = self.mapping.database_vectors[indices]
+        constant_mask = (rows == rows[0]).all(axis=0)
+        varying = np.flatnonzero(~constant_mask)
+        constant = np.flatnonzero(constant_mask)
+        block_vectors = np.ascontiguousarray(rows[:, varying])
+        return Shard(
+            indices=indices,
+            varying=varying,
+            constant=constant,
+            constant_values=rows[0, constant].copy(),
+            vectors=block_vectors,
+            sq_norms=(block_vectors**2).sum(axis=1),
+        )
+
+    # ------------------------------------------------------------------
+    # pools
+    # ------------------------------------------------------------------
+    def _ensure_embed_pool(self):
+        if self._embed_pool is None:
+            if self.embed_mode == "process":
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._embed_pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=ctx,
+                    initializer=_init_embed_worker,
+                    initargs=(self.engine,),
+                )
+            else:
+                self._embed_pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers
+                )
+        return self._embed_pool
+
+    def _ensure_shard_pool(self):
+        if self._shard_pool is None:
+            self._shard_pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._shard_pool
+
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent)."""
+        if self._embed_pool is not None:
+            self._embed_pool.shutdown()
+            self._embed_pool = None
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown()
+            self._shard_pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # embedding stage
+    # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Optional[np.ndarray]:
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def _cache_put(self, key, vector: np.ndarray) -> None:
+        self._cache[key] = vector
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def _embed_unique(self, queries: List[LabeledGraph]) -> np.ndarray:
+        """Embed distinct queries, fanning out to workers when enabled."""
+        if self.embed_mode == "serial" or len(queries) == 1:
+            calls = self.engine.stats.vf2_calls
+            pruned = self.engine.stats.features_pruned
+            vectors = self.engine.embed_many(queries)
+            self.stats.vf2_calls += self.engine.stats.vf2_calls - calls
+            self.stats.features_pruned += (
+                self.engine.stats.features_pruned - pruned
+            )
+            return vectors
+        pool = self._ensure_embed_pool()
+        chunk = -(-len(queries) // self.n_workers)
+        chunks = [
+            queries[lo : lo + chunk] for lo in range(0, len(queries), chunk)
+        ]
+        if self.embed_mode == "process":
+            futures = [pool.submit(_embed_chunk, c) for c in chunks]
+            parts = []
+            for future in futures:
+                vectors, calls, pruned = future.result()
+                parts.append(vectors)
+                self.stats.vf2_calls += calls
+                self.stats.features_pruned += pruned
+        else:  # thread mode: stat deltas may undercount under races
+            calls = self.engine.stats.vf2_calls
+            pruned = self.engine.stats.features_pruned
+            futures = [pool.submit(self.engine.embed_many, c) for c in chunks]
+            parts = [future.result() for future in futures]
+            self.stats.vf2_calls += self.engine.stats.vf2_calls - calls
+            self.stats.features_pruned += (
+                self.engine.stats.features_pruned - pruned
+            )
+        return np.vstack(parts)
+
+    def embed_batch(self, queries: Sequence[LabeledGraph]) -> np.ndarray:
+        """φ(q) for a batch: cache hits and in-batch duplicates embed once."""
+        queries = list(queries)
+        p = self.engine.num_selected
+        vectors = np.zeros((len(queries), p))
+        to_embed: List[LabeledGraph] = []
+        keys: List[Tuple] = []
+        targets: List[List[int]] = []
+        seen: Dict[Tuple, int] = {}
+        for i, q in enumerate(queries):
+            key = _structural_key(q)
+            if self._cache is not None:
+                cached = self._cache_get(key)
+                if cached is not None:
+                    vectors[i] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            # In-batch duplicates embed once even with the cache disabled.
+            pos = seen.get(key)
+            if pos is not None:
+                targets[pos].append(i)
+                self.stats.cache_hits += 1
+                continue
+            seen[key] = len(to_embed)
+            to_embed.append(q)
+            keys.append(key)
+            targets.append([i])
+        if to_embed:
+            self.stats.embedded_queries += len(to_embed)
+            embedded = self._embed_unique(to_embed)
+            for row, key, idxs in zip(embedded, keys, targets):
+                for i in idxs:
+                    vectors[i] = row
+                if self._cache is not None:
+                    self._cache_put(key, row.copy())
+        return vectors
+
+    # ------------------------------------------------------------------
+    # distance stage
+    # ------------------------------------------------------------------
+    def _shard_topk(
+        self, shard: Shard, vectors: np.ndarray, k: int
+    ) -> List[Tuple[np.ndarray, List[float]]]:
+        """Local top-k of each query against one shard's rows.
+
+        Exact: folding the shard-constant columns into a per-query
+        offset re-associates an integer sum, which float64 represents
+        exactly, so every distance equals the full-row computation bit
+        for bit.
+        """
+        p = vectors.shape[1]
+        left = vectors[:, shard.varying]
+        sq_l = (left**2).sum(axis=1)
+        d2 = np.maximum(
+            sq_l[:, None] + shard.sq_norms[None, :] - 2 * left @ shard.vectors.T,
+            0.0,
+        )
+        if len(shard.constant):
+            offsets = ((vectors[:, shard.constant] - shard.constant_values) ** 2).sum(
+                axis=1
+            )
+            d2 = d2 + offsets[:, None]
+        # p == 0 mirrors cross_normalized_euclidean_distances: all zero.
+        distances = np.sqrt(d2 / p) if p else d2
+        local_k = min(k, shard.num_rows)
+        out = []
+        for row in distances:
+            local, scores = rank_with_ties(row, local_k)
+            out.append((shard.indices[local], scores))
+        return out
+
+    @staticmethod
+    def _merge(
+        parts: List[Tuple[np.ndarray, List[float]]], k: int
+    ) -> Tuple[List[int], List[float]]:
+        """Re-rank shard candidates with (distance, index) tie-breaking."""
+        idx = np.concatenate([ids for ids, _ in parts])
+        vals = np.concatenate(
+            [np.asarray(scores, dtype=float) for _, scores in parts]
+        )
+        order = np.lexsort((idx, vals))[:k]
+        return [int(i) for i in idx[order]], [float(v) for v in vals[order]]
+
+    def batch_query_vectors(
+        self, vectors: np.ndarray, k: int
+    ) -> List[TopKResult]:
+        """Top-k for pre-embedded query vectors (the vector-serving path)."""
+        k = _check_k(k, self.mapping.database_vectors.shape[0])
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.shape[0] == 0:
+            return []
+        if self._parallel_shards:
+            pool = self._ensure_shard_pool()
+            futures = [
+                pool.submit(self._shard_topk, shard, vectors, k)
+                for shard in self.shards
+            ]
+            parts = [future.result() for future in futures]
+        else:
+            parts = [
+                self._shard_topk(shard, vectors, k) for shard in self.shards
+            ]
+        self.stats.shard_tasks += len(self.shards)
+        results = []
+        for qi in range(vectors.shape[0]):
+            ranking, scores = self._merge([part[qi] for part in parts], k)
+            results.append(TopKResult(ranking, scores))
+        return results
+
+    # ------------------------------------------------------------------
+    # the serving entry points
+    # ------------------------------------------------------------------
+    def batch_query(
+        self, queries: Sequence[LabeledGraph], k: int
+    ) -> BatchQueryResult:
+        """Top-k for a batch of query graphs — the traffic entry point."""
+        queries = list(queries)
+        k = _check_k(k, self.mapping.database_vectors.shape[0])
+        start = time.perf_counter()
+        vectors = self.embed_batch(queries)
+        mapped = time.perf_counter()
+        results = self.batch_query_vectors(vectors, k)
+        end = time.perf_counter()
+        mapping_seconds = mapped - start
+        search_seconds = end - mapped
+        self.stats.batches += 1
+        self.stats.queries += len(queries)
+        self.stats.embed_seconds += mapping_seconds
+        self.stats.search_seconds += search_seconds
+        return BatchQueryResult.with_shared_timing(
+            results, vectors, mapping_seconds, search_seconds
+        )
+
+    def query(self, q: LabeledGraph, k: int) -> TopKResult:
+        """Single-query convenience wrapper over :meth:`batch_query`."""
+        return self.batch_query([q], k).results[0]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -33,6 +35,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.shards == 4
+        assert args.workers == 4
+        assert args.batch_size == 16
+        assert args.json is False
+
+    def test_bench_queries_json_flag(self):
+        args = build_parser().parse_args(["bench-queries", "--json"])
+        assert args.json is True
+
 
 class TestMain:
     def test_list_runs(self, capsys):
@@ -50,3 +64,34 @@ class TestMain:
                      "--k", "2"]) == 0
         out = capsys.readouterr().out
         assert "precision" in out
+
+    def test_serve_bench_json_output(self, capsys):
+        # Tiny smoke config; --json must emit a parseable summary.
+        assert main([
+            "serve-bench", "--json", "--db-size", "20", "--pool", "6",
+            "--stream", "12", "--num-features", "10", "--k", "3",
+            "--batch-size", "4", "--shards", "2", "--workers", "0",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stream_length"] == 12
+        assert "speedup" in payload and "report" not in payload
+
+    def test_bench_queries_json_output(self, capsys):
+        assert main([
+            "bench-queries", "--json", "--db-size", "20", "--queries", "6",
+            "--num-features", "8", "--k", "3", "--batch-sizes", "1", "2",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "selected" in payload and "report" not in payload
+
+    def test_serve_bench_invalid_args_fail(self, capsys):
+        assert main(["serve-bench", "--stream", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_invalid_k_fails_cleanly(self, capsys):
+        # QueryError (not a ValueError) must still exit 2, not traceback.
+        assert main([
+            "serve-bench", "--db-size", "12", "--pool", "4", "--stream", "4",
+            "--num-features", "6", "--k", "0", "--workers", "0",
+        ]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,247 @@
+"""Round-trip and cold-start tests for the format-v2 index artifact.
+
+The artifact's contract: reloading restores *everything* the online path
+needs, so ``load_index(path).query_engine()`` performs **zero** VF2
+calls — neither the pattern-vs-pattern lattice build nor any per-feature
+matching.  Enforced here with call counters on the two VF2 entry points
+the engine construction path could reach.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.query.engine as engine_mod
+from repro.core.mapping import build_mapping
+from repro.core.persistence import load_mapping, save_mapping, save_mapping_v1
+from repro.index import IndexArtifact, load_index, save_index
+from repro.query.engine import FeatureLattice
+from repro.query.topk import MappedTopKEngine
+
+
+@pytest.fixture(scope="module")
+def built_mapping(small_chemical_db):
+    return build_mapping(
+        small_chemical_db, num_features=8, min_support=0.2, max_pattern_edges=3
+    )
+
+
+@pytest.fixture()
+def saved_path(built_mapping, tmp_path):
+    path = tmp_path / "index.json"
+    save_index(built_mapping, path)
+    return path
+
+
+class _Counter:
+    def __init__(self, func):
+        self.func = func
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        return self.func(*args, **kwargs)
+
+
+class TestColdStart:
+    def test_reload_builds_engine_with_zero_vf2_calls(
+        self, saved_path, monkeypatch
+    ):
+        """The acceptance criterion, counter-enforced."""
+        is_subgraph = _Counter(engine_mod.is_subgraph)
+        lattice_build = _Counter(FeatureLattice.build.__func__)
+        monkeypatch.setattr(engine_mod, "is_subgraph", is_subgraph)
+        monkeypatch.setattr(
+            FeatureLattice, "build", classmethod(lattice_build)
+        )
+        mapping = load_index(saved_path)
+        engine = mapping.query_engine()
+        assert engine is not None
+        assert is_subgraph.calls == 0
+        assert lattice_build.calls == 0
+
+    def test_reloaded_engine_is_preattached_and_memoised(self, saved_path):
+        mapping = load_index(saved_path)
+        assert mapping._engine is not None
+        assert mapping.query_engine() is mapping._engine
+
+    def test_invalidate_caches_forces_fresh_engine(
+        self, saved_path, small_chemical_queries
+    ):
+        mapping = load_index(saved_path)
+        warm = mapping.query_engine()
+        before = [warm.query(q, 5).ranking for q in small_chemical_queries]
+        mapping.invalidate_caches()
+        rebuilt = mapping.query_engine()
+        assert rebuilt is not warm
+        after = [rebuilt.query(q, 5).ranking for q in small_chemical_queries]
+        assert before == after
+
+    def test_lattice_and_norms_round_trip(self, built_mapping, saved_path):
+        original = built_mapping.query_engine()
+        restored = load_index(saved_path).query_engine()
+        assert restored.lattice.order == original.lattice.order
+        assert restored.lattice.ancestors == original.lattice.ancestors
+        assert restored.lattice.descendants == original.lattice.descendants
+        assert np.array_equal(
+            restored.mapping.database_sq_norms,
+            built_mapping.database_sq_norms,
+        )
+
+    def test_profiles_round_trip(self, built_mapping, saved_path):
+        original = built_mapping.query_engine()._pattern_profiles
+        restored = load_index(saved_path).query_engine()._pattern_profiles
+        for a, b in zip(original, restored):
+            assert a.vertex_label_counts == b.vertex_label_counts
+            assert a.edge_label_counts == b.edge_label_counts
+            assert a.degrees_desc == b.degrees_desc
+            assert a.search_order == b.search_order
+
+
+class TestQueryEquivalence:
+    def test_engine_answers_identical_after_reload(
+        self, built_mapping, saved_path, small_chemical_queries
+    ):
+        restored = load_index(saved_path)
+        before = built_mapping.query_engine()
+        after = restored.query_engine()
+        for q in small_chemical_queries:
+            a, b = before.query(q, 5), after.query(q, 5)
+            assert a.ranking == b.ranking
+            assert a.scores == b.scores
+
+    def test_naive_path_also_identical(
+        self, built_mapping, saved_path, small_chemical_queries
+    ):
+        restored = load_index(saved_path)
+        before = MappedTopKEngine(built_mapping)
+        after = MappedTopKEngine(restored)
+        for q in small_chemical_queries:
+            assert before.query(q, 5).ranking == after.query(q, 5).ranking
+
+    def test_load_mapping_dispatches_v2(
+        self, saved_path, small_chemical_queries
+    ):
+        via_persistence = load_mapping(saved_path)
+        via_index = load_index(saved_path)
+        for q in small_chemical_queries:
+            assert (
+                via_persistence.query_engine().query(q, 5).ranking
+                == via_index.query_engine().query(q, 5).ranking
+            )
+
+
+class TestBackwardCompat:
+    def test_v1_file_still_loads_with_rebuild_fallback(
+        self, built_mapping, tmp_path, small_chemical_queries, monkeypatch
+    ):
+        path = tmp_path / "legacy.json"
+        save_mapping_v1(built_mapping, path)
+        assert json.loads(path.read_text())["format_version"] == 1
+        restored = load_mapping(path)
+        # No engine attached: the lattice is rebuilt on first use.
+        assert restored._engine is None
+        build = _Counter(FeatureLattice.build.__func__)
+        monkeypatch.setattr(FeatureLattice, "build", classmethod(build))
+        engine = restored.query_engine()
+        assert build.calls == 1
+        before = built_mapping.query_engine()
+        for q in small_chemical_queries:
+            assert before.query(q, 5).ranking == engine.query(q, 5).ranking
+
+    def test_unknown_version_rejected(self, saved_path):
+        payload = json.loads(saved_path.read_text())
+        payload["format_version"] = 99
+        saved_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_mapping(saved_path)
+        with pytest.raises(ValueError):
+            IndexArtifact.load(saved_path)
+
+    def test_foreign_kind_rejected(self, saved_path):
+        payload = json.loads(saved_path.read_text())
+        payload["kind"] = "something-else-entirely"
+        saved_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="artifact"):
+            load_index(saved_path)
+
+
+class TestCorruptArtifacts:
+    @pytest.fixture()
+    def payload(self, saved_path):
+        return json.loads(saved_path.read_text())
+
+    def _expect_corrupt(self, payload, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_truncated_supports(self, payload, tmp_path):
+        payload["feature_supports"] = payload["feature_supports"][:-1]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_truncated_vectors(self, payload, tmp_path):
+        payload["database_vectors"] = payload["database_vectors"][:-1]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_missing_lattice(self, payload, tmp_path):
+        del payload["lattice"]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_lattice_ancestor_out_of_range(self, payload, tmp_path):
+        payload["lattice"]["ancestors"][0] = [999]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_lattice_order_not_a_permutation(self, payload, tmp_path):
+        payload["lattice"]["order"][0] = payload["lattice"]["order"][-1]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_profile_count_mismatch(self, payload, tmp_path):
+        payload["pattern_profiles"] = payload["pattern_profiles"][:-1]
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_tampered_sq_norms(self, payload, tmp_path):
+        payload["database_sq_norms"][0] += 1
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_tampered_profile_search_order(self, payload, tmp_path):
+        order = payload["pattern_profiles"][0]["search_order"]
+        payload["pattern_profiles"][0]["search_order"] = [0] * len(order)
+        if len(order) > 1:  # a zeroed order is only invalid for |V| > 1
+            self._expect_corrupt(payload, tmp_path)
+
+    def test_tampered_profile_counts(self, payload, tmp_path):
+        entry = payload["pattern_profiles"][0]
+        entry["vertex_label_counts"][0][1] += 5
+        self._expect_corrupt(payload, tmp_path)
+
+    def test_missing_label_codec(self, payload, tmp_path):
+        del payload["label_codec"]
+        self._expect_corrupt(payload, tmp_path)
+
+
+class TestPivotEngines:
+    def test_pivot_engine_lattice_projected_before_save(
+        self, built_mapping, tmp_path, small_chemical_queries
+    ):
+        """An explicitly pivot-enabled engine must not leak pivots into
+        the artifact: the persisted lattice covers selected positions
+        only, and the reload answers identically."""
+        from repro.query.engine import QueryEngine
+
+        pivoted = QueryEngine(built_mapping, use_pivots=True)
+        built_mapping._engine = pivoted  # simulate a pivot deployment
+        try:
+            path = tmp_path / "pivot.json"
+            save_index(built_mapping, path)
+            restored = load_index(path)
+            engine = restored.query_engine()
+            assert len(engine.patterns) == built_mapping.dimensionality
+            for q in small_chemical_queries:
+                a = pivoted.query(q, 5)
+                b = engine.query(q, 5)
+                assert a.ranking == b.ranking and a.scores == b.scores
+        finally:
+            built_mapping.invalidate_caches()

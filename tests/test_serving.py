@@ -1,0 +1,273 @@
+"""Bit-identity and behaviour tests for the sharded query service.
+
+The service's contract mirrors the engine's: *identical results at
+serving scale*.  Every test therefore compares sharded/worker/cached
+paths against the single-shard engine, including tie-heavy workloads
+where merge-order bugs would surface.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.dspmap import DSPMap
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.serving.service import QueryService, _structural_key
+from repro.utils.errors import QueryError
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = synthetic_database(40, avg_edges=16, density=0.3, num_labels=5, seed=3)
+    queries = synthetic_query_set(
+        30, avg_edges=16, density=0.3, num_labels=5, seed=99
+    )
+    features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+    space = FeatureSpace(features, len(db))
+    return db, queries, space
+
+
+@pytest.fixture(scope="module")
+def mapping(setup):
+    _db, _queries, space = setup
+    return mapping_from_selection(space, variance_selection(space, 20))
+
+
+@pytest.fixture(scope="module")
+def tie_heavy_mapping(setup):
+    """Three dimensions only: almost every distance value is tied."""
+    _db, _queries, space = setup
+    return mapping_from_selection(space, variance_selection(space, 3))
+
+
+def _assert_identical(reference, batch):
+    assert len(reference) == len(batch)
+    for a, b in zip(reference, batch):
+        assert a.ranking == b.ranking
+        assert a.scores == b.scores
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 40])
+    def test_matches_engine_across_shard_counts(
+        self, setup, mapping, n_shards
+    ):
+        _db, queries, _space = setup
+        reference = mapping.query_engine().batch_query(queries, 7)
+        with mapping.query_service(n_shards=n_shards) as service:
+            _assert_identical(reference, service.batch_query(queries, 7))
+
+    @pytest.mark.parametrize("n_shards", [1, 3, 6])
+    def test_tie_heavy_rankings_identical(
+        self, setup, tie_heavy_mapping, n_shards
+    ):
+        _db, queries, _space = setup
+        engine = tie_heavy_mapping.query_engine()
+        reference = engine.batch_query(queries, 9)
+        # Sanity: the workload really is tie-heavy at the k-boundary.
+        distances = tie_heavy_mapping.query_distances(
+            reference.query_vectors
+        )
+        assert any(
+            (row == sorted(row)[8]).sum() > 1 for row in distances
+        )
+        with tie_heavy_mapping.query_service(n_shards=n_shards) as service:
+            _assert_identical(reference, service.batch_query(queries, 9))
+
+    def test_permuted_custom_shards(self, setup, mapping):
+        _db, queries, _space = setup
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(mapping.database_vectors.shape[0])
+        shards = [perm[:13], perm[13:20], perm[20:]]
+        reference = mapping.query_engine().batch_query(queries, 5)
+        with mapping.query_service(shards=shards) as service:
+            _assert_identical(reference, service.batch_query(queries, 5))
+
+    def test_dspmap_partition_shards(self, setup, mapping):
+        """DSPMap's similarity blocks plug straight in as shards."""
+        _db, queries, space = setup
+        incidence = space.incidence.astype(float)
+
+        def hamming(i: int, j: int) -> float:
+            return float(np.abs(incidence[i] - incidence[j]).sum())
+
+        solver = DSPMap(10, partition_size=12, seed=0)
+        solver.fit(space, _db, delta_fn=hamming)
+        assert len(solver.partitions_) > 1
+        reference = mapping.query_engine().batch_query(queries, 6)
+        with mapping.query_service(shards=solver.partitions_) as service:
+            _assert_identical(reference, service.batch_query(queries, 6))
+
+    @pytest.mark.parametrize(
+        "mode",
+        ["serial", "thread"] + (["process"] if HAS_FORK else []),
+    )
+    def test_embed_modes_identical(self, setup, mapping, mode):
+        _db, queries, _space = setup
+        reference = mapping.query_engine().batch_query(queries, 7)
+        service = QueryService(
+            mapping, n_shards=3, n_workers=2, embed_mode=mode
+        )
+        try:
+            _assert_identical(reference, service.batch_query(queries, 7))
+        finally:
+            service.close()
+
+    def test_vector_path_matches_engine(self, setup, mapping):
+        _db, queries, _space = setup
+        engine = mapping.query_engine()
+        vectors = engine.embed_many(queries)
+        reference = engine.batch_query(queries, 4)
+        with mapping.query_service(n_shards=4) as service:
+            results = service.batch_query_vectors(vectors, 4)
+            _assert_identical(reference, results)
+
+    def test_single_query_and_k_capping(self, setup, mapping):
+        _db, queries, _space = setup
+        n = mapping.database_vectors.shape[0]
+        engine = mapping.query_engine()
+        with mapping.query_service(n_shards=3) as service:
+            a = engine.query(queries[0], n + 25)
+            b = service.query(queries[0], n + 25)
+            assert a.ranking == b.ranking and a.scores == b.scores
+            assert len(b.ranking) == n
+            with pytest.raises(QueryError):
+                service.batch_query(queries, 0)
+
+
+class TestShardValidation:
+    def test_incomplete_partition_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            QueryService(mapping, shards=[np.arange(10)])
+
+    def test_overlapping_partition_rejected(self, mapping):
+        n = mapping.database_vectors.shape[0]
+        with pytest.raises(ValueError):
+            QueryService(mapping, shards=[np.arange(n), np.array([0])])
+
+    def test_zero_shards_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            QueryService(mapping, n_shards=0)
+
+    def test_bad_embed_mode_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            QueryService(mapping, embed_mode="gpu")
+
+    def test_shard_constant_folding_is_consistent(self, mapping):
+        with mapping.query_service(n_shards=5) as service:
+            p = mapping.dimensionality
+            for shard in service.shards:
+                assert len(shard.varying) + len(shard.constant) == p
+                rows = mapping.database_vectors[shard.indices]
+                if len(shard.constant):
+                    assert (
+                        rows[:, shard.constant] == shard.constant_values
+                    ).all()
+                assert np.array_equal(rows[:, shard.varying], shard.vectors)
+
+
+class TestEmbeddingCache:
+    def test_repeats_hit_the_cache(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=2) as service:
+            first = service.batch_query(queries, 5)
+            assert service.stats.cache_hits == 0
+            assert service.stats.embedded_queries == len(queries)
+            second = service.batch_query(queries, 5)
+            assert service.stats.cache_hits == len(queries)
+            assert service.stats.embedded_queries == len(queries)
+            _assert_identical(first, second)
+
+    def test_in_batch_duplicates_embed_once(self, setup, mapping):
+        _db, queries, _space = setup
+        batch = [queries[0], queries[1], queries[0], queries[0]]
+        reference = mapping.query_engine().batch_query(batch, 5)
+        with mapping.query_service(n_shards=2) as service:
+            result = service.batch_query(batch, 5)
+            assert service.stats.embedded_queries == 2
+            assert service.stats.cache_hits == 2
+            _assert_identical(reference, result)
+
+    def test_clear_cache_re_embeds(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=2) as service:
+            service.batch_query(queries[:4], 5)
+            service.clear_cache()
+            service.batch_query(queries[:4], 5)
+            assert service.stats.embedded_queries == 8
+            assert service.stats.cache_hits == 0
+
+    def test_cache_disabled_still_identical(self, setup, mapping):
+        _db, queries, _space = setup
+        reference = mapping.query_engine().batch_query(queries, 5)
+        with mapping.query_service(n_shards=2, cache_size=0) as service:
+            service.batch_query(queries, 5)
+            result = service.batch_query(queries, 5)
+            assert service.stats.cache_hits == 0
+            assert service.stats.embedded_queries == 2 * len(queries)
+            _assert_identical(reference, result)
+
+    def test_in_batch_duplicates_dedup_without_cache(self, setup, mapping):
+        _db, queries, _space = setup
+        batch = [queries[0], queries[0], queries[1], queries[0]]
+        reference = mapping.query_engine().batch_query(batch, 5)
+        with mapping.query_service(n_shards=2, cache_size=0) as service:
+            result = service.batch_query(batch, 5)
+            assert service.stats.embedded_queries == 2
+            _assert_identical(reference, result)
+            # ... but nothing persists across batches without a cache.
+            service.batch_query(batch[:1], 5)
+            assert service.stats.embedded_queries == 3
+
+    def test_cache_eviction_respects_capacity(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=2, cache_size=3) as service:
+            service.batch_query(queries[:10], 5)
+            assert len(service._cache) == 3
+
+    def test_structural_key_distinguishes_labels(self, setup):
+        db, _queries, _space = setup
+        assert _structural_key(db[0]) == _structural_key(db[0])
+        assert _structural_key(db[0]) != _structural_key(db[1])
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, setup, mapping):
+        _db, queries, _space = setup
+        service = QueryService(
+            mapping, n_shards=2, n_workers=2, embed_mode="thread"
+        )
+        service.batch_query(queries[:4], 3)
+        assert service.stats.vf2_calls > 0  # thread mode reports stats too
+        service.close()
+        service.close()
+
+    def test_empty_batch(self, mapping):
+        with mapping.query_service(n_shards=2) as service:
+            batch = service.batch_query([], 5)
+            assert len(batch) == 0
+            assert batch.query_vectors.shape == (0, mapping.dimensionality)
+
+    def test_stats_and_timing_populated(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=2) as service:
+            batch = service.batch_query(queries[:6], 5)
+            assert service.stats.batches == 1
+            assert service.stats.queries == 6
+            assert service.stats.vf2_calls > 0
+            assert batch.total_seconds == pytest.approx(
+                batch.mapping_seconds + batch.search_seconds
+            )
+            assert service.stats.embed_seconds > 0
+            assert service.stats.search_seconds > 0
+
+    def test_service_uses_memoised_engine(self, mapping):
+        with mapping.query_service(n_shards=2) as service:
+            assert service.engine is mapping.query_engine()
