@@ -1,14 +1,19 @@
-"""Quickstart: index a graph database, persist it, and serve queries.
+"""Quickstart: build an index, serve it, mutate it live, compact it.
 
 This walks the full deployment lifecycle on a generated molecule-like
 database:
 
-1. generate a database and a held-out query,
-2. build a DS-preserved mapping (gSpan mining + DSPM feature selection),
-3. answer the query through the lattice-pruned engine,
-4. compare against the exact MCS-based ranking, and
-5. persist the index artifact, reload it cold-start-free, and serve a
-   batch through the sharded query service.
+1.  **build** — gSpan mining + DSPM feature selection over the initial
+    database, with an exactness check against the NP-hard ground truth,
+2.  **serve** — persist the format-v3 artifact (binary payload +
+    checksums), reload it cold-start-free, and answer batches through
+    the sharded query service,
+3.  **mutate** — add and remove database graphs *without rebuilding*:
+    the service swaps updated shards in live, and ``save_index`` appends
+    the mutations to the artifact's delta journal instead of rewriting
+    the base,
+4.  **compact** — fold the journal back into a fresh binary base once
+    enough deltas accumulate.
 
 Run with::
 
@@ -21,20 +26,20 @@ from pathlib import Path
 
 from repro.core.mapping import build_mapping
 from repro.datasets import chemical_database, chemical_query_set
-from repro.index import load_index, save_index
+from repro.index import compact_index, journal_path, load_index, save_index
 from repro.query.measures import precision_at_k
 from repro.query.topk import ExactTopKEngine
 
 
 def main() -> None:
-    # 1. A database of 60 small molecule-like labeled graphs.
+    # ------------------------------------------------------------------
+    # 1. build
+    # ------------------------------------------------------------------
     database = chemical_database(60, seed=0)
     query = chemical_query_set(1, seed=1)[0]
     print(f"database: {len(database)} graphs; "
           f"query {query.graph_id}: |V|={query.num_vertices}, |E|={query.num_edges}")
 
-    # 2. Build the index: mine frequent subgraphs at 10% support, select
-    #    20 dimensions with DSPM, embed the database as binary vectors.
     start = time.perf_counter()
     mapping = build_mapping(
         database,
@@ -46,46 +51,68 @@ def main() -> None:
           f"{mapping.dimensionality} dimensions selected from "
           f"{mapping.space.m} mined frequent subgraphs")
 
-    # Peek at the selected dimension subgraphs.
-    for feat in mapping.selected_features()[:3]:
-        atoms = "-".join(str(l) for l in feat.graph.vertex_labels())
-        print(f"  dimension: {feat.num_edges}-edge pattern on atoms [{atoms}], "
-              f"support {feat.support_count}/{len(database)}")
-
-    # 3. Online query: lattice-pruned VF2 matching + one BLAS scan.
     engine = mapping.query_engine()
     answer = engine.query(query, k=10)
-    print(f"mapped top-10 in {answer.total_seconds * 1e3:.2f} ms: "
-          f"{[database[i].graph_id for i in answer.ranking[:5]]} ...")
-
-    # 4. Ground truth: exact MCS-based dissimilarity (NP-hard per graph).
-    exact = ExactTopKEngine(database)
-    truth = exact.query(query, k=10)
-    print(f"exact top-10 in {truth.total_seconds * 1e3:.0f} ms: "
-          f"{[database[i].graph_id for i in truth.ranking[:5]]} ...")
-
-    print(f"precision@10 = {precision_at_k(answer.ranking, truth.ranking):.2f}; "
+    truth = ExactTopKEngine(database).query(query, k=10)
+    print(f"mapped top-10 in {answer.total_seconds * 1e3:.2f} ms vs exact "
+          f"MCS ranking in {truth.total_seconds * 1e3:.0f} ms: "
+          f"precision@10 = {precision_at_k(answer.ranking, truth.ranking):.2f}, "
           f"speedup = {truth.total_seconds / answer.total_seconds:.0f}x")
 
-    # 5. Deployment: persist everything the online path needs (features,
-    #    embedding, containment lattice, VF2 profiles, norms), reload it
-    #    with zero VF2 calls, and serve a batch through shards + workers.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "index.json"
-        save_index(mapping, path)
+
+        # --------------------------------------------------------------
+        # 2. serve
+        # --------------------------------------------------------------
+        save_index(mapping, path)  # manifest + checksummed .npz payload
         start = time.perf_counter()
-        served = load_index(path)  # engine pre-attached: no VF2 re-run
-        print(f"\nartifact reloaded in {(time.perf_counter() - start) * 1e3:.1f} ms "
-              f"({path.stat().st_size / 1024:.0f} KiB on disk)")
+        served = load_index(path)  # engine pre-attached: zero VF2 calls
+        print(f"\nartifact reloaded in "
+              f"{(time.perf_counter() - start) * 1e3:.1f} ms "
+              f"({path.stat().st_size / 1024:.0f} KiB manifest)")
+
+        service = served.query_service(n_shards=4, n_workers=4)
         queries = chemical_query_set(8, seed=2)
-        with served.query_service(n_shards=4, n_workers=4) as service:
-            batch = service.batch_query(queries, k=10)
-            print(f"served a batch of {len(batch)} queries in "
-                  f"{batch.total_seconds * 1e3:.1f} ms "
-                  f"({service.stats.embedded_queries} embedded, "
-                  f"{service.stats.cache_hits} cache hits)")
-        reload_answer = served.query_engine().query(query, k=10)
-        assert reload_answer.ranking == answer.ranking
+        batch = service.batch_query(queries, k=10)
+        print(f"served a batch of {len(batch)} queries in "
+              f"{batch.total_seconds * 1e3:.1f} ms "
+              f"({service.stats.embedded_queries} embedded, "
+              f"{service.stats.cache_hits} cache hits)")
+
+        # --------------------------------------------------------------
+        # 3. mutate — live, no rebuild
+        # --------------------------------------------------------------
+        arrivals = chemical_query_set(5, seed=3)
+        start = time.perf_counter()
+        service.apply_update(added=arrivals, removed=[3, 17])
+        print(f"\napplied +{len(arrivals)}/-2 graphs live in "
+              f"{(time.perf_counter() - start) * 1e3:.1f} ms "
+              f"({service.stats.shards_rebuilt} shards rebuilt, "
+              f"support drift {served.support_drift:.3f})")
+        batch = service.batch_query(queries, k=10)
+        print(f"re-served the same batch: {service.stats.cache_hits} cache "
+              f"hits (the embedding cache survives database mutations)")
+
+        save_index(served, path)  # appends deltas, base untouched
+        print(f"saved as {len(journal_path(path).read_text().splitlines())} "
+              f"delta-journal entries — the binary base was not rewritten")
+        service.close()
+
+        # --------------------------------------------------------------
+        # 4. compact
+        # --------------------------------------------------------------
+        compacted = compact_index(path)
+        print(f"compacted: journal folded into a fresh base "
+              f"({compacted.space.n} graphs); journal exists: "
+              f"{journal_path(path).exists()}")
+
+        # The reloaded, mutated index answers exactly like the live one.
+        a = served.query_engine().batch_query(queries, k=10)
+        b = compacted.query_engine().batch_query(queries, k=10)
+        for x, y in zip(a, b):
+            assert x.ranking == y.ranking and x.scores == y.scores
+        print("round-trip check: compacted index answers bit-identically")
 
 
 if __name__ == "__main__":

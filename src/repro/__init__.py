@@ -1,8 +1,9 @@
 """repro — reproduction of "Leveraging Graph Dimensions in Online Graph Search".
 
-Zhu, Yu & Qin, PVLDB 8(1), 2014.  The deployment story in four lines:
-build the index offline, persist it as a versioned artifact, reload it
-cold-start-free, and serve traffic through the sharded query service —
+Zhu, Yu & Qin, PVLDB 8(1), 2014.  The deployment story: build the index
+offline, persist it as a versioned artifact, reload it cold-start-free,
+serve traffic through the sharded query service, and **mutate it live**
+as the database changes —
 
 >>> from repro import build_mapping, chemical_database, load_index, save_index
 >>> db = chemical_database(60, seed=0)
@@ -10,13 +11,20 @@ cold-start-free, and serve traffic through the sharded query service —
 >>> mapping = load_index("index.json")   # zero VF2 calls: lattice + profiles restored
 >>> with mapping.query_service(n_shards=4, n_workers=4) as service:
 ...     answers = service.batch_query(queries, k=10)
+...     service.apply_update(added=new_graphs, removed=[3, 17])  # no rebuild
+>>> save_index(mapping, "index.json")    # appends deltas to the journal
 
-``load_index`` restores the complete format-v2 :class:`IndexArtifact`
-(feature lattice, VF2 pattern profiles, cached norms, label codec), so
-``mapping.query_engine()`` is warm immediately; ``query_service`` shards
-the database vectors and answers bit-identically to the single-shard
-engine while caching repeated queries and fanning VF2 embedding out to
-worker processes.
+``load_index`` restores the complete format-v3 :class:`IndexArtifact`
+(feature lattice, VF2 pattern profiles, cached norms, label codec, and a
+checksummed binary payload), so ``mapping.query_engine()`` is warm
+immediately; ``query_service`` shards the database vectors and answers
+bit-identically to the single-shard engine while caching repeated
+queries and fanning VF2 embedding out to worker processes.
+``add_graphs`` / ``remove_graphs`` update supports, vectors, norms, and
+shards in place — a :class:`~repro.core.mapping.StalenessPolicy` bounds
+how far the selection may drift before re-selection is triggered — and
+mutations persist as delta-journal entries that
+:func:`~repro.index.compact_index` folds back into the base.
 
 Sub-packages expose the full machinery: ``repro.graph`` (labeled graphs,
 I/O, generators), ``repro.isomorphism`` (VF2, MCS, GED), ``repro.mining``
@@ -29,7 +37,11 @@ I/O, generators), ``repro.isomorphism`` (VF2, MCS, GED), ``repro.mining``
 
 from repro.core.dspm import DSPM, DSPMResult, dspm_select
 from repro.core.dspmap import DSPMap
-from repro.core.mapping import DSPreservedMapping, build_mapping
+from repro.core.mapping import (
+    DSPreservedMapping,
+    StalenessPolicy,
+    build_mapping,
+)
 from repro.core.persistence import load_mapping, save_mapping
 from repro.datasets import (
     chemical_database,
@@ -39,13 +51,13 @@ from repro.datasets import (
 )
 from repro.features import FeatureSpace
 from repro.graph import LabeledGraph
-from repro.index import IndexArtifact, load_index, save_index
+from repro.index import IndexArtifact, compact_index, load_index, save_index
 from repro.mining import FrequentSubgraph, mine_frequent_subgraphs
 from repro.query import ExactTopKEngine, MappedTopKEngine, QueryEngine
 from repro.serving import QueryService
 from repro.similarity import DissimilarityCache, delta1, delta2
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DSPM",
@@ -61,9 +73,11 @@ __all__ = [
     "MappedTopKEngine",
     "QueryEngine",
     "QueryService",
+    "StalenessPolicy",
     "build_mapping",
     "chemical_database",
     "chemical_query_set",
+    "compact_index",
     "delta1",
     "delta2",
     "dspm_select",

@@ -153,6 +153,118 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_graph_file(path: str, fmt: str):
+    from repro.graph.io import load_gspan, load_json
+
+    return load_gspan(path) if fmt == "gspan" else load_json(path)
+
+
+def _print_index_status(mapping) -> None:
+    """The shared post-mutation status line of the index verbs."""
+    print(
+        f"journal entries: {mapping.journal_seq}; "
+        f"support drift: {mapping.support_drift:.3f}"
+        + ("  [STALE - re-selection recommended]" if mapping.stale else "")
+    )
+
+
+def _cmd_index_add(args: argparse.Namespace) -> int:
+    """Add graphs to a saved index without rebuilding it."""
+    from repro.index import load_index, save_index
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        mapping = load_index(args.index)
+        graphs = _load_graph_file(args.graphs, args.format)
+        engine = mapping.query_engine()
+        before_n, before_calls = mapping.space.n, engine.stats.vf2_calls
+        mapping.add_graphs(graphs)
+        save_index(mapping, args.index)
+    except (ValueError, OSError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"added {len(graphs)} graphs: database {before_n} -> "
+        f"{mapping.space.n} ({engine.stats.vf2_calls - before_calls} "
+        f"lattice-pruned VF2 calls)"
+    )
+    _print_index_status(mapping)
+    return 0
+
+
+def _cmd_index_remove(args: argparse.Namespace) -> int:
+    """Remove database graphs (by index) from a saved index."""
+    from repro.index import load_index, save_index
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        mapping = load_index(args.index)
+        before_n = mapping.space.n
+        mapping.remove_graphs(args.ids)
+        save_index(mapping, args.index)
+    except (ValueError, OSError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"removed {len(set(args.ids))} graphs: database {before_n} -> "
+        f"{mapping.space.n} (VF2-free)"
+    )
+    _print_index_status(mapping)
+    return 0
+
+
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    """Fold an index's delta journal into a fresh binary base."""
+    from pathlib import Path
+
+    from repro.index import compact_index, journal_path, payload_path
+    from repro.utils.errors import GraphDimensionError
+
+    journal = journal_path(args.index)
+    try:
+        entries = (
+            len([l for l in journal.read_text().splitlines() if l.strip()])
+            if journal.exists()
+            else 0
+        )
+        mapping = compact_index(args.index)
+    except (ValueError, OSError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = payload_path(args.index)
+    print(
+        f"compacted {entries} journal entries into a fresh base "
+        f"({mapping.space.n} graphs, {mapping.dimensionality} dimensions)"
+    )
+    print(
+        f"manifest {Path(args.index).stat().st_size / 1024:.1f} KiB, "
+        f"payload {payload.stat().st_size / 1024:.1f} KiB, journal empty"
+    )
+    return 0
+
+
+def _cmd_bench_incremental(args: argparse.Namespace) -> int:
+    """Incremental add/remove vs full offline rebuild, in seconds."""
+    from repro.index.bench import run_incremental_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_incremental_bench(
+            db_size=args.db_size,
+            add_count=args.add,
+            remove_count=args.remove,
+            num_features=args.num_features,
+            query_count=args.queries,
+            k=args.k,
+            seed=args.seed,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-graphdim",
@@ -220,6 +332,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report table",
     )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    add = sub.add_parser(
+        "index-add",
+        help="add database graphs to a saved index (delta-journaled)",
+    )
+    add.add_argument("index", help="path to the index manifest")
+    add.add_argument("--graphs", required=True,
+                     help="graph file to add (gSpan or JSON format)")
+    add.add_argument("--format", choices=("gspan", "json"), default="gspan")
+    add.set_defaults(func=_cmd_index_add)
+
+    remove = sub.add_parser(
+        "index-remove",
+        help="remove database graphs from a saved index (delta-journaled)",
+    )
+    remove.add_argument("index", help="path to the index manifest")
+    remove.add_argument("--ids", type=int, nargs="+", required=True,
+                        help="database indices to remove (current numbering)")
+    remove.set_defaults(func=_cmd_index_remove)
+
+    compact = sub.add_parser(
+        "index-compact",
+        help="fold an index's delta journal into a fresh binary base",
+    )
+    compact.add_argument("index", help="path to the index manifest")
+    compact.set_defaults(func=_cmd_index_compact)
+
+    inc = sub.add_parser(
+        "bench-incremental",
+        help="measure incremental add/remove vs full index rebuild",
+    )
+    inc.add_argument("--db-size", type=int, default=80)
+    inc.add_argument("--add", type=int, default=8)
+    inc.add_argument("--remove", type=int, default=8)
+    inc.add_argument("--num-features", type=int, default=40)
+    inc.add_argument("--queries", type=int, default=16)
+    inc.add_argument("--k", type=int, default=10)
+    inc.add_argument("--seed", type=int, default=0)
+    inc.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    inc.set_defaults(func=_cmd_bench_incremental)
     return parser
 
 

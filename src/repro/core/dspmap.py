@@ -159,6 +159,80 @@ class DSPMap:
         return c_left + c_right + c_bridge
 
     # ------------------------------------------------------------------
+    # partition membership under database mutations
+    # ------------------------------------------------------------------
+    def remove_from_partitions(self, indices: Sequence[int]) -> None:
+        """Track a database removal in the partition blocks.
+
+        Mirrors :meth:`DSPreservedMapping.remove_graphs
+        <repro.core.mapping.DSPreservedMapping.remove_graphs>`: the
+        removed ids are dropped and every surviving id is shifted down
+        by the number of removed ids below it, so ``partitions_`` keeps
+        partitioning ``0..n'-1`` exactly (blocks emptied by the removal
+        disappear).  Call with the same *indices*, in the same order,
+        as the mapping mutation.
+        """
+        if not self.partitions_:
+            raise SelectionError("fit() must run before partition updates")
+        removed = np.asarray(sorted({int(i) for i in indices}), dtype=np.int64)
+        if removed.size == 0:
+            return
+        blocks: List[np.ndarray] = []
+        for block in self.partitions_:
+            block = np.asarray(block, dtype=np.int64)
+            surviving = block[~np.isin(block, removed)]
+            if surviving.size:
+                blocks.append(
+                    np.sort(surviving - np.searchsorted(removed, surviving))
+                )
+        self.partitions_ = blocks
+
+    def assign_to_partitions(
+        self, space: FeatureSpace, new_ids: Sequence[int]
+    ) -> List[int]:
+        """Assign freshly added graphs to their most similar blocks.
+
+        For each id in *new_ids* (rows already appended to *space*), the
+        block with the smallest mean Hamming distance between the new
+        graph's incidence row and the block members' rows absorbs it —
+        the same similarity signal Algorithm 7 partitions by, without
+        re-running the partitioner.  Returns the chosen block index per
+        new id.
+        """
+        if not self.partitions_:
+            raise SelectionError("fit() must run before partition updates")
+        assigned = {int(i) for block in self.partitions_ for i in block}
+        # One incidence slice per block, reused across all new graphs;
+        # only the absorbing block's rows grow per assignment.
+        block_rows = [
+            space.incidence[np.asarray(block, dtype=np.int64)].astype(float)
+            for block in self.partitions_
+        ]
+        choices: List[int] = []
+        for gid in new_ids:
+            gid = int(gid)
+            if not 0 <= gid < space.n:
+                raise SelectionError(
+                    f"new id {gid} outside database of size {space.n}"
+                )
+            if gid in assigned:
+                raise SelectionError(f"id {gid} is already partitioned")
+            row = space.incidence[gid].astype(float)
+            best = min(
+                range(len(block_rows)),
+                key=lambda bi: float(
+                    np.abs(block_rows[bi] - row).sum(axis=1).mean()
+                ),
+            )
+            self.partitions_[best] = np.sort(
+                np.append(self.partitions_[best], gid).astype(np.int64)
+            )
+            block_rows[best] = np.vstack([block_rows[best], row[None, :]])
+            assigned.add(gid)
+            choices.append(best)
+        return choices
+
+    # ------------------------------------------------------------------
     # partition-local online structures
     # ------------------------------------------------------------------
     def block_mappings(

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -38,9 +46,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.service import QueryService
 
 
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """When does a mutated index need feature re-selection?
+
+    Incremental :meth:`DSPreservedMapping.add_graphs` /
+    :meth:`~DSPreservedMapping.remove_graphs` keep the *mapped answers*
+    exact, but the feature *selection* itself was optimised for the
+    database it was built on.  The policy bounds how far the selected
+    features' support distribution may drift from that baseline before
+    the index is declared stale.
+
+    Attributes
+    ----------
+    max_drift:
+        Threshold on :attr:`DSPreservedMapping.support_drift` — the
+        relative L1 change of the selected features' support counts
+        since the last (re-)selection.
+    on_stale:
+        ``"flag"`` (default) sets :attr:`DSPreservedMapping.stale` and
+        keeps serving; ``"error"`` rejects the mutation *before* it is
+        applied; a callable is invoked with the mutated mapping (the
+        re-selection hook — rerun your selector, then the baseline is
+        reset automatically).
+    """
+
+    max_drift: float = 0.25
+    on_stale: Union[str, Callable[["DSPreservedMapping"], None]] = "flag"
+
+    def __post_init__(self) -> None:
+        if not callable(self.on_stale) and self.on_stale not in (
+            "flag",
+            "error",
+        ):
+            raise SelectionError(
+                f"on_stale must be 'flag', 'error', or a callable, "
+                f"got {self.on_stale!r}"
+            )
+        if not 0 <= self.max_drift:
+            raise SelectionError("max_drift must be >= 0")
+
+
 @dataclass
 class DSPreservedMapping:
-    """A frozen index: selected features + database embedding.
+    """An index: selected features + database embedding.
+
+    The *read* path (queries) treats the mapping as frozen; the *write*
+    path — :meth:`add_graphs` / :meth:`remove_graphs` — mutates the
+    database side in place (supports, vectors, cached norms) without
+    ever re-running mining, selection, or the pattern-vs-pattern lattice
+    build.  Every mutation is recorded in :attr:`mutation_log` so the
+    index artifact can persist it as a delta instead of a full rewrite.
 
     Attributes
     ----------
@@ -50,11 +106,17 @@ class DSPreservedMapping:
         Indices (into ``space.features``) of the chosen dimensions.
     database_vectors:
         ``n × p`` binary embedding of the database graphs.
+    staleness_policy:
+        Governs when cumulative support drift triggers re-selection
+        (see :class:`StalenessPolicy`).
     """
 
     space: FeatureSpace
     selected: List[int]
     database_vectors: np.ndarray
+    staleness_policy: StalenessPolicy = field(
+        default_factory=StalenessPolicy, compare=False
+    )
     # The memoised online engine.  Never assign this directly — every
     # construction (lazy, loader-restored, post-mutation) must go through
     # :meth:`_build_engine`, the single construction point, so a reloaded
@@ -62,6 +124,27 @@ class DSPreservedMapping:
     _engine: Optional["QueryEngine"] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Whether support drift has crossed the policy threshold (with the
+    #: default ``"flag"`` policy) since the last (re-)selection.
+    stale: bool = field(default=False, init=False, compare=False)
+    #: Mutation records not yet persisted to an artifact's delta journal.
+    mutation_log: List[Dict] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    #: Identity of the v3 artifact this mapping descends from (set by the
+    #: artifact loader/writer), enabling delta-journal appends on save.
+    artifact_ref: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: How many journal entries of the base artifact are already folded
+    #: into this mapping's state.
+    journal_seq: int = field(default=0, init=False, repr=False, compare=False)
+    _support_baseline: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        self._support_baseline = self._selected_support_counts()
 
     @property
     def dimensionality(self) -> int:
@@ -151,6 +234,208 @@ class DSPreservedMapping:
         """
         self._engine = None
         self.__dict__.pop("database_sq_norms", None)
+
+    # ------------------------------------------------------------------
+    # the write path: incremental database mutations
+    # ------------------------------------------------------------------
+    def _selected_support_counts(self) -> np.ndarray:
+        return np.array(
+            [len(self.space.features[r].support) for r in self.selected],
+            dtype=np.int64,
+        )
+
+    @property
+    def support_drift(self) -> float:
+        """Relative L1 drift of selected supports since the baseline.
+
+        ``Σ_r |s_r − s_r⁰| / max(Σ_r s_r⁰, 1)`` where ``s_r⁰`` is the
+        support count of selected feature ``r`` when the selection was
+        last made (construction, load, or :meth:`reset_staleness`).
+        """
+        current = self._selected_support_counts()
+        base_total = max(int(self._support_baseline.sum()), 1)
+        return float(
+            np.abs(current - self._support_baseline).sum() / base_total
+        )
+
+    def reset_staleness(self) -> None:
+        """Accept the current supports as the new selection baseline."""
+        self._support_baseline = self._selected_support_counts()
+        self.stale = False
+
+    def _pre_mutation_gate(self, support_delta: np.ndarray) -> bool:
+        """Would this mutation cross the drift threshold?
+
+        With the ``"error"`` policy the mutation is rejected *here*,
+        before any state changes, so a refused mutation leaves the
+        mapping untouched.
+        """
+        prospective = self._selected_support_counts() + support_delta
+        base_total = max(int(self._support_baseline.sum()), 1)
+        drift = float(
+            np.abs(prospective - self._support_baseline).sum() / base_total
+        )
+        crossed = drift > self.staleness_policy.max_drift
+        if crossed and self.staleness_policy.on_stale == "error":
+            raise SelectionError(
+                f"mutation would push support drift to {drift:.3f} "
+                f"(max_drift={self.staleness_policy.max_drift}); "
+                "re-select features or relax the staleness policy"
+            )
+        return crossed
+
+    def _post_mutation(self, crossed: bool) -> None:
+        self._refresh_after_mutation()
+        if crossed:
+            on_stale = self.staleness_policy.on_stale
+            if callable(on_stale):
+                selected_before = list(self.selected)
+                on_stale(self)
+                if self.selected != selected_before:
+                    # The hook re-selected: the preserved lattice and
+                    # norms no longer describe this mapping — drop them
+                    # so the next engine build starts from the new
+                    # selection.  The on-disk base (and any pending
+                    # delta records) also describe the old selection,
+                    # so the artifact lineage is severed: the next
+                    # save_index must write a full base, never append
+                    # old-selection deltas for a new-selection mapping.
+                    self.invalidate_caches()
+                    self.artifact_ref = None
+                    self.journal_seq = 0
+                    self.mutation_log.clear()
+                self.reset_staleness()
+            else:
+                self.stale = True
+
+    def _refresh_after_mutation(self) -> None:
+        """Rebuild the cached engine against the mutated database.
+
+        Funnels through :meth:`invalidate_caches` + :meth:`_build_engine`
+        — the single construction point — while *preserving* the warm
+        engine's pattern-side offline products (lattice + profiles stay
+        valid: they depend only on the selected patterns, which database
+        mutations never change).  The cached squared norms were updated
+        incrementally by the applier, so they are re-seeded rather than
+        recomputed.
+        """
+        engine = self._engine
+        norms = self.__dict__.get("database_sq_norms")
+        self.invalidate_caches()
+        if engine is not None:
+            lattice, profiles = engine.selected_offline_products()
+            self._build_engine(lattice=lattice, pattern_profiles=profiles)
+        if norms is not None:
+            self.database_sq_norms = norms
+
+    def _apply_add_vectors(self, rows: np.ndarray) -> None:
+        """Pure state update for an add: no gate, no engine refresh.
+
+        Shared by :meth:`add_graphs` and the artifact loader's journal
+        replay (which already has the embedded rows, so replay costs
+        zero VF2 calls).
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self.dimensionality:
+            raise SelectionError(
+                f"added vectors must have {self.dimensionality} columns, "
+                f"got {rows.shape}"
+            )
+        full = np.zeros((rows.shape[0], self.space.m), dtype=np.int8)
+        full[:, self.selected] = rows != 0
+        self.space.append_rows(full)
+        if "database_sq_norms" in self.__dict__:
+            self.__dict__["database_sq_norms"] = np.concatenate(
+                [self.__dict__["database_sq_norms"], (rows**2).sum(axis=1)]
+            )
+        self.database_vectors = np.vstack([self.database_vectors, rows])
+
+    def _apply_remove(self, removed: List[int]) -> None:
+        """Pure state update for a removal (shared with journal replay)."""
+        n = self.database_vectors.shape[0]
+        removed_set = set(removed)
+        keep = [i for i in range(n) if i not in removed_set]
+        # space.remove_rows validates before touching anything, so a bad
+        # index list leaves the mapping fully unmutated.
+        self.space.remove_rows(removed)
+        if "database_sq_norms" in self.__dict__:
+            self.__dict__["database_sq_norms"] = self.__dict__[
+                "database_sq_norms"
+            ][keep]
+        self.database_vectors = self.database_vectors[keep]
+
+    def add_graphs(self, graphs: Sequence[LabeledGraph]) -> np.ndarray:
+        """Add database graphs without rebuilding the index.
+
+        Each new graph is embedded over the selected features by the
+        warm engine's lattice-pruned VF2 walk — the only isomorphism
+        work an add costs.  Supports, database vectors, and the cached
+        squared norms are updated locally; mining, selection, and the
+        lattice are never re-run.  New graphs take indices ``n..``.
+
+        Supports of *non-selected* universe features are not re-mined
+        for the new graphs (queries never read them); the staleness
+        policy exists precisely to bound how long that, and the drift of
+        the selected supports, may accumulate before re-selection.
+
+        Returns the ``len(graphs) × p`` embedded rows.
+        """
+        graphs = list(graphs)
+        if not graphs:
+            return np.zeros((0, self.dimensionality))
+        engine = self.query_engine()
+        rows = engine.embed_many(graphs)
+        crossed = self._pre_mutation_gate(
+            rows.sum(axis=0).astype(np.int64)
+        )
+        self._apply_add_vectors(rows)
+        self.mutation_log.append(
+            {"op": "add", "vectors": rows.astype(int).tolist()}
+        )
+        self._post_mutation(crossed)
+        return rows
+
+    def remove_graphs(self, indices: Sequence[int]) -> None:
+        """Remove database graphs *indices* without rebuilding the index.
+
+        Indices refer to the current row numbering; survivors are
+        renumbered compactly (row ``i`` drops by the number of removed
+        rows below it).  Exact and VF2-free: supports, vectors, and
+        cached norms are updated locally.
+        """
+        removed = sorted({int(i) for i in indices})
+        if not removed:
+            return
+        n = self.database_vectors.shape[0]
+        if removed[0] < 0 or removed[-1] >= n:
+            raise SelectionError(
+                f"remove indices out of range for database of size {n}"
+            )
+        delta = -self.database_vectors[removed].sum(axis=0).astype(np.int64)
+        crossed = self._pre_mutation_gate(delta)
+        self._apply_remove(removed)
+        self.mutation_log.append({"op": "remove", "indices": removed})
+        self._post_mutation(crossed)
+
+    def replay_mutation(self, entry: Dict) -> None:
+        """Apply one persisted delta-journal *entry* (loader use).
+
+        Replay is pure array work — adds carry their embedded rows, so
+        no VF2 runs.  The caller (the artifact loader) refreshes the
+        engine once after the whole journal, via
+        :meth:`_refresh_after_mutation`.
+        """
+        op = entry.get("op")
+        if op == "add":
+            self._apply_add_vectors(
+                np.asarray(entry["vectors"], dtype=float)
+            )
+        elif op == "remove":
+            self._apply_remove([int(i) for i in entry["indices"]])
+        else:
+            from repro.utils.errors import JournalError
+
+            raise JournalError(f"unknown journal op {op!r}")
 
     def query_service(
         self,

@@ -2,22 +2,25 @@
 
 An index is expensive to build (mining + NP-hard dissimilarities +
 selection + the pattern-vs-pattern VF2 lattice pass), so a downstream
-deployment wants to build once and reload at serving time.  Two on-disk
-formats exist:
+deployment wants to build once, reload at serving time, and *mutate in
+place* as the database changes.  Three on-disk formats exist:
 
-* **format v2** (current) — the complete
-  :class:`~repro.index.artifact.IndexArtifact`: selected dimension
-  subgraphs (gSpan text), support sets, database embedding, the
-  feature-containment lattice, per-feature VF2 pattern profiles, cached
-  database squared norms, and a :class:`LabelCodec` so non-string labels
-  round-trip.  ``load_mapping(...).query_engine()`` cold-starts with
-  **zero** VF2 calls.
+* **format v3** (current) — the mutable
+  :class:`~repro.index.artifact.IndexArtifact`: a JSON manifest
+  (features, supports, lattice, VF2 pattern profiles, label codec) plus
+  a checksummed binary ``.npz`` payload for the database vectors and
+  squared norms, and an append-only delta journal that persists
+  incremental ``add_graphs`` / ``remove_graphs`` mutations without
+  rewriting the base.  ``load_mapping(...).query_engine()`` cold-starts
+  with **zero** VF2 calls, journal replay included.
+* **format v2** (legacy) — the same offline products embedded in a
+  single JSON document.  Still loads cold-start-free.
 * **format v1** (legacy) — mapping data only.  Still loads; the engine
   rebuilds its lattice on first use, and labels come back as strings
-  (the historical caveat the codec fixes in v2).
+  (the historical caveat the codec fixes in v2+).
 
 This module is the stable entry point (:func:`save_mapping` /
-:func:`load_mapping`); the v2 heavy lifting lives in :mod:`repro.index`.
+:func:`load_mapping`); the v3 heavy lifting lives in :mod:`repro.index`.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ from repro.mining.gspan import FrequentSubgraph
 PathLike = Union[str, Path]
 
 LEGACY_FORMAT_VERSION = 1
-FORMAT_VERSION = 2
+V2_FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 
 class LabelCodec:
@@ -138,16 +142,18 @@ class LabelCodec:
 
 
 def save_mapping(mapping: DSPreservedMapping, path: PathLike) -> None:
-    """Serialise *mapping* to *path* as a format-v2 index artifact.
+    """Serialise *mapping* to *path* as a format-v3 index artifact.
 
     The artifact captures everything the online path needs — including
     the feature lattice and pattern profiles, built here (offline) if
     the mapping has not answered a query yet — so reloading never
-    repeats any VF2 work.
+    repeats any VF2 work.  Saving a mapping that descends from the
+    artifact already at *path* appends its pending mutations to the
+    delta journal instead of rewriting the binary payload.
     """
-    from repro.index.artifact import IndexArtifact
+    from repro.index.artifact import save_index
 
-    IndexArtifact.from_mapping(mapping).save(path)
+    save_index(mapping, path)
 
 
 def save_mapping_v1(mapping: DSPreservedMapping, path: PathLike) -> None:
@@ -190,28 +196,23 @@ def _load_v1(payload: Dict) -> DSPreservedMapping:
 
 
 def load_mapping(path: PathLike) -> DSPreservedMapping:
-    """Reload a mapping saved by :func:`save_mapping` (v2 or legacy v1).
+    """Reload a mapping saved by :func:`save_mapping` (v3, v2, or v1).
 
     The restored object answers queries exactly like the original; its
     feature space contains only the selected dimensions (indices
     ``0..p-1``).
 
-    * v2 files restore the full index artifact: the returned mapping has
-      its query engine pre-attached (persisted lattice + pattern
+    * v3/v2 files restore the full index artifact: the returned mapping
+      has its query engine pre-attached (persisted lattice + pattern
       profiles + squared norms) and labels decoded to their original
       types, so ``load_mapping(path).query_engine()`` performs zero VF2
-      calls.
+      calls — for v3 the binary payload is checksum-verified and the
+      delta journal replayed first.
     * v1 files lack the lattice and the label codec: the engine rebuilds
       its lattice on first use, and labels come back as strings (query
       graphs must use the same stringified convention — the documented
       legacy caveat).
     """
-    payload = json.loads(Path(path).read_text())
-    version = payload.get("format_version")
-    if version == LEGACY_FORMAT_VERSION:
-        return _load_v1(payload)
-    if version == FORMAT_VERSION:
-        from repro.index.artifact import IndexArtifact
+    from repro.index.artifact import load_index
 
-        return IndexArtifact(payload).to_mapping()
-    raise ValueError(f"unsupported mapping format version {version!r}")
+    return load_index(path)

@@ -58,6 +58,59 @@ class FeatureSpace:
         self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
 
     # ------------------------------------------------------------------
+    # database mutations
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: np.ndarray) -> None:
+        """Append database graphs whose incidence rows are *rows*.
+
+        *rows* is ``(k, m)`` binary; the new graphs take indices
+        ``n..n+k-1``.  Incidence, per-feature support sets, and support
+        counts are all updated in place — the inverted lists stay the
+        single source of truth for feature supports.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.m:
+            raise SelectionError(
+                f"appended rows must have {self.m} columns, got {rows.shape}"
+            )
+        rows = (rows != 0).astype(np.int8)
+        start = self.n
+        self.incidence = np.vstack([self.incidence, rows])
+        self.n += rows.shape[0]
+        for offset, row in enumerate(rows):
+            gid = start + offset
+            for r in np.flatnonzero(row):
+                self.features[int(r)].support.add(gid)
+        self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
+
+    def remove_rows(self, indices: Sequence[int]) -> None:
+        """Remove database graphs *indices*, renumbering the survivors.
+
+        Surviving graphs keep their relative order; every support set is
+        rewritten through the old→new index map.  Exact — no isomorphism
+        tests are needed to delete rows.
+        """
+        removed = sorted({int(i) for i in indices})
+        if not removed:
+            return
+        if removed[0] < 0 or removed[-1] >= self.n:
+            raise SelectionError(
+                f"remove indices out of range for database of size {self.n}"
+            )
+        if len(removed) == self.n:
+            raise SelectionError("cannot remove every database graph")
+        removed_set = set(removed)
+        keep = [i for i in range(self.n) if i not in removed_set]
+        new_id = {old: new for new, old in enumerate(keep)}
+        self.incidence = self.incidence[keep]
+        self.n = len(keep)
+        for feat in self.features:
+            feat.support = {
+                new_id[g] for g in feat.support if g not in removed_set
+            }
+        self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
+
+    # ------------------------------------------------------------------
     # inverted lists
     # ------------------------------------------------------------------
     def inverted_feature_list(self, r: int) -> np.ndarray:

@@ -1,18 +1,35 @@
-"""The versioned on-disk index artifact (format v2).
+"""The versioned on-disk index artifact (format v3).
 
-The paper's economics are "pay offline, serve cheap": mining, the
-NP-hard dissimilarity matrix, DSPM selection — and, since the engine
-overhaul, the pattern-vs-pattern VF2 lattice pass — all happen once at
-index-build time.  :class:`IndexArtifact` persists *every* product of
-that offline work, so a reloaded index cold-starts its
+The paper's economics are "pay offline, serve cheap"; a deployment adds
+"mutate cheap".  Mining, the NP-hard dissimilarity matrix, DSPM
+selection, and the pattern-vs-pattern VF2 lattice pass all happen once
+at index-build time; :class:`IndexArtifact` persists *every* product of
+that offline work (JSON manifest + checksummed binary ``.npz`` payload),
+so a reloaded index cold-starts its
 :class:`~repro.query.engine.QueryEngine` with zero VF2 calls.
+Incremental ``add_graphs`` / ``remove_graphs`` mutations persist as an
+append-only delta journal next to the base; :func:`compact_index` folds
+them back in.
 """
 
 from repro.index.artifact import (
     FORMAT_VERSION,
     IndexArtifact,
+    compact_index,
+    journal_path,
     load_index,
+    payload_path,
     save_index,
+    save_index_v2,
 )
 
-__all__ = ["FORMAT_VERSION", "IndexArtifact", "load_index", "save_index"]
+__all__ = [
+    "FORMAT_VERSION",
+    "IndexArtifact",
+    "compact_index",
+    "journal_path",
+    "load_index",
+    "payload_path",
+    "save_index",
+    "save_index_v2",
+]

@@ -1,85 +1,180 @@
-"""The format-v2 index artifact: everything the online path needs.
+"""The format-v3 index artifact: a mutable index's on-disk lifecycle.
 
-Format v1 (``repro.core.persistence``) persisted the mapping alone, so
-every reload re-ran the offline pattern-vs-pattern VF2 pass to rebuild
-the feature-containment lattice and recomputed each feature's VF2
-invariants.  The v2 artifact adds:
+Format v1 (``repro.core.persistence``) persisted the mapping alone; v2
+added every offline product the online path needs (feature lattice,
+pattern profiles, squared norms, label codec) embedded in one JSON
+document, so reloads cold-start with zero VF2 calls.  Format v3 keeps
+that contract and makes the artifact **mutable and binary**:
 
-* the :class:`~repro.query.engine.FeatureLattice` DAG (order + transitive
-  ancestor sets; descendants are the transpose, derived on load),
-* per-feature :class:`~repro.isomorphism.vf2.PatternProfile` invariants
-  (label histograms, degree sequence, VF2 search order),
-* the cached database squared norms (the fixed half of every
-  query-database distance computation — cheap to recompute, so the load
-  path cross-checks them against the vectors as an integrity check
-  before seeding the mapping's cache), and
-* a :class:`~repro.core.persistence.LabelCodec` so non-string labels
-  (the synthetic datasets' integers) round-trip exactly.
+* the heavy arrays — database vectors and squared norms — move out of
+  JSON into a compressed ``.npz`` sidecar (``<path>.npz``), whose
+  SHA-256 is recorded in the manifest and verified on load: a truncated
+  or bit-flipped payload raises :class:`~repro.utils.errors.ChecksumError`
+  instead of mis-ranking silently;
+* an **append-only delta journal** (``<path>.journal``, JSON lines,
+  each entry checksummed and sequence-numbered) records incremental
+  :meth:`~repro.core.mapping.DSPreservedMapping.add_graphs` /
+  :meth:`~repro.core.mapping.DSPreservedMapping.remove_graphs`
+  mutations.  :func:`save_index` on a mapping that descends from the
+  artifact on disk appends deltas instead of rewriting the payload;
+  :func:`load_index` replays them (pure array work — zero VF2) and
+  :func:`compact_index` folds them back into a fresh base.
 
-``load_index(path).query_engine()`` therefore performs **zero** VF2
-calls — the test suite enforces this with call counters.  The document
-is a single JSON file: portable, diffable, and versioned.
+v1 and v2 files still load through the existing fallbacks; saving always
+produces v3.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.mapping import DSPreservedMapping
-from repro.core.persistence import FORMAT_VERSION, LabelCodec
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    V2_FORMAT_VERSION,
+    LabelCodec,
+    _load_v1,
+)
 from repro.features.binary_matrix import FeatureSpace
 from repro.graph.io import dumps_gspan, loads_gspan
 from repro.isomorphism.vf2 import PatternProfile
 from repro.mining.gspan import FrequentSubgraph
 from repro.query.engine import FeatureLattice
+from repro.utils.errors import (
+    ArtifactCorruptError,
+    ChecksumError,
+    CodecMissingError,
+    FormatVersionError,
+    JournalError,
+    LatticeShapeError,
+    PayloadMissingError,
+)
 
 PathLike = Union[str, Path]
 
 ARTIFACT_KIND = "repro-graphdim-index"
 
-__all__ = ["FORMAT_VERSION", "IndexArtifact", "load_index", "save_index"]
+#: The arrays a v3 binary payload must carry, in manifest order.
+PAYLOAD_ARRAYS = ("database_vectors", "database_sq_norms")
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IndexArtifact",
+    "compact_index",
+    "journal_path",
+    "load_index",
+    "payload_path",
+    "save_index",
+    "save_index_v2",
+]
 
 
-def _corrupt(detail: str) -> ValueError:
-    return ValueError(f"corrupt mapping file: {detail}")
+def _corrupt(detail: str) -> ArtifactCorruptError:
+    return ArtifactCorruptError(f"corrupt mapping file: {detail}")
+
+
+def payload_path(path: PathLike) -> Path:
+    """The binary sidecar of a v3 manifest at *path*."""
+    return Path(str(path) + ".npz")
+
+
+def journal_path(path: PathLike) -> Path:
+    """The delta-journal sidecar of a v3 manifest at *path*."""
+    return Path(str(path) + ".journal")
+
+
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _entry_digest(entry: Dict) -> str:
+    """Checksum of one journal entry (its ``sha256`` field excluded)."""
+    body = {k: v for k, v in entry.items() if k != "sha256"}
+    return _sha256_bytes(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    )
+
+
+def _read_journal(path: Path, artifact_id: str) -> List[Dict]:
+    """Parse and verify the delta journal for *artifact_id*.
+
+    Every entry must carry a valid checksum, name the base artifact, and
+    continue the sequence without gaps — anything else fails loudly.
+    """
+    if not path.exists():
+        return []
+    entries: List[Dict] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal line {lineno} is not valid JSON"
+            ) from exc
+        if not isinstance(entry, dict):
+            raise JournalError(f"journal line {lineno} is not an object")
+        if entry.get("sha256") != _entry_digest(entry):
+            raise ChecksumError(
+                f"journal line {lineno} fails its checksum"
+            )
+        if entry.get("artifact_id") != artifact_id:
+            raise JournalError(
+                f"journal line {lineno} belongs to artifact "
+                f"{entry.get('artifact_id')!r}, not {artifact_id!r}"
+            )
+        if entry.get("seq") != len(entries):
+            raise JournalError(
+                f"journal line {lineno} is out of sequence "
+                f"(seq={entry.get('seq')!r}, expected {len(entries)})"
+            )
+        entries.append(entry)
+    return entries
 
 
 @dataclass
 class IndexArtifact:
-    """A format-v2 index document (the parsed JSON payload).
+    """A parsed index artifact: manifest + binary arrays + journal.
 
-    Construct with :meth:`from_mapping` (serialising a built index) or
-    :meth:`load` (reading a saved one); turn back into a live, fully
-    warmed mapping with :meth:`to_mapping`.
+    ``payload`` holds the JSON manifest (a complete v2 document for v2
+    files).  For v3, ``arrays`` carries the binary payload and
+    ``journal`` the verified delta entries.  Construct with
+    :meth:`from_mapping` (serialising a built index) or :meth:`load`
+    (reading a saved one); turn back into a live, fully warmed mapping
+    with :meth:`to_mapping`.
     """
 
     payload: Dict
+    arrays: Optional[Dict[str, np.ndarray]] = None
+    journal: List[Dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # mapping -> artifact
     # ------------------------------------------------------------------
     @classmethod
     def from_mapping(cls, mapping: DSPreservedMapping) -> "IndexArtifact":
-        """Capture *mapping* plus its engine's offline products.
+        """Capture *mapping*'s current state plus its offline products.
 
-        Builds the engine first if the mapping has not served a query yet
-        — saving is exactly the moment to pay the offline lattice cost.
-        A pivot-enabled engine's extra patterns are not part of the
-        output space; its lattice is projected onto the selected
-        positions (zero VF2) before persisting.
+        Builds the engine first if the mapping has not served a query
+        yet — saving is exactly the moment to pay the offline lattice
+        cost.  A pivot-enabled engine's extra patterns are not part of
+        the output space; its lattice is projected onto the selected
+        positions (zero VF2) before persisting.  Any applied mutations
+        are already folded into the supports and vectors, so the result
+        is a clean v3 *base* (empty journal).
         """
         engine = mapping.query_engine()
+        lattice, profiles = engine.selected_offline_products()
         p = mapping.dimensionality
-        lattice = engine.lattice
-        profiles = engine._pattern_profiles
-        if len(engine.patterns) > p:
-            lattice = lattice.restrict(range(p))
-            profiles = profiles[:p]
 
         features = mapping.selected_features()
         codec = LabelCodec.for_graphs([f.graph for f in features])
@@ -89,6 +184,10 @@ class IndexArtifact:
                 ((codec.encode(lab), int(n)) for lab, n in counts.items())
             )
 
+        arrays = {
+            "database_vectors": mapping.database_vectors.astype(np.uint8),
+            "database_sq_norms": mapping.database_sq_norms.astype(np.int64),
+        }
         payload = {
             "format_version": FORMAT_VERSION,
             "kind": ARTIFACT_KIND,
@@ -96,11 +195,14 @@ class IndexArtifact:
             "dimensionality": p,
             "feature_graphs": dumps_gspan([f.graph for f in features]),
             "feature_supports": [sorted(f.support) for f in features],
-            "label_codec": codec.to_payload(),
-            "database_vectors": mapping.database_vectors.astype(int).tolist(),
-            "database_sq_norms": [
-                int(v) for v in mapping.database_sq_norms
+            # The staleness contract survives persistence: drift is
+            # measured against the supports at *selection* time, not at
+            # the last save/compaction, so the baseline rides along.
+            "selection_baseline": [
+                int(v) for v in mapping._support_baseline
             ],
+            "stale": bool(mapping.stale),
+            "label_codec": codec.to_payload(),
             "lattice": {
                 "order": [int(r) for r in lattice.order],
                 "ancestors": [
@@ -121,8 +223,31 @@ class IndexArtifact:
                 }
                 for prof in profiles
             ],
+            "payload": {
+                "sha256": None,  # of the .npz file; filled in by save()
+                "arrays": {
+                    name: {
+                        "shape": list(array.shape),
+                        "dtype": str(array.dtype),
+                    }
+                    for name, array in arrays.items()
+                },
+            },
         }
-        return cls(payload)
+        # A deterministic content identity (independent of npz
+        # compression bytes): the manifest core plus the raw array data.
+        digest = hashlib.sha256()
+        digest.update(
+            json.dumps(
+                {k: v for k, v in payload.items() if k != "payload"},
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode()
+        )
+        for name in PAYLOAD_ARRAYS:
+            digest.update(arrays[name].tobytes())
+        payload["artifact_id"] = digest.hexdigest()[:16]
+        return cls(payload, arrays=arrays)
 
     # ------------------------------------------------------------------
     # artifact -> mapping
@@ -133,15 +258,20 @@ class IndexArtifact:
         Every persisted offline product is restored, not recomputed: the
         lattice, the pattern profiles, and the database squared norms.
         The engine is wired in through the mapping's single construction
-        point, so nothing can later race it with a stale rebuild.
+        point, so nothing can later race it with a stale rebuild.  For
+        v3, the delta journal is then replayed (pure array updates — no
+        VF2) and the mapping remembers its base artifact so the next
+        :func:`save_index` can append instead of rewriting.
         """
         payload = self.payload
         version = payload.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported mapping format version {version!r}")
+        if version not in (V2_FORMAT_VERSION, FORMAT_VERSION):
+            raise FormatVersionError(
+                f"unsupported mapping format version {version!r}"
+            )
         kind = payload.get("kind")
         if kind != ARTIFACT_KIND:
-            raise ValueError(
+            raise ArtifactCorruptError(
                 f"not a {ARTIFACT_KIND!r} artifact (kind={kind!r})"
             )
 
@@ -149,7 +279,9 @@ class IndexArtifact:
         if not isinstance(codec_payload, dict) or not codec_payload:
             # Tolerating a dropped codec would silently reintroduce the
             # string-label mismatch bug v2 exists to fix.
-            raise _corrupt("missing label codec")
+            raise CodecMissingError(
+                "corrupt mapping file: missing label codec"
+            )
         codec = LabelCodec.from_payload(codec_payload)
         graphs = [
             codec.decode_graph(g)
@@ -168,7 +300,7 @@ class IndexArtifact:
             raise _corrupt("feature/dimensionality count mismatch")
         space = FeatureSpace(features, n)
 
-        vectors = np.asarray(payload["database_vectors"], dtype=float)
+        vectors, sq_norms = self._payload_arrays(version)
         if vectors.shape != (n, p):
             raise _corrupt("embedding shape mismatch")
         mapping = DSPreservedMapping(
@@ -177,7 +309,6 @@ class IndexArtifact:
             database_vectors=vectors,
         )
 
-        sq_norms = np.asarray(payload["database_sq_norms"], dtype=float)
         if sq_norms.shape != (n,):
             raise _corrupt("squared-norm shape mismatch")
         if not np.array_equal(sq_norms, (vectors**2).sum(axis=1)):
@@ -188,14 +319,60 @@ class IndexArtifact:
             lattice=self._restore_lattice(p),
             pattern_profiles=self._restore_profiles(features, codec),
         )
+
+        baseline = payload.get("selection_baseline")
+        if baseline is not None:
+            if len(baseline) != p:
+                raise _corrupt("selection baseline length mismatch")
+            mapping._support_baseline = np.asarray(baseline, dtype=np.int64)
+        mapping.stale = bool(payload.get("stale", False))
+
+        if version == FORMAT_VERSION:
+            for entry in self.journal:
+                mapping.replay_mutation(entry)
+            if self.journal:
+                mapping._refresh_after_mutation()
+            mapping.artifact_ref = payload.get("artifact_id")
+            mapping.journal_seq = len(self.journal)
+            mapping.mutation_log.clear()
+        # A load must always succeed; drift past the (default) policy
+        # threshold is reported through the flag, never raised.
+        if mapping.support_drift > mapping.staleness_policy.max_drift:
+            mapping.stale = True
         return mapping
+
+    def _payload_arrays(self, version: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The (vectors, sq_norms) pair from binary (v3) or JSON (v2)."""
+        if version == FORMAT_VERSION:
+            if self.arrays is None:
+                raise PayloadMissingError(
+                    "v3 artifact has no binary payload attached"
+                )
+            missing = [k for k in PAYLOAD_ARRAYS if k not in self.arrays]
+            if missing:
+                raise _corrupt(f"payload arrays missing: {missing}")
+            vectors = np.asarray(
+                self.arrays["database_vectors"], dtype=float
+            )
+            sq_norms = np.asarray(
+                self.arrays["database_sq_norms"], dtype=float
+            )
+        else:
+            vectors = np.asarray(self.payload["database_vectors"], dtype=float)
+            sq_norms = np.asarray(
+                self.payload["database_sq_norms"], dtype=float
+            )
+        return vectors, sq_norms
 
     def _restore_lattice(self, p: int) -> FeatureLattice:
         lat = self.payload.get("lattice")
         if not isinstance(lat, dict):
             raise _corrupt("missing lattice")
         if len(lat["ancestors"]) != p:
-            raise _corrupt("lattice does not match the feature count")
+            raise LatticeShapeError(
+                "corrupt mapping file: lattice does not match the "
+                f"feature count (got {len(lat['ancestors'])}, expected {p})"
+            )
         try:
             return FeatureLattice.from_ancestors(
                 [int(r) for r in lat["order"]],
@@ -230,22 +407,205 @@ class IndexArtifact:
     # I/O
     # ------------------------------------------------------------------
     def save(self, path: PathLike) -> None:
-        Path(path).write_text(json.dumps(self.payload))
+        """Write a full v3 base: manifest + binary payload, fresh journal.
+
+        The payload's SHA-256 goes into the manifest *after* the bytes
+        are written, and any existing delta journal is removed — a full
+        write starts a new mutation history.
+        """
+        if self.arrays is None:
+            raise PayloadMissingError(
+                "cannot save an artifact without its binary payload"
+            )
+        path = Path(path)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **self.arrays)
+        data = buffer.getvalue()
+        payload_path(path).write_bytes(data)
+        manifest = dict(self.payload)
+        manifest["payload"] = {
+            "file": payload_path(path).name,
+            "sha256": _sha256_bytes(data),
+            "arrays": {
+                name: {
+                    "shape": list(array.shape),
+                    "dtype": str(array.dtype),
+                }
+                for name, array in self.arrays.items()
+            },
+        }
+        path.write_text(json.dumps(manifest))
+        journal = journal_path(path)
+        if journal.exists():
+            journal.unlink()
 
     @classmethod
     def load(cls, path: PathLike) -> "IndexArtifact":
-        payload = json.loads(Path(path).read_text())
+        """Read a v2 or v3 artifact, verifying every v3 checksum."""
+        path = Path(path)
+        return cls.from_payload(json.loads(path.read_text()), path)
+
+    @classmethod
+    def from_payload(cls, payload: Dict, path: Path) -> "IndexArtifact":
+        """Build from an already-parsed manifest (*path* locates the v3
+        sidecars) — lets :func:`load_index` parse the JSON exactly once."""
         version = payload.get("format_version")
+        if version == V2_FORMAT_VERSION:
+            return cls(payload)
         if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported mapping format version {version!r}")
-        return cls(payload)
+            raise FormatVersionError(
+                f"unsupported mapping format version {version!r}"
+            )
+        meta = payload.get("payload")
+        if not isinstance(meta, dict) or not isinstance(
+            meta.get("arrays"), dict
+        ):
+            raise _corrupt("missing binary payload metadata")
+        binary = payload_path(path)
+        if not binary.exists():
+            raise PayloadMissingError(
+                f"binary payload {binary.name!r} is missing next to the "
+                "manifest"
+            )
+        data = binary.read_bytes()
+        if _sha256_bytes(data) != meta.get("sha256"):
+            raise ChecksumError(
+                f"binary payload {binary.name!r} fails its checksum — "
+                "truncated or corrupted"
+            )
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except (ValueError, OSError, KeyError) as exc:
+            raise _corrupt(f"unreadable binary payload: {exc}") from exc
+        for name, spec in meta["arrays"].items():
+            if name not in arrays:
+                raise _corrupt(f"payload array {name!r} missing")
+            array = arrays[name]
+            if list(array.shape) != list(spec.get("shape", [])) or str(
+                array.dtype
+            ) != spec.get("dtype"):
+                raise _corrupt(
+                    f"payload array {name!r} does not match its manifest "
+                    "shape/dtype"
+                )
+        journal = _read_journal(
+            journal_path(path), payload.get("artifact_id")
+        )
+        return cls(payload, arrays=arrays, journal=journal)
 
 
-def save_index(mapping: DSPreservedMapping, path: PathLike) -> None:
-    """Persist *mapping* (and all its offline products) as format v2."""
-    IndexArtifact.from_mapping(mapping).save(path)
+# ----------------------------------------------------------------------
+# the module-level lifecycle API
+# ----------------------------------------------------------------------
+def save_index(
+    mapping: DSPreservedMapping, path: PathLike, compact: bool = False
+) -> None:
+    """Persist *mapping* as format v3 — deltas when possible.
+
+    If *mapping* descends from the v3 artifact already at *path* (it was
+    loaded from it, or previously saved there) and the on-disk journal
+    is exactly where the mapping left it, only the pending
+    :attr:`~repro.core.mapping.DSPreservedMapping.mutation_log` entries
+    are appended to the delta journal — the binary payload is not
+    rewritten.  Otherwise (first save, foreign path, diverged *or
+    corrupt* journal, or ``compact=True``) a full base is written and
+    the journal reset — the live mapping holds the complete state, so
+    a full write also repairs an artifact whose journal was damaged.
+    """
+    path = Path(path)
+    if not compact and mapping.artifact_ref is not None and path.exists():
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            manifest = None
+        if (
+            isinstance(manifest, dict)
+            and manifest.get("format_version") == FORMAT_VERSION
+            and manifest.get("kind") == ARTIFACT_KIND
+            and manifest.get("artifact_id") == mapping.artifact_ref
+        ):
+            try:
+                existing = _read_journal(
+                    journal_path(path), mapping.artifact_ref
+                )
+            except ArtifactCorruptError:
+                existing = None  # damaged journal: fall through and repair
+            if existing is not None and len(existing) == mapping.journal_seq:
+                _append_deltas(path, mapping)
+                return
+    artifact = IndexArtifact.from_mapping(mapping)
+    artifact.save(path)
+    mapping.artifact_ref = artifact.payload["artifact_id"]
+    mapping.journal_seq = 0
+    mapping.mutation_log.clear()
+
+
+def _append_deltas(path: Path, mapping: DSPreservedMapping) -> None:
+    """Append the mapping's pending mutations to the delta journal."""
+    if not mapping.mutation_log:
+        return
+    lines = []
+    for offset, record in enumerate(mapping.mutation_log):
+        entry = {
+            "seq": mapping.journal_seq + offset,
+            "artifact_id": mapping.artifact_ref,
+            **record,
+        }
+        entry["sha256"] = _entry_digest(entry)
+        lines.append(json.dumps(entry, sort_keys=True))
+    with journal_path(path).open("a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    mapping.journal_seq += len(mapping.mutation_log)
+    mapping.mutation_log.clear()
 
 
 def load_index(path: PathLike) -> DSPreservedMapping:
-    """Reload a v2 artifact into a mapping with a zero-VF2 warm engine."""
-    return IndexArtifact.load(path).to_mapping()
+    """Reload an index artifact into a warm mapping (v1/v2/v3).
+
+    * v3 — binary payload verified against its checksum, engine
+      pre-attached with zero VF2 calls, delta journal replayed.
+    * v2 — the embedded-JSON document, engine pre-attached (the
+      pre-binary fallback).
+    * v1 — mapping data only; the engine rebuilds its lattice on first
+      use and labels come back as strings (the documented legacy caveat).
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if payload.get("format_version") == LEGACY_FORMAT_VERSION:
+        return _load_v1(payload)
+    return IndexArtifact.from_payload(payload, path).to_mapping()
+
+
+def compact_index(path: PathLike) -> DSPreservedMapping:
+    """Fold the delta journal at *path* into a fresh v3 base.
+
+    Loads the artifact (replaying every delta), rewrites the full binary
+    payload, and truncates the journal.  Returns the compacted mapping,
+    ready to serve or mutate further.
+    """
+    mapping = load_index(path)
+    save_index(mapping, path, compact=True)
+    return mapping
+
+
+def save_index_v2(mapping: DSPreservedMapping, path: PathLike) -> None:
+    """Write the legacy single-JSON v2 document (embedded arrays).
+
+    Kept for backward-compat testing and for producing files readable by
+    pre-v3 deployments; new code should use :func:`save_index`.
+    """
+    artifact = IndexArtifact.from_mapping(mapping)
+    payload = {
+        k: v
+        for k, v in artifact.payload.items()
+        if k not in ("payload", "artifact_id")
+    }
+    payload["format_version"] = V2_FORMAT_VERSION
+    payload["database_vectors"] = (
+        artifact.arrays["database_vectors"].astype(int).tolist()
+    )
+    payload["database_sq_norms"] = [
+        int(v) for v in artifact.arrays["database_sq_norms"]
+    ]
+    Path(path).write_text(json.dumps(payload))

@@ -323,6 +323,21 @@ class QueryEngine:
         ]
         self.stats = EngineStats()
 
+    def selected_offline_products(
+        self,
+    ) -> Tuple[FeatureLattice, List[PatternProfile]]:
+        """The lattice + profiles restricted to selected positions.
+
+        A pivot-enabled engine carries extra patterns that are not part
+        of the output space; both the index-artifact writer and the
+        mutable-index refresh path need the offline products projected
+        onto the selected positions only (zero VF2 — lattice projection).
+        """
+        p = self.num_selected
+        if len(self.patterns) > p:
+            return self.lattice.restrict(range(p)), self._pattern_profiles[:p]
+        return self.lattice, list(self._pattern_profiles)
+
     # ------------------------------------------------------------------
     # embedding (the VF2 feature-matching hot path)
     # ------------------------------------------------------------------

@@ -123,8 +123,13 @@ def run_serving_bench(
             "service_qps": stream_length / service_seconds,
             "speedup": engine_seconds / service_seconds,
             "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
             "embedded_queries": stats.embedded_queries,
             "cache_hit_rate": stats.cache_hits / max(stats.queries, 1),
+            "shard_seconds": stats.shard_seconds,
+            "shard_tasks": stats.shard_tasks,
+            "embed_seconds": stats.embed_seconds,
+            "search_seconds": stats.search_seconds,
             "shard_sizes": [s.num_rows for s in service.shards],
             "varying_columns": [len(s.varying) for s in service.shards],
         }
@@ -145,8 +150,13 @@ def run_serving_bench(
         f"(shards={result['n_shards']}, workers={result['n_workers']}, "
         f"embed={result['embed_mode']})",
         f"embedding cache: {result['cache_hits']} hits / "
-        f"{result['embedded_queries']} embedded "
-        f"({100 * result['cache_hit_rate']:.0f}% hit rate)",
+        f"{result['cache_misses']} misses "
+        f"({result['embedded_queries']} embedded, "
+        f"{100 * result['cache_hit_rate']:.0f}% hit rate)",
+        f"stage timings: embed {result['embed_seconds'] * 1e3:.1f} ms, "
+        f"search {result['search_seconds'] * 1e3:.1f} ms "
+        f"({result['shard_tasks']} shard tasks totalling "
+        f"{result['shard_seconds'] * 1e3:.1f} ms)",
         f"shard sizes: {result['shard_sizes']}, varying columns per shard: "
         f"{result['varying_columns']}",
     ]

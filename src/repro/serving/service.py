@@ -25,6 +25,14 @@ result bit:
   returns φ(q) without any VF2 — exact, since equal structure implies
   an equal embedding.
 
+* **Live updates.**  :meth:`QueryService.apply_update` mutates the
+  underlying index (incremental add/remove — see
+  :meth:`DSPreservedMapping.add_graphs
+  <repro.core.mapping.DSPreservedMapping.add_graphs>`) and swaps in a
+  new shard list atomically, rebuilding only the shards whose rows
+  changed; the embedding cache survives because φ(q) depends only on
+  the selected patterns, which add/remove never touches.
+
 Bit-identity with the engine path is enforced by the serving test suite
 and re-asserted on every benchmark run.
 """
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -113,17 +122,30 @@ class Shard:
 
 @dataclass
 class ServiceStats:
-    """Cumulative counters of one :class:`QueryService`."""
+    """Cumulative counters of one :class:`QueryService`.
+
+    ``cache_misses`` counts first-in-batch lookups that had to embed
+    (0 with the cache disabled).  ``cache_hits`` counts every embedding
+    served without VF2 work — cross-batch cache lookups *and* in-batch
+    duplicates, which dedup even when the cache is off.
+    ``shard_seconds`` accumulates the wall-clock of every shard
+    distance task — with the thread pool enabled it can exceed
+    ``search_seconds`` (tasks overlap).
+    """
 
     batches: int = 0
     queries: int = 0
     embedded_queries: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     vf2_calls: int = 0
     features_pruned: int = 0
     shard_tasks: int = 0
     embed_seconds: float = 0.0
     search_seconds: float = 0.0
+    shard_seconds: float = 0.0
+    updates: int = 0
+    shards_rebuilt: int = 0
 
 
 class QueryService:
@@ -161,12 +183,25 @@ class QueryService:
         cache_size: int = 1024,
         embed_mode: str = "auto",
     ) -> None:
+        # Pool/cache handles first: close() must be safe on an instance
+        # whose constructor failed part-way (e.g. a bad shard layout) or
+        # whose pool never started.
+        self._embed_pool = None
+        self._shard_pool = None
+        self._cache: Optional[OrderedDict] = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self._cache_size = int(cache_size)
+        self._swap_lock = threading.Lock()
+        self.stats = ServiceStats()
+
         if isinstance(engine_or_mapping, DSPreservedMapping):
             engine = engine_or_mapping.query_engine()
         else:
             engine = engine_or_mapping
         self.engine = engine
         self.mapping = engine.mapping
+        self._selection_snapshot = tuple(self.mapping.selected)
         vectors = self.mapping.database_vectors
         n = vectors.shape[0]
 
@@ -210,14 +245,6 @@ class QueryService:
             self.n_workers > 1 and self._cpus > 1 and len(self.shards) > 1
         )
 
-        self._cache: Optional[OrderedDict] = (
-            OrderedDict() if cache_size > 0 else None
-        )
-        self._cache_size = int(cache_size)
-        self._embed_pool = None
-        self._shard_pool = None
-        self.stats = ServiceStats()
-
     # ------------------------------------------------------------------
     # shard construction
     # ------------------------------------------------------------------
@@ -236,6 +263,149 @@ class QueryService:
             vectors=block_vectors,
             sq_norms=(block_vectors**2).sum(axis=1),
         )
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        added: Sequence[LabeledGraph] = (),
+        removed: Sequence[int] = (),
+    ) -> None:
+        """Mutate the underlying index and refresh only what changed.
+
+        *removed* are database indices in the **pre-update** numbering;
+        removals are applied first, then *added* graphs append at the
+        end of the (renumbered) database.  The mapping mutation goes
+        through :meth:`DSPreservedMapping.remove_graphs
+        <repro.core.mapping.DSPreservedMapping.remove_graphs>` /
+        :meth:`~repro.core.mapping.DSPreservedMapping.add_graphs`, so
+        supports, vectors, and norms update incrementally and the
+        staleness policy applies.
+
+        Only the *affected* shards are rebuilt: shards that lost rows
+        (their constant-column folding may change) and the single —
+        currently smallest — shard that absorbs the added rows.
+        Untouched shards are renumbered without recomputing anything.
+        The new shard list is swapped in atomically under the swap
+        lock, so concurrent batches see either the old database or the
+        new one, never a mix.
+
+        The exact embedding cache is invalidated **only** when the
+        update changed the feature selection (a staleness-policy
+        re-selection callback fired): φ(q) depends on the selected
+        patterns alone, so plain add/remove leaves every cached
+        embedding exact.  Results after an update are bit-identical to
+        a from-scratch engine over the mutated database — the serving
+        test suite enforces it, ties included.
+
+        If the add half is rejected after a removal already applied
+        (e.g. an ``"error"``-mode staleness gate), the removal's shard
+        update is still swapped in — service and mapping stay in sync —
+        and the add's exception then propagates.
+        """
+        added = list(added)
+        removed_ids = sorted({int(i) for i in removed})
+        if not added and not removed_ids:
+            return
+        mapping = self.mapping
+        if sum(s.num_rows for s in self.shards) != (
+            mapping.database_vectors.shape[0]
+        ):
+            raise ValueError(
+                "service shards are out of sync with the mapping — "
+                "mutate a served index through apply_update, not the "
+                "mapping directly"
+            )
+        if removed_ids:
+            mapping.remove_graphs(removed_ids)
+        add_error: Optional[BaseException] = None
+        if added:
+            try:
+                mapping.add_graphs(added)
+            except BaseException as exc:
+                if not removed_ids:
+                    raise  # nothing was mutated; shards are still in sync
+                # The removal already applied: finish swapping shards
+                # for it so the service stays consistent with the
+                # mapping, then re-raise the add's failure (e.g. an
+                # "error"-mode staleness gate).
+                add_error = exc
+                added = []
+        n_after = mapping.database_vectors.shape[0]
+        new_ids = np.arange(n_after - len(added), n_after, dtype=np.int64)
+
+        # A re-selection callback changes φ itself: every shard and
+        # every cached embedding is then invalid, not just the mutated
+        # rows.
+        selection = tuple(mapping.selected)
+        selection_changed = selection != self._selection_snapshot
+
+        removed_arr = np.asarray(removed_ids, dtype=np.int64)
+        survivors: List[Tuple[Shard, np.ndarray, bool]] = []
+        for shard in self.shards:
+            old = shard.indices
+            if removed_arr.size:
+                mask = ~np.isin(old, removed_arr)
+                surviving = old[mask]
+                shifted = surviving - np.searchsorted(removed_arr, surviving)
+                lost = bool((~mask).any())
+            else:
+                shifted, lost = old, False
+            survivors.append((shard, shifted, lost))
+
+        target = -1
+        if added:
+            sizes = [len(shifted) for _shard, shifted, _lost in survivors]
+            target = int(np.argmin(sizes))
+
+        new_shards: List[Shard] = []
+        rebuilt = 0
+        for si, (shard, shifted, lost) in enumerate(survivors):
+            ids = (
+                np.concatenate([shifted, new_ids]) if si == target else shifted
+            )
+            if len(ids) == 0:
+                continue  # the removal emptied this shard
+            if lost or si == target or selection_changed:
+                new_shards.append(self._build_shard(ids))
+                rebuilt += 1
+            else:
+                # Row data unchanged — reuse the folded block, relabel
+                # the global ids.  A fresh Shard object keeps in-flight
+                # snapshots of the old list self-consistent.
+                new_shards.append(
+                    Shard(
+                        indices=shifted,
+                        varying=shard.varying,
+                        constant=shard.constant,
+                        constant_values=shard.constant_values,
+                        vectors=shard.vectors,
+                        sq_norms=shard.sq_norms,
+                    )
+                )
+
+        engine = mapping.query_engine()
+        with self._swap_lock:
+            self.shards = new_shards
+            self.engine = engine
+            if selection_changed:
+                self._selection_snapshot = selection
+                if self._cache is not None:
+                    self._cache.clear()
+        if selection_changed:
+            # Forked embed workers hold the old engine (old patterns);
+            # recycle the pool so the next batch forks the new one.
+            pool, self._embed_pool = self._embed_pool, None
+            if pool is not None:
+                pool.shutdown()
+        self._parallel_shards = (
+            self.n_workers > 1 and self._cpus > 1 and len(self.shards) > 1
+        )
+        self.stats.updates += 1
+        self.stats.shards_rebuilt += rebuilt
+        if add_error is not None:
+            raise add_error
 
     # ------------------------------------------------------------------
     # pools
@@ -265,13 +435,24 @@ class QueryService:
         return self._shard_pool
 
     def close(self) -> None:
-        """Shut down the worker pools (idempotent)."""
-        if self._embed_pool is not None:
-            self._embed_pool.shutdown()
-            self._embed_pool = None
-        if self._shard_pool is not None:
-            self._shard_pool.shutdown()
-            self._shard_pool = None
+        """Shut down the worker pools.
+
+        Idempotent and failure-safe: callable any number of times, on a
+        service whose pool startup raised, and even on an instance whose
+        constructor failed part-way — each pool handle is detached
+        before shutdown so a shutdown error can never leak the other
+        pool or poison a later ``close()``.
+        """
+        embed_pool = getattr(self, "_embed_pool", None)
+        shard_pool = getattr(self, "_shard_pool", None)
+        self._embed_pool = None
+        self._shard_pool = None
+        try:
+            if embed_pool is not None:
+                embed_pool.shutdown()
+        finally:
+            if shard_pool is not None:
+                shard_pool.shutdown()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -297,15 +478,17 @@ class QueryService:
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
 
-    def _embed_unique(self, queries: List[LabeledGraph]) -> np.ndarray:
+    def _embed_unique(
+        self, queries: List[LabeledGraph], engine: QueryEngine
+    ) -> np.ndarray:
         """Embed distinct queries, fanning out to workers when enabled."""
         if self.embed_mode == "serial" or len(queries) == 1:
-            calls = self.engine.stats.vf2_calls
-            pruned = self.engine.stats.features_pruned
-            vectors = self.engine.embed_many(queries)
-            self.stats.vf2_calls += self.engine.stats.vf2_calls - calls
+            calls = engine.stats.vf2_calls
+            pruned = engine.stats.features_pruned
+            vectors = engine.embed_many(queries)
+            self.stats.vf2_calls += engine.stats.vf2_calls - calls
             self.stats.features_pruned += (
-                self.engine.stats.features_pruned - pruned
+                engine.stats.features_pruned - pruned
             )
             return vectors
         pool = self._ensure_embed_pool()
@@ -322,20 +505,36 @@ class QueryService:
                 self.stats.vf2_calls += calls
                 self.stats.features_pruned += pruned
         else:  # thread mode: stat deltas may undercount under races
-            calls = self.engine.stats.vf2_calls
-            pruned = self.engine.stats.features_pruned
-            futures = [pool.submit(self.engine.embed_many, c) for c in chunks]
+            calls = engine.stats.vf2_calls
+            pruned = engine.stats.features_pruned
+            futures = [pool.submit(engine.embed_many, c) for c in chunks]
             parts = [future.result() for future in futures]
-            self.stats.vf2_calls += self.engine.stats.vf2_calls - calls
+            self.stats.vf2_calls += engine.stats.vf2_calls - calls
             self.stats.features_pruned += (
-                self.engine.stats.features_pruned - pruned
+                engine.stats.features_pruned - pruned
             )
         return np.vstack(parts)
 
-    def embed_batch(self, queries: Sequence[LabeledGraph]) -> np.ndarray:
-        """φ(q) for a batch: cache hits and in-batch duplicates embed once."""
+    def embed_batch(
+        self,
+        queries: Sequence[LabeledGraph],
+        engine: Optional[QueryEngine] = None,
+        generation: Optional[Tuple[int, ...]] = None,
+    ) -> np.ndarray:
+        """φ(q) for a batch: cache hits and in-batch duplicates embed once.
+
+        *engine* / *generation* let :meth:`batch_query` embed with the
+        engine it snapshotted under the swap lock; cache inserts are
+        skipped when the selection generation moved on, so a concurrent
+        re-selection can never leave a stale φ in the cache after
+        clearing it.
+        """
+        if engine is None:
+            with self._swap_lock:
+                engine = self.engine
+                generation = self._selection_snapshot
         queries = list(queries)
-        p = self.engine.num_selected
+        p = engine.num_selected
         vectors = np.zeros((len(queries), p))
         to_embed: List[LabeledGraph] = []
         keys: List[Tuple] = []
@@ -355,18 +554,22 @@ class QueryService:
                 targets[pos].append(i)
                 self.stats.cache_hits += 1
                 continue
+            if self._cache is not None:
+                self.stats.cache_misses += 1
             seen[key] = len(to_embed)
             to_embed.append(q)
             keys.append(key)
             targets.append([i])
         if to_embed:
             self.stats.embedded_queries += len(to_embed)
-            embedded = self._embed_unique(to_embed)
+            embedded = self._embed_unique(to_embed, engine)
             for row, key, idxs in zip(embedded, keys, targets):
                 for i in idxs:
                     vectors[i] = row
                 if self._cache is not None:
-                    self._cache_put(key, row.copy())
+                    with self._swap_lock:
+                        if generation == self._selection_snapshot:
+                            self._cache_put(key, row.copy())
         return vectors
 
     # ------------------------------------------------------------------
@@ -403,6 +606,14 @@ class QueryService:
             out.append((shard.indices[local], scores))
         return out
 
+    def _timed_shard_topk(
+        self, shard: Shard, vectors: np.ndarray, k: int
+    ) -> Tuple[List[Tuple[np.ndarray, List[float]]], float]:
+        """:meth:`_shard_topk` plus its wall-clock, for per-shard stats."""
+        start = time.perf_counter()
+        out = self._shard_topk(shard, vectors, k)
+        return out, time.perf_counter() - start
+
     @staticmethod
     def _merge(
         parts: List[Tuple[np.ndarray, List[float]]], k: int
@@ -418,23 +629,40 @@ class QueryService:
     def batch_query_vectors(
         self, vectors: np.ndarray, k: int
     ) -> List[TopKResult]:
-        """Top-k for pre-embedded query vectors (the vector-serving path)."""
-        k = _check_k(k, self.mapping.database_vectors.shape[0])
+        """Top-k for pre-embedded query vectors (the vector-serving path).
+
+        The shard list is snapshotted under the swap lock, so a
+        concurrent :meth:`apply_update` either happens entirely before
+        this batch (it sees the mutated database) or entirely after (it
+        sees the old one) — never a mix of shard generations.
+        """
+        with self._swap_lock:
+            shards = list(self.shards)
+        return self._query_vectors(vectors, k, shards)
+
+    def _query_vectors(
+        self, vectors: np.ndarray, k: int, shards: List[Shard]
+    ) -> List[TopKResult]:
+        """The distance stage over an already-snapshotted shard list."""
+        n = sum(shard.num_rows for shard in shards)
+        k = _check_k(k, n)
         vectors = np.asarray(vectors, dtype=float)
         if vectors.shape[0] == 0:
             return []
-        if self._parallel_shards:
+        if self._parallel_shards and len(shards) > 1:
             pool = self._ensure_shard_pool()
             futures = [
-                pool.submit(self._shard_topk, shard, vectors, k)
-                for shard in self.shards
+                pool.submit(self._timed_shard_topk, shard, vectors, k)
+                for shard in shards
             ]
-            parts = [future.result() for future in futures]
+            timed = [future.result() for future in futures]
         else:
-            parts = [
-                self._shard_topk(shard, vectors, k) for shard in self.shards
+            timed = [
+                self._timed_shard_topk(shard, vectors, k) for shard in shards
             ]
-        self.stats.shard_tasks += len(self.shards)
+        parts = [out for out, _seconds in timed]
+        self.stats.shard_seconds += sum(seconds for _out, seconds in timed)
+        self.stats.shard_tasks += len(shards)
         results = []
         for qi in range(vectors.shape[0]):
             ranking, scores = self._merge([part[qi] for part in parts], k)
@@ -447,13 +675,23 @@ class QueryService:
     def batch_query(
         self, queries: Sequence[LabeledGraph], k: int
     ) -> BatchQueryResult:
-        """Top-k for a batch of query graphs — the traffic entry point."""
+        """Top-k for a batch of query graphs — the traffic entry point.
+
+        Engine and shard list are snapshotted *together* under the swap
+        lock, so the whole batch — embedding and distances — runs
+        against one generation of the index even while
+        :meth:`apply_update` swaps in another.
+        """
         queries = list(queries)
-        k = _check_k(k, self.mapping.database_vectors.shape[0])
+        with self._swap_lock:
+            engine = self.engine
+            shards = list(self.shards)
+            generation = self._selection_snapshot
+        k = _check_k(k, sum(shard.num_rows for shard in shards))
         start = time.perf_counter()
-        vectors = self.embed_batch(queries)
+        vectors = self.embed_batch(queries, engine, generation)
         mapped = time.perf_counter()
-        results = self.batch_query_vectors(vectors, k)
+        results = self._query_vectors(vectors, k, shards)
         end = time.perf_counter()
         mapping_seconds = mapped - start
         search_seconds = end - mapped

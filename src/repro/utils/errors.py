@@ -31,3 +31,47 @@ class SelectionError(GraphDimensionError):
 
 class QueryError(GraphDimensionError):
     """Raised for invalid top-k query parameters (e.g. k <= 0)."""
+
+
+class ArtifactError(GraphDimensionError, ValueError):
+    """Base class for on-disk index-artifact problems.
+
+    Also a :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` around :func:`~repro.index.load_index` keep working.
+    """
+
+
+class FormatVersionError(ArtifactError):
+    """Raised for an artifact whose format version is not supported."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """Raised when an artifact's contents are structurally inconsistent."""
+
+
+class ChecksumError(ArtifactCorruptError):
+    """Raised when artifact bytes fail their recorded checksum.
+
+    Covers the binary payload (truncated or bit-flipped ``.npz``) and
+    tampered delta-journal entries.
+    """
+
+
+class PayloadMissingError(ArtifactError):
+    """Raised when a v3 manifest's binary payload sidecar is absent."""
+
+
+class CodecMissingError(ArtifactCorruptError):
+    """Raised when an artifact lacks its label codec.
+
+    Tolerating a dropped codec would silently reintroduce the v1
+    string-label mismatch bug, so it fails loudly instead.
+    """
+
+
+class LatticeShapeError(ArtifactCorruptError):
+    """Raised when a persisted lattice does not match the feature count."""
+
+
+class JournalError(ArtifactCorruptError):
+    """Raised when the delta journal is unreadable or out of sequence."""

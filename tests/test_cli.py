@@ -47,6 +47,27 @@ class TestParser:
         args = build_parser().parse_args(["bench-queries", "--json"])
         assert args.json is True
 
+    def test_index_add_options(self):
+        args = build_parser().parse_args(
+            ["index-add", "idx.json", "--graphs", "g.gspan"]
+        )
+        assert args.index == "idx.json"
+        assert args.graphs == "g.gspan"
+        assert args.format == "gspan"
+
+    def test_index_remove_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index-remove", "idx.json"])
+        args = build_parser().parse_args(
+            ["index-remove", "idx.json", "--ids", "3", "7"]
+        )
+        assert args.ids == [3, 7]
+
+    def test_bench_incremental_defaults(self):
+        args = build_parser().parse_args(["bench-incremental"])
+        assert args.add == 8 and args.remove == 8
+        assert args.json is False
+
 
 class TestMain:
     def test_list_runs(self, capsys):
@@ -86,6 +107,74 @@ class TestMain:
 
     def test_serve_bench_invalid_args_fail(self, capsys):
         assert main(["serve-bench", "--stream", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_index_lifecycle_verbs(self, tmp_path, capsys):
+        """build (API) → index-add → index-remove → index-compact."""
+        from repro.core.mapping import build_mapping
+        from repro.datasets import chemical_database, chemical_query_set
+        from repro.graph.io import save_gspan
+        from repro.index import journal_path, load_index, save_index
+
+        db = chemical_database(14, seed=0)
+        mapping = build_mapping(
+            db, num_features=5, min_support=0.3, max_pattern_edges=2
+        )
+        idx = tmp_path / "index.json"
+        save_index(mapping, idx)
+        graph_file = tmp_path / "new.gspan"
+        save_gspan(chemical_query_set(3, seed=5), graph_file)
+
+        assert main(["index-add", str(idx), "--graphs", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "added 3 graphs" in out and "14 -> 17" in out
+
+        assert main(["index-remove", str(idx), "--ids", "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 graphs" in out and "17 -> 15" in out
+        assert len(journal_path(idx).read_text().splitlines()) == 2
+
+        assert main(["index-compact", str(idx)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 journal entries" in out
+        assert not journal_path(idx).exists()
+        assert load_index(idx).space.n == 15
+
+    def test_index_add_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "index-add", str(tmp_path / "nope.json"),
+            "--graphs", str(tmp_path / "nope.gspan"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_index_remove_bad_ids_fail_cleanly(self, tmp_path, capsys):
+        from repro.core.mapping import build_mapping
+        from repro.datasets import chemical_database
+        from repro.index import save_index
+
+        db = chemical_database(10, seed=0)
+        mapping = build_mapping(
+            db, num_features=4, min_support=0.3, max_pattern_edges=2
+        )
+        idx = tmp_path / "index.json"
+        save_index(mapping, idx)
+        assert main(["index-remove", str(idx), "--ids", "99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_incremental_json_output(self, capsys):
+        assert main([
+            "bench-incremental", "--json", "--db-size", "16", "--add", "2",
+            "--remove", "2", "--num-features", "8", "--queries", "4",
+            "--k", "3",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["add_count"] == 2
+        assert "speedup" in payload and "report" not in payload
+
+    def test_bench_incremental_invalid_args_fail(self, capsys):
+        assert main([
+            "bench-incremental", "--db-size", "10", "--remove", "10",
+        ]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_bench_invalid_k_fails_cleanly(self, capsys):

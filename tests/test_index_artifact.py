@@ -1,10 +1,13 @@
-"""Round-trip and cold-start tests for the format-v2 index artifact.
+"""Round-trip, cold-start, mutation, and corruption tests for the
+format-v3 index artifact.
 
 The artifact's contract: reloading restores *everything* the online path
 needs, so ``load_index(path).query_engine()`` performs **zero** VF2
 calls — neither the pattern-vs-pattern lattice build nor any per-feature
-matching.  Enforced here with call counters on the two VF2 entry points
-the engine construction path could reach.
+matching — even when a delta journal has to be replayed.  Corrupted
+files (truncated payload, bad checksum, missing codec, wrong lattice
+shape, tampered journal) must raise their dedicated error, never
+mis-rank silently.
 """
 
 import json
@@ -15,9 +18,26 @@ import pytest
 import repro.query.engine as engine_mod
 from repro.core.mapping import build_mapping
 from repro.core.persistence import load_mapping, save_mapping, save_mapping_v1
-from repro.index import IndexArtifact, load_index, save_index
+from repro.index import (
+    IndexArtifact,
+    compact_index,
+    journal_path,
+    load_index,
+    payload_path,
+    save_index,
+    save_index_v2,
+)
 from repro.query.engine import FeatureLattice
 from repro.query.topk import MappedTopKEngine
+from repro.utils.errors import (
+    ArtifactCorruptError,
+    ChecksumError,
+    CodecMissingError,
+    FormatVersionError,
+    JournalError,
+    LatticeShapeError,
+    PayloadMissingError,
+)
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +51,8 @@ def built_mapping(small_chemical_db):
 def saved_path(built_mapping, tmp_path):
     path = tmp_path / "index.json"
     save_index(built_mapping, path)
+    built_mapping.artifact_ref = None  # keep the module fixture pristine
+    built_mapping.journal_seq = 0
     return path
 
 
@@ -42,6 +64,27 @@ class _Counter:
     def __call__(self, *args, **kwargs):
         self.calls += 1
         return self.func(*args, **kwargs)
+
+
+def _rewrite_arrays(path, mutate):
+    """Mutate the npz payload and re-stamp the manifest checksum."""
+    import hashlib
+    import io
+
+    with np.load(payload_path(path)) as npz:
+        arrays = {name: npz[name].copy() for name in npz.files}
+    mutate(arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    data = buffer.getvalue()
+    payload_path(path).write_bytes(data)
+    manifest = json.loads(path.read_text())
+    manifest["payload"]["sha256"] = hashlib.sha256(data).hexdigest()
+    manifest["payload"]["arrays"] = {
+        name: {"shape": list(array.shape), "dtype": str(array.dtype)}
+        for name, array in arrays.items()
+    }
+    path.write_text(json.dumps(manifest))
 
 
 class TestColdStart:
@@ -58,6 +101,28 @@ class TestColdStart:
         mapping = load_index(saved_path)
         engine = mapping.query_engine()
         assert engine is not None
+        assert is_subgraph.calls == 0
+        assert lattice_build.calls == 0
+
+    def test_reload_with_journal_still_zero_vf2(
+        self, saved_path, small_chemical_queries, monkeypatch
+    ):
+        """Journal replay is pure array work — no VF2, no lattice build."""
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:2])
+        mapping.remove_graphs([0])
+        save_index(mapping, saved_path)
+        assert journal_path(saved_path).exists()
+
+        is_subgraph = _Counter(engine_mod.is_subgraph)
+        lattice_build = _Counter(FeatureLattice.build.__func__)
+        monkeypatch.setattr(engine_mod, "is_subgraph", is_subgraph)
+        monkeypatch.setattr(
+            FeatureLattice, "build", classmethod(lattice_build)
+        )
+        reloaded = load_index(saved_path)
+        assert reloaded.query_engine() is not None
+        assert reloaded.space.n == mapping.space.n
         assert is_subgraph.calls == 0
         assert lattice_build.calls == 0
 
@@ -120,7 +185,7 @@ class TestQueryEquivalence:
         for q in small_chemical_queries:
             assert before.query(q, 5).ranking == after.query(q, 5).ranking
 
-    def test_load_mapping_dispatches_v2(
+    def test_load_mapping_dispatches_v3(
         self, saved_path, small_chemical_queries
     ):
         via_persistence = load_mapping(saved_path)
@@ -130,6 +195,140 @@ class TestQueryEquivalence:
                 via_persistence.query_engine().query(q, 5).ranking
                 == via_index.query_engine().query(q, 5).ranking
             )
+
+
+class TestDeltaJournal:
+    def test_save_after_mutations_appends_deltas(
+        self, saved_path, small_chemical_queries
+    ):
+        mapping = load_index(saved_path)
+        payload_bytes = payload_path(saved_path).read_bytes()
+        mapping.add_graphs(small_chemical_queries[:2])
+        save_index(mapping, saved_path)
+        # The binary base was not rewritten — only the journal grew.
+        assert payload_path(saved_path).read_bytes() == payload_bytes
+        assert len(journal_path(saved_path).read_text().splitlines()) == 1
+        mapping.remove_graphs([1, 4])
+        save_index(mapping, saved_path)
+        assert payload_path(saved_path).read_bytes() == payload_bytes
+        assert len(journal_path(saved_path).read_text().splitlines()) == 2
+        assert mapping.journal_seq == 2
+        assert mapping.mutation_log == []
+
+    def test_journal_replay_round_trips(
+        self, saved_path, small_chemical_queries
+    ):
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:3])
+        mapping.remove_graphs([0, 2])
+        save_index(mapping, saved_path)
+        reloaded = load_index(saved_path)
+        assert reloaded.space.n == mapping.space.n
+        a = mapping.query_engine().batch_query(small_chemical_queries, 5)
+        b = reloaded.query_engine().batch_query(small_chemical_queries, 5)
+        for x, y in zip(a, b):
+            assert x.ranking == y.ranking and x.scores == y.scores
+
+    def test_save_to_foreign_path_writes_full_base(
+        self, saved_path, tmp_path, small_chemical_queries
+    ):
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:1])
+        other = tmp_path / "other.json"
+        save_index(mapping, other)
+        assert not journal_path(other).exists()
+        assert load_index(other).space.n == mapping.space.n
+
+    def test_diverged_journal_falls_back_to_full_write(
+        self, saved_path, small_chemical_queries
+    ):
+        # Two mappings descend from the same base; the second save finds
+        # a journal longer than it remembers and must rewrite the base.
+        first = load_index(saved_path)
+        second = load_index(saved_path)
+        first.add_graphs(small_chemical_queries[:1])
+        save_index(first, saved_path)
+        second.add_graphs(small_chemical_queries[1:3])
+        save_index(second, saved_path)
+        assert not journal_path(saved_path).exists()  # fresh base
+        assert load_index(saved_path).space.n == second.space.n
+
+    def test_staleness_baseline_survives_compaction(
+        self, saved_path, small_chemical_queries
+    ):
+        """Drift is measured against selection-time supports; compacting
+        the journal must not silently reset it (or the stale flag)."""
+        mapping = load_index(saved_path)
+        n = mapping.space.n
+        mapping.remove_graphs(range(n // 2, n))  # huge drift, stale flags
+        assert mapping.stale
+        drift = mapping.support_drift
+        save_index(mapping, saved_path)
+        compact_index(saved_path)
+        reloaded = load_index(saved_path)
+        assert reloaded.support_drift == pytest.approx(drift)
+        assert reloaded.stale
+
+    def test_corrupt_journal_repaired_by_next_save(
+        self, saved_path, small_chemical_queries
+    ):
+        """A damaged journal blocks loads (by design) but must not block
+        a save from a live mapping — the full-base rewrite repairs it."""
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:1])
+        save_index(mapping, saved_path)
+        with journal_path(saved_path).open("a") as handle:
+            handle.write("garbage line\n")
+        with pytest.raises(JournalError):
+            load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[1:2])
+        save_index(mapping, saved_path)  # repairs: fresh full base
+        assert not journal_path(saved_path).exists()
+        reloaded = load_index(saved_path)
+        assert reloaded.space.n == mapping.space.n
+
+    def test_reselection_severs_artifact_lineage(
+        self, saved_path, small_chemical_queries
+    ):
+        """A staleness-hook re-selection invalidates the on-disk base:
+        the next save must write a full base, never append deltas whose
+        replay would land on the old selection."""
+        from repro.core.mapping import StalenessPolicy
+
+        mapping = load_index(saved_path)
+
+        def reselect(m):
+            m.selected = list(range(m.space.m - 1))
+            m.database_vectors = m.space.embed_database(m.selected)
+
+        mapping.staleness_policy = StalenessPolicy(
+            max_drift=0.0, on_stale=reselect
+        )
+        mapping.add_graphs(small_chemical_queries[:1])
+        assert mapping.artifact_ref is None  # lineage severed
+        save_index(mapping, saved_path)
+        assert not journal_path(saved_path).exists()  # full base, no deltas
+        reloaded = load_index(saved_path)
+        assert reloaded.dimensionality == mapping.dimensionality
+        a = mapping.query_engine().batch_query(small_chemical_queries, 5)
+        b = reloaded.query_engine().batch_query(small_chemical_queries, 5)
+        for x, y in zip(a, b):
+            assert x.ranking == y.ranking and x.scores == y.scores
+
+    def test_compact_folds_journal(self, saved_path, small_chemical_queries):
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:2])
+        mapping.remove_graphs([3])
+        save_index(mapping, saved_path)
+        assert journal_path(saved_path).exists()
+        compacted = compact_index(saved_path)
+        assert not journal_path(saved_path).exists()
+        reloaded = load_index(saved_path)
+        a = mapping.query_engine().batch_query(small_chemical_queries, 5)
+        for other in (compacted, reloaded):
+            b = other.query_engine().batch_query(small_chemical_queries, 5)
+            for x, y in zip(a, b):
+                assert x.ranking == y.ranking and x.scores == y.scores
 
 
 class TestBackwardCompat:
@@ -150,11 +349,41 @@ class TestBackwardCompat:
         for q in small_chemical_queries:
             assert before.query(q, 5).ranking == engine.query(q, 5).ranking
 
+    def test_v2_file_still_loads_cold_start_free(
+        self, built_mapping, tmp_path, small_chemical_queries, monkeypatch
+    ):
+        path = tmp_path / "v2.json"
+        save_index_v2(built_mapping, path)
+        assert json.loads(path.read_text())["format_version"] == 2
+        is_subgraph = _Counter(engine_mod.is_subgraph)
+        monkeypatch.setattr(engine_mod, "is_subgraph", is_subgraph)
+        restored = load_index(path)
+        engine = restored.query_engine()
+        assert is_subgraph.calls == 0
+        before = built_mapping.query_engine()
+        for q in small_chemical_queries:
+            a, b = before.query(q, 5), engine.query(q, 5)
+            assert a.ranking == b.ranking and a.scores == b.scores
+
+    def test_v2_then_save_migrates_to_v3(
+        self, built_mapping, tmp_path, small_chemical_queries
+    ):
+        path = tmp_path / "migrate.json"
+        save_index_v2(built_mapping, path)
+        mapping = load_index(path)
+        assert mapping.artifact_ref is None
+        mapping.add_graphs(small_chemical_queries[:1])
+        save_index(mapping, path)  # full v3 write, not a delta
+        manifest = json.loads(path.read_text())
+        assert manifest["format_version"] == 3
+        assert payload_path(path).exists()
+        assert load_index(path).space.n == mapping.space.n
+
     def test_unknown_version_rejected(self, saved_path):
         payload = json.loads(saved_path.read_text())
         payload["format_version"] = 99
         saved_path.write_text(json.dumps(payload))
-        with pytest.raises(ValueError):
+        with pytest.raises(FormatVersionError):
             load_mapping(saved_path)
         with pytest.raises(ValueError):
             IndexArtifact.load(saved_path)
@@ -168,58 +397,150 @@ class TestBackwardCompat:
 
 
 class TestCorruptArtifacts:
+    """Every corruption mode raises its dedicated error, loudly."""
+
     @pytest.fixture()
-    def payload(self, saved_path):
+    def manifest(self, saved_path):
         return json.loads(saved_path.read_text())
 
-    def _expect_corrupt(self, payload, tmp_path):
-        path = tmp_path / "broken.json"
-        path.write_text(json.dumps(payload))
-        with pytest.raises(ValueError):
-            load_index(path)
+    def _expect(self, saved_path, manifest, exc):
+        saved_path.write_text(json.dumps(manifest))
+        with pytest.raises(exc):
+            load_index(saved_path)
 
-    def test_truncated_supports(self, payload, tmp_path):
-        payload["feature_supports"] = payload["feature_supports"][:-1]
-        self._expect_corrupt(payload, tmp_path)
+    def test_truncated_payload(self, saved_path):
+        data = payload_path(saved_path).read_bytes()
+        payload_path(saved_path).write_bytes(data[: len(data) // 2])
+        with pytest.raises(ChecksumError):
+            load_index(saved_path)
 
-    def test_truncated_vectors(self, payload, tmp_path):
-        payload["database_vectors"] = payload["database_vectors"][:-1]
-        self._expect_corrupt(payload, tmp_path)
+    def test_bad_checksum_single_flipped_byte(self, saved_path):
+        data = bytearray(payload_path(saved_path).read_bytes())
+        data[-1] ^= 0xFF
+        payload_path(saved_path).write_bytes(bytes(data))
+        with pytest.raises(ChecksumError):
+            load_index(saved_path)
 
-    def test_missing_lattice(self, payload, tmp_path):
-        del payload["lattice"]
-        self._expect_corrupt(payload, tmp_path)
+    def test_missing_payload_file(self, saved_path):
+        payload_path(saved_path).unlink()
+        with pytest.raises(PayloadMissingError):
+            load_index(saved_path)
 
-    def test_lattice_ancestor_out_of_range(self, payload, tmp_path):
-        payload["lattice"]["ancestors"][0] = [999]
-        self._expect_corrupt(payload, tmp_path)
+    def test_missing_codec(self, saved_path, manifest):
+        del manifest["label_codec"]
+        self._expect(saved_path, manifest, CodecMissingError)
 
-    def test_lattice_order_not_a_permutation(self, payload, tmp_path):
-        payload["lattice"]["order"][0] = payload["lattice"]["order"][-1]
-        self._expect_corrupt(payload, tmp_path)
+    def test_wrong_lattice_shape(self, saved_path, manifest):
+        manifest["lattice"]["ancestors"] = manifest["lattice"]["ancestors"][
+            :-1
+        ]
+        self._expect(saved_path, manifest, LatticeShapeError)
 
-    def test_profile_count_mismatch(self, payload, tmp_path):
-        payload["pattern_profiles"] = payload["pattern_profiles"][:-1]
-        self._expect_corrupt(payload, tmp_path)
+    def test_missing_lattice(self, saved_path, manifest):
+        del manifest["lattice"]
+        self._expect(saved_path, manifest, ArtifactCorruptError)
 
-    def test_tampered_sq_norms(self, payload, tmp_path):
-        payload["database_sq_norms"][0] += 1
-        self._expect_corrupt(payload, tmp_path)
+    def test_lattice_ancestor_out_of_range(self, saved_path, manifest):
+        manifest["lattice"]["ancestors"][0] = [999]
+        self._expect(saved_path, manifest, ArtifactCorruptError)
 
-    def test_tampered_profile_search_order(self, payload, tmp_path):
-        order = payload["pattern_profiles"][0]["search_order"]
-        payload["pattern_profiles"][0]["search_order"] = [0] * len(order)
+    def test_lattice_order_not_a_permutation(self, saved_path, manifest):
+        manifest["lattice"]["order"][0] = manifest["lattice"]["order"][-1]
+        self._expect(saved_path, manifest, ArtifactCorruptError)
+
+    def test_truncated_supports(self, saved_path, manifest):
+        manifest["feature_supports"] = manifest["feature_supports"][:-1]
+        self._expect(saved_path, manifest, ArtifactCorruptError)
+
+    def test_profile_count_mismatch(self, saved_path, manifest):
+        manifest["pattern_profiles"] = manifest["pattern_profiles"][:-1]
+        self._expect(saved_path, manifest, ArtifactCorruptError)
+
+    def test_tampered_profile_search_order(self, saved_path, manifest):
+        order = manifest["pattern_profiles"][0]["search_order"]
+        manifest["pattern_profiles"][0]["search_order"] = [0] * len(order)
         if len(order) > 1:  # a zeroed order is only invalid for |V| > 1
-            self._expect_corrupt(payload, tmp_path)
+            self._expect(saved_path, manifest, ValueError)
 
-    def test_tampered_profile_counts(self, payload, tmp_path):
-        entry = payload["pattern_profiles"][0]
+    def test_tampered_profile_counts(self, saved_path, manifest):
+        entry = manifest["pattern_profiles"][0]
         entry["vertex_label_counts"][0][1] += 5
-        self._expect_corrupt(payload, tmp_path)
+        self._expect(saved_path, manifest, ValueError)
 
-    def test_missing_label_codec(self, payload, tmp_path):
-        del payload["label_codec"]
-        self._expect_corrupt(payload, tmp_path)
+    def test_truncated_vector_rows(self, saved_path):
+        _rewrite_arrays(
+            saved_path,
+            lambda a: a.update(
+                database_vectors=a["database_vectors"][:-1],
+                database_sq_norms=a["database_sq_norms"][:-1],
+            ),
+        )
+        with pytest.raises(ArtifactCorruptError):
+            load_index(saved_path)
+
+    def test_tampered_sq_norms_cross_check(self, saved_path):
+        def bump(arrays):
+            norms = arrays["database_sq_norms"].copy()
+            norms[0] += 1
+            arrays["database_sq_norms"] = norms
+
+        # Checksum re-stamped, so only the vectors-vs-norms cross-check
+        # can catch the inconsistency.
+        _rewrite_arrays(saved_path, bump)
+        with pytest.raises(ArtifactCorruptError):
+            load_index(saved_path)
+
+    def test_payload_array_missing(self, saved_path):
+        _rewrite_arrays(
+            saved_path, lambda a: a.pop("database_sq_norms")
+        )
+        manifest = json.loads(saved_path.read_text())
+        assert "database_sq_norms" not in manifest["payload"]["arrays"]
+        manifest["payload"]["arrays"]["database_sq_norms"] = {
+            "shape": [manifest["database_size"]],
+            "dtype": "int64",
+        }
+        saved_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError):
+            load_index(saved_path)
+
+    def test_array_shape_disagrees_with_manifest(self, saved_path):
+        manifest = json.loads(saved_path.read_text())
+        manifest["payload"]["arrays"]["database_vectors"]["shape"][0] += 1
+        saved_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError):
+            load_index(saved_path)
+
+
+class TestCorruptJournal:
+    @pytest.fixture()
+    def journaled(self, saved_path, small_chemical_queries):
+        mapping = load_index(saved_path)
+        mapping.add_graphs(small_chemical_queries[:2])
+        mapping.remove_graphs([1])
+        save_index(mapping, saved_path)
+        return saved_path
+
+    def test_tampered_entry_fails_checksum(self, journaled):
+        lines = journal_path(journaled).read_text().splitlines()
+        entry = json.loads(lines[0])
+        entry["vectors"][0][0] ^= 1
+        lines[0] = json.dumps(entry)
+        journal_path(journaled).write_text("\n".join(lines) + "\n")
+        with pytest.raises(ChecksumError):
+            load_index(journaled)
+
+    def test_out_of_sequence_entry(self, journaled):
+        lines = journal_path(journaled).read_text().splitlines()
+        journal_path(journaled).write_text(lines[1] + "\n")
+        with pytest.raises(JournalError):
+            load_index(journaled)
+
+    def test_garbage_line(self, journaled):
+        with journal_path(journaled).open("a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(JournalError):
+            load_index(journaled)
 
 
 class TestPivotEngines:
@@ -245,3 +566,5 @@ class TestPivotEngines:
                 assert a.ranking == b.ranking and a.scores == b.scores
         finally:
             built_mapping.invalidate_caches()
+            built_mapping.artifact_ref = None
+            built_mapping.journal_seq = 0

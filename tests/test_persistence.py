@@ -1,6 +1,6 @@
-"""Round-trip tests for mapping persistence (v2 artifact + v1 legacy).
+"""Round-trip tests for mapping persistence (v3 artifact + legacy).
 
-The format-v2 cold-start guarantees live in ``test_index_artifact.py``;
+The format-v3 cold-start guarantees live in ``test_index_artifact.py``;
 this module covers the stable ``save_mapping``/``load_mapping`` surface,
 corruption detection, and the :class:`LabelCodec` — including the label
 round-trip caveat v1 documented and v2 fixes, on both dataset families
@@ -39,7 +39,7 @@ def synthetic_mapping():
 
 
 class TestRoundTrip:
-    def test_writes_format_v2(self, built_mapping, tmp_path):
+    def test_writes_current_format(self, built_mapping, tmp_path):
         path = tmp_path / "index.json"
         save_mapping(built_mapping, path)
         assert json.loads(path.read_text())["format_version"] == FORMAT_VERSION
@@ -89,11 +89,12 @@ class TestRoundTrip:
             load_mapping(path)
 
     def test_corrupt_vectors_detected(self, built_mapping, tmp_path):
+        from repro.index import payload_path
+
         path = tmp_path / "index.json"
         save_mapping(built_mapping, path)
-        payload = json.loads(path.read_text())
-        payload["database_vectors"] = payload["database_vectors"][:-1]
-        path.write_text(json.dumps(payload))
+        data = payload_path(path).read_bytes()
+        payload_path(path).write_bytes(data[:-7])  # truncated payload
         with pytest.raises(ValueError):
             load_mapping(path)
 

@@ -238,6 +238,162 @@ class TestEmbeddingCache:
         assert _structural_key(db[0]) != _structural_key(db[1])
 
 
+class TestLiveUpdates:
+    """apply_update: bit-identical to a from-scratch engine, minimal
+    shard churn, and an embedding cache that survives (φ(q) depends only
+    on the selected patterns)."""
+
+    @pytest.fixture()
+    def mutable_mapping(self, setup):
+        _db, _queries, space = setup
+        from repro.features.binary_matrix import FeatureSpace
+        from repro.mining.gspan import FrequentSubgraph
+
+        copies = [
+            FrequentSubgraph(f.graph, set(f.support)) for f in space.features
+        ]
+        fresh = FeatureSpace(copies, space.n)
+        return mapping_from_selection(fresh, variance_selection(fresh, 20))
+
+    @pytest.fixture()
+    def extra(self):
+        return synthetic_query_set(
+            6, avg_edges=16, density=0.3, num_labels=5, seed=1234
+        )
+
+    def test_update_bit_identical_to_fresh_engine(
+        self, setup, mutable_mapping, extra
+    ):
+        _db, queries, _space = setup
+        with mutable_mapping.query_service(n_shards=4) as service:
+            service.batch_query(queries, 7)
+            service.apply_update(added=extra, removed=[0, 7, 33, 39])
+            reference = mutable_mapping.query_engine().batch_query(queries, 7)
+            _assert_identical(reference, service.batch_query(queries, 7))
+            # ... and against a completely fresh service over the
+            # mutated mapping, across a different shard count.
+            with mutable_mapping.query_service(n_shards=3) as fresh:
+                _assert_identical(reference, fresh.batch_query(queries, 7))
+
+    def test_update_rebuilds_only_affected_shards(
+        self, setup, mutable_mapping, extra
+    ):
+        _db, queries, _space = setup
+        with mutable_mapping.query_service(n_shards=4) as service:
+            old_ids = {id(s) for s in service.shards}
+            # Rows 0 and 1 live in shard 0; adds land in one shard.
+            service.apply_update(added=extra[:2], removed=[0, 1])
+            assert service.stats.updates == 1
+            assert service.stats.shards_rebuilt <= 2
+            # Every slot holds a fresh object (renumbered or rebuilt),
+            # keeping in-flight snapshots of the old list consistent.
+            assert all(id(s) not in old_ids for s in service.shards)
+            assert sum(s.num_rows for s in service.shards) == (
+                mutable_mapping.database_vectors.shape[0]
+            )
+            reference = mutable_mapping.query_engine().batch_query(queries, 5)
+            _assert_identical(reference, service.batch_query(queries, 5))
+
+    def test_cache_survives_update(self, setup, mutable_mapping, extra):
+        _db, queries, _space = setup
+        with mutable_mapping.query_service(n_shards=2) as service:
+            service.batch_query(queries, 5)
+            hits_before = service.stats.cache_hits
+            service.apply_update(added=extra[:2])
+            service.batch_query(queries, 5)
+            # Every query repeats: all served from the surviving cache.
+            assert service.stats.cache_hits == hits_before + len(queries)
+            reference = mutable_mapping.query_engine().batch_query(queries, 5)
+            _assert_identical(reference, service.batch_query(queries, 5))
+
+    def test_tie_heavy_update_identical(self, setup, extra):
+        _db, queries, space = setup
+        from repro.features.binary_matrix import FeatureSpace
+        from repro.mining.gspan import FrequentSubgraph
+
+        copies = [
+            FrequentSubgraph(f.graph, set(f.support)) for f in space.features
+        ]
+        fresh = FeatureSpace(copies, space.n)
+        tie_mapping = mapping_from_selection(
+            fresh, variance_selection(fresh, 3)
+        )
+        with tie_mapping.query_service(n_shards=3) as service:
+            service.apply_update(added=extra, removed=[4, 9])
+            reference = tie_mapping.query_engine().batch_query(queries, 9)
+            _assert_identical(reference, service.batch_query(queries, 9))
+
+    def test_empty_update_is_noop(self, setup, mutable_mapping):
+        with mutable_mapping.query_service(n_shards=2) as service:
+            shards = list(service.shards)
+            service.apply_update()
+            assert len(service.shards) == len(shards)
+            assert all(a is b for a, b in zip(service.shards, shards))
+            assert service.stats.updates == 0
+
+    def test_out_of_band_mutation_detected(self, setup, mutable_mapping, extra):
+        with mutable_mapping.query_service(n_shards=2) as service:
+            mutable_mapping.add_graphs(extra[:1])  # behind the service's back
+            with pytest.raises(ValueError, match="out of sync"):
+                service.apply_update(removed=[0])
+
+    def test_rejected_add_after_applied_removal_stays_in_sync(
+        self, setup, mutable_mapping, extra
+    ):
+        """If the add half trips the 'error' staleness gate after the
+        removal already applied, the exception propagates but the
+        service must finish the removal's shard swap — no permanent
+        desync."""
+        from repro.core.mapping import StalenessPolicy
+        from repro.utils.errors import SelectionError
+
+        _db, queries, _space = setup
+        with mutable_mapping.query_service(n_shards=3) as service:
+            # A gate loose enough for the removal, too tight for the add.
+            removal_delta = mutable_mapping.database_vectors[[0]].sum()
+            base = sum(
+                len(mutable_mapping.space.features[r].support)
+                for r in mutable_mapping.selected
+            )
+            mutable_mapping.staleness_policy = StalenessPolicy(
+                max_drift=(removal_delta / base) + 1e-9, on_stale="error"
+            )
+            with pytest.raises(SelectionError, match="drift"):
+                service.apply_update(added=extra, removed=[0])
+            # Removal applied, add rejected; service still serves and
+            # mutates consistently.
+            n = mutable_mapping.database_vectors.shape[0]
+            assert sum(s.num_rows for s in service.shards) == n
+            reference = mutable_mapping.query_engine().batch_query(queries, 5)
+            _assert_identical(reference, service.batch_query(queries, 5))
+            mutable_mapping.staleness_policy = StalenessPolicy(max_drift=10.0)
+            service.apply_update(added=extra[:1])  # no out-of-sync error
+            assert sum(s.num_rows for s in service.shards) == n + 1
+
+    def test_reselection_clears_cache_and_rebuilds_all(
+        self, setup, mutable_mapping, extra
+    ):
+        from repro.core.mapping import StalenessPolicy
+        from repro.query.bench import variance_selection as reselect
+
+        _db, queries, _space = setup
+
+        def reselection_hook(m):
+            m.selected = list(reselect(m.space, 18))
+            m.database_vectors = m.space.embed_database(m.selected)
+
+        mutable_mapping.staleness_policy = StalenessPolicy(
+            max_drift=0.0, on_stale=reselection_hook
+        )
+        with mutable_mapping.query_service(n_shards=3) as service:
+            service.batch_query(queries, 5)
+            assert len(service._cache) > 0
+            service.apply_update(added=extra[:1])
+            assert len(service._cache) == 0  # φ changed: cache invalid
+            reference = mutable_mapping.query_engine().batch_query(queries, 5)
+            _assert_identical(reference, service.batch_query(queries, 5))
+
+
 class TestLifecycle:
     def test_close_is_idempotent(self, setup, mapping):
         _db, queries, _space = setup
@@ -248,6 +404,73 @@ class TestLifecycle:
         assert service.stats.vf2_calls > 0  # thread mode reports stats too
         service.close()
         service.close()
+
+    def test_close_safe_after_failed_pool_startup(
+        self, setup, mapping, monkeypatch
+    ):
+        """Regression: a pool that never starts must not poison close().
+
+        Double-close and ``__exit__`` after the startup exception both
+        have to succeed, leaving no half-attached pool handle behind.
+        """
+        import repro.serving.service as service_mod
+
+        _db, queries, _space = setup
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("pool startup failed")
+
+        monkeypatch.setattr(
+            service_mod, "ProcessPoolExecutor", ExplodingPool
+        )
+        with pytest.raises(RuntimeError, match="pool startup"):
+            with QueryService(
+                mapping, n_shards=2, n_workers=2, embed_mode="process"
+            ) as service:
+                service.batch_query(queries[:4], 3)
+        # __exit__ already ran close(); both of these must be no-ops.
+        service.close()
+        service.close()
+        assert service._embed_pool is None
+        assert service._shard_pool is None
+
+    def test_close_safe_on_partially_constructed_instance(self):
+        """close() on an instance whose __init__ never ran (the state a
+        constructor exception leaves behind) must not raise."""
+        service = QueryService.__new__(QueryService)
+        service.close()
+        service.close()
+
+    def test_constructor_failure_then_close(self, mapping):
+        import numpy as np
+
+        try:
+            service = QueryService(mapping, shards=[np.arange(10)])
+        except ValueError:
+            pass
+        else:  # pragma: no cover - construction must fail
+            service.close()
+            pytest.fail("invalid shards must be rejected")
+
+    def test_shard_timings_and_cache_misses_populated(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=3) as service:
+            service.batch_query(queries[:8], 5)
+            assert service.stats.cache_misses == 8
+            assert service.stats.cache_hits == 0
+            service.batch_query(queries[:8], 5)
+            assert service.stats.cache_misses == 8
+            assert service.stats.cache_hits == 8
+            assert service.stats.shard_seconds > 0
+            assert service.stats.shard_tasks == 6
+
+    def test_cache_disabled_counts_no_misses(self, setup, mapping):
+        _db, queries, _space = setup
+        with mapping.query_service(n_shards=2, cache_size=0) as service:
+            service.batch_query(queries[:5], 3)
+            assert service.stats.cache_misses == 0
+            assert service.stats.cache_hits == 0
 
     def test_empty_batch(self, mapping):
         with mapping.query_service(n_shards=2) as service:

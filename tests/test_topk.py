@@ -30,6 +30,52 @@ class TestRankWithTies:
         ranking, _ = rank_with_ties(np.array([0.2, 0.1]), 5)
         assert len(ranking) == 2
 
+    def test_k_equals_n(self):
+        """k == n skips the argpartition narrowing entirely."""
+        values = np.array([0.4, 0.1, 0.3, 0.2])
+        ranking, scores = rank_with_ties(values, 4)
+        assert ranking == [1, 3, 2, 0]
+        assert scores == sorted(float(v) for v in values)
+
+    def test_k_zero_returns_empty(self):
+        ranking, scores = rank_with_ties(np.array([0.3, 0.1]), 0)
+        assert ranking == [] and scores == []
+
+    def test_negative_k_returns_empty(self):
+        ranking, scores = rank_with_ties(np.array([0.3, 0.1]), -3)
+        assert ranking == [] and scores == []
+
+    def test_empty_values(self):
+        for k in (0, 1, 5):
+            ranking, scores = rank_with_ties(np.array([]), k)
+            assert ranking == [] and scores == []
+
+    def test_all_equal_distances_rank_by_index(self):
+        """Every value ties: the ranking must be 0..k-1 exactly (the
+        (value, index) discipline the sharded merge relies on)."""
+        values = np.zeros(12)
+        for k in (1, 5, 12, 20):
+            ranking, scores = rank_with_ties(values, k)
+            expect = min(k, 12)
+            assert ranking == list(range(expect))
+            assert scores == [0.0] * expect
+
+    def test_all_equal_matches_full_sort_path(self):
+        """The argpartition fast path and the full-lexsort fallback must
+        agree bit for bit on an all-ties input."""
+        values = np.full(9, 0.25)
+        fast = rank_with_ties(values, 4)           # k < n: partition path
+        full = rank_with_ties(values, 9)           # k == n: full sort
+        assert fast[0] == full[0][:4]
+        assert fast[1] == full[1][:4]
+
+    def test_nan_threshold_falls_back_to_full_sort(self):
+        """A NaN at the partition boundary must not drop candidates."""
+        values = np.array([0.2, np.nan, 0.1, np.nan])
+        ranking, scores = rank_with_ties(values, 2)
+        assert ranking == [2, 0]
+        assert scores == [pytest.approx(0.1), pytest.approx(0.2)]
+
 
 class TestExactEngine:
     def test_self_query_ranks_first(self, small_chemical_db):
