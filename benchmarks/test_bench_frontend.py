@@ -1,0 +1,65 @@
+"""Bench: the NDJSON front-end under concurrent multi-tenant clients.
+
+Shapes asserted (the ISSUE-4 serving acceptance criteria):
+
+* every ``ok`` answer in every phase is bit-identical to the
+  single-threaded engine (checked inside the bench runner before any
+  number is reported);
+* with 8 concurrent serial NDJSON clients — each with a single query in
+  flight, the hardest case for batching — cross-client coalescing is at
+  least 1.5× the throughput of the same clients against a
+  non-coalescing front-end (min-of-3 rounds on both sides);
+* per-tenant token buckets hold: the flooding tenant gets structured
+  ``quota_exceeded`` rejections (every one carrying ``retry_after``)
+  while the two compliant tenants see zero rejections;
+* graceful drain answers every admitted request (admitted == completed,
+  nothing failed) and still sheds post-shutdown load with structured
+  ``shutting_down`` rejections.
+"""
+
+from pathlib import Path
+
+from repro.serving.frontend_bench import run_frontend_bench
+
+REPORT_NAME = "frontend_small.txt"
+
+
+def test_frontend_throughput_quotas_drain(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_frontend_bench(
+            db_size=80, pool_size=24, per_client=24, clients=8,
+            num_features=60, k=10, seed=0, rounds=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- sustained concurrency ----------------------------------------
+    assert result["clients"] == 8
+    assert result["stream_length"] == 8 * 24
+
+    # -- coalescing beats serial single-query submission --------------
+    assert result["speedup"] >= 1.5, (
+        f"coalescing should be >= 1.5x the non-coalescing front-end, "
+        f"got {result['speedup']:.2f}x"
+    )
+    # Coalescing must actually coalesce: ~8 queries per service call
+    # against 192 single-query calls on the serial side.
+    assert result["serial_batches"] == result["stream_length"]
+    assert result["mean_coalesced"] >= 4.0
+
+    # -- per-tenant quotas --------------------------------------------
+    assert result["flood_rejected"] > 0, "flooder was never throttled"
+    assert result["flood_admitted"] + result["flood_rejected"] == (
+        result["flood_requests"]
+    )
+    assert result["calm_rejections"] == 0, (
+        "compliant tenants must be unaffected by the flooding tenant"
+    )
+
+    # -- graceful drain -----------------------------------------------
+    assert result["drain_admitted"] == result["drain_completed"]
+    assert result["drain_rejected"] > 0, (
+        "shutdown mid-stream should shed load with structured rejections"
+    )

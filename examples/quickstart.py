@@ -1,4 +1,4 @@
-"""Quickstart: build an index, serve it, mutate it live, compact it.
+"""Quickstart: build, serve, mutate, compact — then open the front door.
 
 This walks the full deployment lifecycle on a generated molecule-like
 database:
@@ -13,13 +13,19 @@ database:
     the mutations to the artifact's delta journal instead of rewriting
     the base,
 4.  **compact** — fold the journal back into a fresh binary base once
-    enough deltas accumulate.
+    enough deltas accumulate,
+5.  **serve loop** — put the asyncio front-end in front: NDJSON
+    requests from two tenants, per-tenant quota rejections, coalesced
+    batches, stats, and a graceful drain (the same loop
+    ``repro-graphdim serve`` runs over stdio/TCP).
 
 Run with::
 
     python examples/quickstart.py
 """
 
+import asyncio
+import json
 import tempfile
 import time
 from pathlib import Path
@@ -29,6 +35,8 @@ from repro.datasets import chemical_database, chemical_query_set
 from repro.index import compact_index, journal_path, load_index, save_index
 from repro.query.measures import precision_at_k
 from repro.query.topk import ExactTopKEngine
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.protocol import graph_to_wire
 
 
 def main() -> None:
@@ -113,6 +121,53 @@ def main() -> None:
         for x, y in zip(a, b):
             assert x.ranking == y.ranking and x.scores == y.scores
         print("round-trip check: compacted index answers bit-identically")
+
+        # --------------------------------------------------------------
+        # 5. serve loop — the asyncio NDJSON front door
+        # --------------------------------------------------------------
+        asyncio.run(serve_loop(compacted, queries))
+
+
+async def serve_loop(mapping, queries) -> None:
+    """Drive the NDJSON front-end in-process: two tenants, a quota
+    rejection, stats, and a graceful drain.  ``repro-graphdim serve``
+    runs this exact loop over stdin/stdout and TCP."""
+    frontend = AsyncFrontend(
+        mapping.query_service(n_shards=4, n_workers=0),
+        FrontendConfig(batch_size=4, quota_rate=2.0, quota_burst=3.0),
+        own_service=True,
+    )
+    await frontend.start()
+    print("\nserve loop: NDJSON session (per-tenant quota: 2 q/s, burst 3)")
+    session = [
+        {"op": "query", "id": i + 1, "tenant": tenant, "k": 3,
+         "graph": graph_to_wire(q)}
+        for i, (tenant, q) in enumerate(
+            [("alice", queries[0]), ("alice", queries[1]),
+             ("alice", queries[2]), ("alice", queries[3]),  # 4th: over quota
+             ("bob", queries[3])]                           # bob unaffected
+        )
+    ]
+    for request in session:
+        response = await frontend.handle_request(request)
+        summary = {k: response[k] for k in ("id", "ok") if k in response}
+        if response["ok"]:
+            summary["ranking"] = response["ranking"]
+            summary["generation"] = response["generation"]
+        else:
+            summary["error"] = response["error"]
+            summary["retry_after"] = response.get("retry_after")
+        print(f"  <- {json.dumps(summary)}")
+    stats = await frontend.handle_request({"op": "stats", "id": 99})
+    per_tenant = stats["frontend"]["per_tenant"]
+    print(f"  stats: {stats['frontend']['completed']} answered in "
+          f"{stats['frontend']['batches_dispatched']} coalesced batches; "
+          f"per-tenant {json.dumps(per_tenant)}")
+    shutdown = await frontend.handle_request({"op": "shutdown", "id": 100})
+    assert shutdown["draining"]
+    await frontend.aclose()  # graceful drain: everything admitted answered
+    assert frontend.stats.admitted == frontend.stats.completed
+    print("  drained: every admitted request was answered before exit")
 
 
 if __name__ == "__main__":

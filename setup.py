@@ -24,6 +24,14 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.21", "scipy>=1.7"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-asyncio",
+            "pytest-benchmark",
+            "pytest-timeout",
+            "hypothesis",
+        ]
+    },
     entry_points={"console_scripts": ["repro-graphdim=repro.cli:main"]},
 )

@@ -153,6 +153,132 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontend_bench(args: argparse.Namespace) -> int:
+    """Concurrent NDJSON clients vs the async front-end, in q/s."""
+    from repro.serving.frontend_bench import run_frontend_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_frontend_bench(
+            db_size=args.db_size,
+            pool_size=args.pool,
+            per_client=args.per_client,
+            clients=args.clients,
+            num_features=args.num_features,
+            k=args.k,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            n_shards=args.shards,
+            cache_size=args.cache_size,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+            rounds=args.rounds,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The long-running NDJSON serving loop (stdin/stdout and/or TCP)."""
+    import asyncio
+    import signal
+
+    from repro.serving import protocol
+    from repro.serving.frontend import AsyncFrontend, FrontendConfig
+    from repro.serving.service import QueryService
+    from repro.utils.errors import GraphDimensionError
+
+    use_stdio = not args.no_stdio
+    if args.no_stdio and not args.tcp:
+        print("error: --no-stdio requires --tcp", file=sys.stderr)
+        return 2
+    tcp_host, tcp_port = None, None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
+                  file=sys.stderr)
+            return 2
+        tcp_host, tcp_port = host, int(port)
+
+    try:
+        if args.index:
+            from repro.index import load_index
+
+            mapping = load_index(args.index)
+            print(f"loaded index {args.index}: {mapping.space.n} graphs, "
+                  f"{mapping.dimensionality} dimensions", file=sys.stderr)
+        else:
+            from repro.core.mapping import mapping_from_selection
+            from repro.datasets import synthetic_database
+            from repro.features.binary_matrix import FeatureSpace
+            from repro.mining import mine_frequent_subgraphs
+            from repro.query.bench import variance_selection
+
+            db = synthetic_database(args.db_size, seed=args.seed)
+            features = mine_frequent_subgraphs(
+                db, min_support=0.1, max_edges=6
+            )
+            space = FeatureSpace(features, len(db))
+            mapping = mapping_from_selection(
+                space, variance_selection(space, args.num_features)
+            )
+            print(f"built demo index: {mapping.space.n} graphs, "
+                  f"{mapping.dimensionality} dimensions", file=sys.stderr)
+        config = FrontendConfig(
+            max_queue=args.queue,
+            batch_size=args.batch_size,
+            batch_window=args.batch_window,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+        )
+    except (ValueError, OSError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _main() -> None:
+        service = QueryService(
+            mapping.query_engine(),
+            n_shards=args.shards,
+            n_workers=args.workers,
+            cache_size=args.cache_size,
+        )
+        frontend = AsyncFrontend(service, config, own_service=True)
+        await frontend.start()
+        server = None
+        try:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, frontend.begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support
+            if tcp_host is not None:
+                server = await protocol.serve_tcp(
+                    frontend, tcp_host, tcp_port
+                )
+                bound = server.sockets[0].getsockname()
+                print(f"listening on {bound[0]}:{bound[1]}",
+                      file=sys.stderr)
+            if use_stdio:
+                await protocol.serve_stdio(frontend)
+                frontend.begin_drain()  # stdin EOF also means "wrap up"
+            else:
+                await frontend.wait_shutdown()
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            await frontend.aclose()
+        print("drained and shut down", file=sys.stderr)
+
+    asyncio.run(_main())
+    return 0
+
+
 def _load_graph_file(path: str, fmt: str):
     from repro.graph.io import load_gspan, load_json
 
@@ -179,7 +305,9 @@ def _cmd_index_add(args: argparse.Namespace) -> int:
         engine = mapping.query_engine()
         before_n, before_calls = mapping.space.n, engine.stats.vf2_calls
         mapping.add_graphs(graphs)
-        save_index(mapping, args.index)
+        save_index(
+            mapping, args.index, auto_compact_ratio=args.auto_compact_ratio
+        )
     except (ValueError, OSError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -201,7 +329,9 @@ def _cmd_index_remove(args: argparse.Namespace) -> int:
         mapping = load_index(args.index)
         before_n = mapping.space.n
         mapping.remove_graphs(args.ids)
-        save_index(mapping, args.index)
+        save_index(
+            mapping, args.index, auto_compact_ratio=args.auto_compact_ratio
+        )
     except (ValueError, OSError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -333,6 +463,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve_bench)
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="long-running NDJSON serving loop (stdin/stdout and/or TCP)",
+    )
+    serve_cmd.add_argument(
+        "--index", default=None,
+        help="index manifest to serve (default: build a synthetic demo)",
+    )
+    serve_cmd.add_argument("--db-size", type=int, default=60,
+                           help="demo-index database size (no --index)")
+    serve_cmd.add_argument("--num-features", type=int, default=40,
+                           help="demo-index dimensionality (no --index)")
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="also listen for NDJSON clients over TCP (port 0 = ephemeral)",
+    )
+    serve_cmd.add_argument(
+        "--no-stdio", action="store_true",
+        help="do not speak NDJSON on stdin/stdout (requires --tcp)",
+    )
+    serve_cmd.add_argument("--shards", type=int, default=4)
+    serve_cmd.add_argument("--workers", type=int, default=0)
+    serve_cmd.add_argument("--cache-size", type=int, default=1024)
+    serve_cmd.add_argument("--queue", type=int, default=256,
+                           help="admission queue bound, in queries")
+    serve_cmd.add_argument("--batch-size", type=int, default=16,
+                           help="coalescing target batch size")
+    serve_cmd.add_argument("--batch-window", type=float, default=0.002,
+                           help="coalescing linger window, seconds")
+    serve_cmd.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="per-tenant sustained queries/sec (default: no quotas)",
+    )
+    serve_cmd.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="per-tenant burst allowance (default: max(rate, batch size))",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    fbench = sub.add_parser(
+        "frontend-bench",
+        help="measure the NDJSON front-end under concurrent clients",
+    )
+    fbench.add_argument("--db-size", type=int, default=80)
+    fbench.add_argument("--pool", type=int, default=24,
+                        help="distinct queries in the traffic pool")
+    fbench.add_argument("--per-client", type=int, default=24,
+                        help="queries each client streams")
+    fbench.add_argument("--clients", type=int, default=8,
+                        help="concurrent NDJSON clients")
+    fbench.add_argument("--num-features", type=int, default=60)
+    fbench.add_argument("--k", type=int, default=10)
+    fbench.add_argument("--seed", type=int, default=0)
+    fbench.add_argument("--batch-size", type=int, default=0,
+                        help="coalescing batch size (0 = client count)")
+    fbench.add_argument("--shards", type=int, default=2)
+    fbench.add_argument("--cache-size", type=int, default=1024)
+    fbench.add_argument("--quota-rate", type=float, default=5.0)
+    fbench.add_argument("--quota-burst", type=float, default=16.0)
+    fbench.add_argument("--rounds", type=int, default=1,
+                        help="throughput rounds (min-of-N timing)")
+    fbench.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    fbench.set_defaults(func=_cmd_frontend_bench)
+
     add = sub.add_parser(
         "index-add",
         help="add database graphs to a saved index (delta-journaled)",
@@ -341,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
     add.add_argument("--graphs", required=True,
                      help="graph file to add (gSpan or JSON format)")
     add.add_argument("--format", choices=("gspan", "json"), default="gspan")
+    add.add_argument(
+        "--auto-compact-ratio", type=float, default=None,
+        help="fold the journal into a fresh base once it exceeds this "
+             "fraction of the binary payload (e.g. 0.5; default: never)",
+    )
     add.set_defaults(func=_cmd_index_add)
 
     remove = sub.add_parser(
@@ -350,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
     remove.add_argument("index", help="path to the index manifest")
     remove.add_argument("--ids", type=int, nargs="+", required=True,
                         help="database indices to remove (current numbering)")
+    remove.add_argument(
+        "--auto-compact-ratio", type=float, default=None,
+        help="fold the journal into a fresh base once it exceeds this "
+             "fraction of the binary payload (e.g. 0.5; default: never)",
+    )
     remove.set_defaults(func=_cmd_index_remove)
 
     compact = sub.add_parser(

@@ -82,17 +82,30 @@ def load_gspan(path: PathLike) -> List[LabeledGraph]:
     return loads_gspan(Path(path).read_text())
 
 
+def graph_to_obj(g: LabeledGraph) -> dict:
+    """One graph as a JSON-ready object (labels stringified).
+
+    The single source of the per-graph JSON shape: both the file format
+    (:func:`dumps_json`) and the serving wire format
+    (:mod:`repro.serving.protocol`) emit exactly this, so the two can
+    never drift apart.  ``id`` is present only when the graph has one.
+    """
+    obj: dict = {
+        "vertices": [str(g.vertex_label(v)) for v in range(g.num_vertices)],
+        "edges": [[e.u, e.v, str(e.label)] for e in g.edges()],
+    }
+    if g.graph_id is not None:
+        obj["id"] = str(g.graph_id)
+    return obj
+
+
 def dumps_json(graphs: Iterable[LabeledGraph]) -> str:
     """Serialise *graphs* as a JSON document (labels stringified)."""
     payload = []
     for idx, g in enumerate(graphs):
-        payload.append(
-            {
-                "id": str(g.graph_id) if g.graph_id is not None else str(idx),
-                "vertices": [str(g.vertex_label(v)) for v in range(g.num_vertices)],
-                "edges": [[e.u, e.v, str(e.label)] for e in g.edges()],
-            }
-        )
+        obj = graph_to_obj(g)
+        obj.setdefault("id", str(idx))
+        payload.append(obj)
     return json.dumps(payload, indent=1)
 
 

@@ -13,6 +13,7 @@ them back in.
 """
 
 from repro.index.artifact import (
+    DEFAULT_AUTO_COMPACT_RATIO,
     FORMAT_VERSION,
     IndexArtifact,
     compact_index,
@@ -24,6 +25,7 @@ from repro.index.artifact import (
 )
 
 __all__ = [
+    "DEFAULT_AUTO_COMPACT_RATIO",
     "FORMAT_VERSION",
     "IndexArtifact",
     "compact_index",

@@ -55,6 +55,7 @@ from repro.utils.errors import (
     FormatVersionError,
     JournalError,
     LatticeShapeError,
+    ManifestMissingError,
     PayloadMissingError,
 )
 
@@ -66,6 +67,7 @@ ARTIFACT_KIND = "repro-graphdim-index"
 PAYLOAD_ARRAYS = ("database_vectors", "database_sq_norms")
 
 __all__ = [
+    "DEFAULT_AUTO_COMPACT_RATIO",
     "FORMAT_VERSION",
     "IndexArtifact",
     "compact_index",
@@ -426,6 +428,7 @@ class IndexArtifact:
         manifest["payload"] = {
             "file": payload_path(path).name,
             "sha256": _sha256_bytes(data),
+            "bytes": len(data),
             "arrays": {
                 name: {
                     "shape": list(array.shape),
@@ -443,7 +446,7 @@ class IndexArtifact:
     def load(cls, path: PathLike) -> "IndexArtifact":
         """Read a v2 or v3 artifact, verifying every v3 checksum."""
         path = Path(path)
-        return cls.from_payload(json.loads(path.read_text()), path)
+        return cls.from_payload(json.loads(_read_manifest(path)), path)
 
     @classmethod
     def from_payload(cls, payload: Dict, path: Path) -> "IndexArtifact":
@@ -498,8 +501,28 @@ class IndexArtifact:
 # ----------------------------------------------------------------------
 # the module-level lifecycle API
 # ----------------------------------------------------------------------
+def _read_manifest(path: Path) -> str:
+    """The manifest text at *path*, or :class:`ManifestMissingError`."""
+    try:
+        return path.read_text()
+    except FileNotFoundError as exc:
+        raise ManifestMissingError(
+            f"index manifest {str(path)!r} does not exist"
+        ) from exc
+
+
+#: Default journal-size trigger for auto-compaction: once the delta
+#: journal outgrows this fraction of the binary base payload, replaying
+#: it on load starts to rival rewriting the base, so ``save_index``
+#: folds it in.  ``None`` in :func:`save_index` disables the check.
+DEFAULT_AUTO_COMPACT_RATIO = 0.5
+
+
 def save_index(
-    mapping: DSPreservedMapping, path: PathLike, compact: bool = False
+    mapping: DSPreservedMapping,
+    path: PathLike,
+    compact: bool = False,
+    auto_compact_ratio: Optional[float] = None,
 ) -> None:
     """Persist *mapping* as format v3 — deltas when possible.
 
@@ -512,8 +535,17 @@ def save_index(
     corrupt* journal, or ``compact=True``) a full base is written and
     the journal reset — the live mapping holds the complete state, so
     a full write also repairs an artifact whose journal was damaged.
+
+    *auto_compact_ratio* arms the journal growth threshold: after an
+    append, if the journal's size exceeds that fraction of the binary
+    payload's size, the journal is folded into a fresh base on the spot
+    (exactly :func:`compact_index`, minus the reload).  Pass
+    :data:`DEFAULT_AUTO_COMPACT_RATIO` for the recommended setting;
+    the default ``None`` never compacts behind the caller's back.
     """
     path = Path(path)
+    if auto_compact_ratio is not None and auto_compact_ratio <= 0:
+        raise ValueError("auto_compact_ratio must be positive (or None)")
     if not compact and mapping.artifact_ref is not None and path.exists():
         try:
             manifest = json.loads(path.read_text())
@@ -524,7 +556,19 @@ def save_index(
             and manifest.get("format_version") == FORMAT_VERSION
             and manifest.get("kind") == ARTIFACT_KIND
             and manifest.get("artifact_id") == mapping.artifact_ref
+            # A damaged base (sidecar deleted, truncated, or bit-flipped)
+            # must be repaired by a full write, not papered over with
+            # deltas nothing can replay onto — the live mapping holds
+            # the complete state, so verify before trusting the base.
+            and _payload_intact(path, manifest)
         ):
+            meta = manifest.get("payload")
+            if isinstance(meta, dict) and "bytes" not in meta:
+                # Pre-"bytes" v3 manifest: the intact check above had
+                # to hash the whole payload.  Record its size now so
+                # every future append pays a stat, not a re-hash.
+                meta["bytes"] = payload_path(path).stat().st_size
+                path.write_text(json.dumps(manifest))
             try:
                 existing = _read_journal(
                     journal_path(path), mapping.artifact_ref
@@ -533,12 +577,61 @@ def save_index(
                 existing = None  # damaged journal: fall through and repair
             if existing is not None and len(existing) == mapping.journal_seq:
                 _append_deltas(path, mapping)
+                if auto_compact_ratio is not None and _journal_oversized(
+                    path, auto_compact_ratio
+                ):
+                    save_index(mapping, path, compact=True)
                 return
     artifact = IndexArtifact.from_mapping(mapping)
     artifact.save(path)
     mapping.artifact_ref = artifact.payload["artifact_id"]
     mapping.journal_seq = 0
     mapping.mutation_log.clear()
+
+
+def _payload_intact(path: Path, manifest: Dict) -> bool:
+    """True when the binary sidecar exists at its recorded size.
+
+    This guards the *append* fast path, so it must stay O(1): a stat
+    against the manifest's recorded byte count catches deletion and
+    truncation without re-reading a potentially huge base on every
+    delta save.  Same-size bit-flips are caught where every load
+    already pays the full SHA-256 (:meth:`IndexArtifact.from_payload`);
+    repairing one eagerly takes an explicit full save
+    (``compact=True``).  Manifests from before the ``bytes`` field fall
+    back to the full hash; :func:`save_index` then records the size in
+    the manifest so the hash is paid once, not per append.
+    """
+    meta = manifest.get("payload")
+    if not isinstance(meta, dict):
+        return False
+    try:
+        size = payload_path(path).stat().st_size
+    except OSError:
+        return False
+    recorded = meta.get("bytes")
+    if recorded is not None:
+        try:
+            return size == int(recorded)
+        except (TypeError, ValueError):
+            return False  # junk manifest field: repair with a full write
+    try:
+        data = payload_path(path).read_bytes()
+    except OSError:
+        return False
+    return _sha256_bytes(data) == meta.get("sha256")
+
+
+def _journal_oversized(path: Path, ratio: float) -> bool:
+    """True when the delta journal outgrew *ratio* × the base payload."""
+    journal = journal_path(path)
+    if not journal.exists():
+        return False
+    try:
+        base_bytes = payload_path(path).stat().st_size
+    except OSError:
+        return False
+    return journal.stat().st_size > ratio * base_bytes
 
 
 def _append_deltas(path: Path, mapping: DSPreservedMapping) -> None:
@@ -571,7 +664,7 @@ def load_index(path: PathLike) -> DSPreservedMapping:
       use and labels come back as strings (the documented legacy caveat).
     """
     path = Path(path)
-    payload = json.loads(path.read_text())
+    payload = json.loads(_read_manifest(path))
     if payload.get("format_version") == LEGACY_FORMAT_VERSION:
         return _load_v1(payload)
     return IndexArtifact.from_payload(payload, path).to_mapping()

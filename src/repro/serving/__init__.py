@@ -5,9 +5,32 @@ north-star: database vectors split into shards, worker pools for the
 embedding and distance stages, and an exact embedding cache for the
 repeat-heavy streams real services see — all while staying bit-identical
 to the single-shard :class:`~repro.query.engine.QueryEngine`.
+
+:class:`AsyncFrontend` is the long-running front door over it: a
+bounded request queue with admission control, per-tenant token-bucket
+quotas, cross-client batch coalescing, and graceful drain, speaking
+newline-delimited JSON over TCP and stdin/stdout (``repro-graphdim
+serve``).
 """
 
 from repro.serving.bench import run_serving_bench
+from repro.serving.frontend import (
+    AsyncFrontend,
+    FrontendConfig,
+    FrontendStats,
+    TokenBucket,
+)
+from repro.serving.frontend_bench import run_frontend_bench
 from repro.serving.service import QueryService, ServiceStats, Shard
 
-__all__ = ["QueryService", "ServiceStats", "Shard", "run_serving_bench"]
+__all__ = [
+    "AsyncFrontend",
+    "FrontendConfig",
+    "FrontendStats",
+    "QueryService",
+    "ServiceStats",
+    "Shard",
+    "TokenBucket",
+    "run_frontend_bench",
+    "run_serving_bench",
+]

@@ -1,0 +1,668 @@
+"""The asyncio serving front-end: admission control over the service.
+
+:class:`QueryService` makes a *batch* cheap; a deployment faces an open
+socket, not a batch.  :class:`AsyncFrontend` is the traffic shaper in
+between — it turns many concurrent NDJSON clients into the batched,
+bounded workload the service is fastest at:
+
+* **Bounded request queue.**  At most ``max_queue`` queries may be
+  waiting; past that, requests are rejected *immediately* with a
+  structured ``overloaded`` response and a ``retry_after`` estimate,
+  instead of letting latency grow without bound (load shedding, not
+  load hiding).
+* **Per-tenant token buckets.**  Each tenant streams at up to
+  ``quota_rate`` queries/sec with ``quota_burst`` of headroom; an
+  over-quota tenant gets ``quota_exceeded`` rejections with the exact
+  seconds until a token is available, while compliant tenants are
+  untouched — one flooder cannot starve the queue.
+* **Request coalescing.**  Admitted queries are gathered — across
+  clients and tenants — into :meth:`~repro.serving.service.QueryService.
+  batch_query`-sized batches (a ``batch_window`` linger bounds the
+  added latency), so concurrent single-query clients get batched BLAS
+  and per-call overhead amortisation for free.
+* **Graceful drain.**  Shutdown stops admission (``shutting_down``
+  rejections) but answers *every* admitted request before the loop
+  exits — no dropped futures, no torn connections.
+
+Every response is stamped with the service's index **generation** (the
+number of applied updates), so a client — or the concurrency soak test
+— can tell exactly which database state produced each answer even while
+``update`` ops churn the index live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.topk import TopKResult
+from repro.serving import protocol
+from repro.serving.service import QueryService
+from repro.utils.errors import (
+    AdmissionError,
+    GraphDimensionError,
+    ProtocolError,
+    QueryError,
+)
+
+__all__ = ["AsyncFrontend", "FrontendConfig", "FrontendStats", "TokenBucket"]
+
+
+@dataclass
+class FrontendConfig:
+    """Tuning knobs of one :class:`AsyncFrontend`.
+
+    ``quota_rate`` is per-tenant queries/sec (``None`` disables quotas);
+    ``quota_burst`` defaults to ``max(quota_rate, batch_size)`` so a
+    compliant tenant can always submit one full batch.  ``max_queue``
+    bounds *queries* (a batch request counts its size), ``batch_window``
+    is the coalescing linger in seconds, and ``drain_timeout`` caps how
+    long :meth:`AsyncFrontend.aclose` waits for in-flight work.
+    """
+
+    max_queue: int = 256
+    batch_size: int = 16
+    batch_window: float = 0.002
+    quota_rate: Optional[float] = None
+    quota_burst: Optional[float] = None
+    drain_timeout: float = 30.0
+    #: Most tenants tracked at once.  Tenant names come off the wire,
+    #: so without a bound a client cycling names would grow the bucket
+    #: table (and its own quota) without limit; past the cap the
+    #: least-recently-seen bucket is evicted and stats aggregate under
+    #: ``"<other>"``.
+    max_tenants: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ValueError("quota_rate must be positive (or None)")
+        if self.quota_burst is not None and self.quota_burst < 1:
+            # burst < 1 would make even a single query cost > burst: a
+            # permanently-dead server rejecting 100% of requests.
+            raise ValueError("quota_burst must be >= 1 (or None)")
+        if self.quota_burst is None and self.quota_rate is not None:
+            self.quota_burst = max(self.quota_rate, float(self.batch_size))
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/sec up to ``burst``.
+
+    ``try_acquire(cost)`` either takes the tokens and returns
+    ``(True, 0.0)``, or leaves them and returns ``(False, seconds)`` —
+    the exact wait until the acquisition could succeed (``inf`` when
+    ``cost`` exceeds the burst capacity, i.e. never).
+    """
+
+    def __init__(
+        self, rate: float, burst: float, clock=time.monotonic
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        now = self._clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        if cost > self.burst:
+            return False, float("inf")
+        return False, (cost - self.tokens) / self.rate
+
+
+@dataclass
+class FrontendStats:
+    """Cumulative counters of one :class:`AsyncFrontend`."""
+
+    admitted: int = 0           # queries accepted into the queue
+    completed: int = 0          # queries answered
+    failed: int = 0             # queries whose batch raised
+    rejected_quota: int = 0
+    rejected_overload: int = 0
+    rejected_draining: int = 0
+    bad_requests: int = 0
+    batches_dispatched: int = 0  # service batch_query calls
+    updates_applied: int = 0
+    reloads: int = 0
+    queue_peak: int = 0
+    per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Most tenants broken out individually in ``per_tenant``; the rest
+    #: aggregate under ``"<other>"`` so wire-supplied names cannot grow
+    #: the stats table without bound.  :class:`AsyncFrontend` sets this
+    #: from ``FrontendConfig.max_tenants`` so the two caps never
+    #: diverge.
+    max_tracked_tenants: int = 10_000
+
+    def tenant(self, name: str) -> Dict[str, int]:
+        if (
+            name not in self.per_tenant
+            and len(self.per_tenant) >= self.max_tracked_tenants
+        ):
+            name = "<other>"
+        return self.per_tenant.setdefault(
+            name, {"admitted": 0, "rejected_quota": 0}
+        )
+
+
+class _Pending:
+    """One admitted request waiting for its batch slot."""
+
+    __slots__ = ("graphs", "k", "future")
+
+    def __init__(
+        self,
+        graphs: List[LabeledGraph],
+        k: int,
+        future: "asyncio.Future[Tuple[List[TopKResult], int]]",
+    ) -> None:
+        self.graphs = graphs
+        self.k = k
+        self.future = future
+
+
+_STOP = object()
+
+
+class AsyncFrontend:
+    """The admission-controlled asyncio front door of a `QueryService`.
+
+    Use as an async context manager, or pair :meth:`start` with
+    :meth:`aclose`.  The front-end owns its executors; it closes the
+    wrapped service too when constructed with ``own_service=True``.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        config: Optional[FrontendConfig] = None,
+        own_service: bool = False,
+    ) -> None:
+        self.service = service
+        self.config = config or FrontendConfig()
+        self.stats = FrontendStats(
+            max_tracked_tenants=self.config.max_tenants
+        )
+        self._own_service = own_service
+        self._codec = self._build_codec(service)
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._queued_queries = 0
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._draining = False
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._shutdown_event = asyncio.Event()
+        self._update_lock = asyncio.Lock()
+        # Separate single-thread executors so live updates genuinely
+        # overlap in-flight batches (the service's swap lock is what
+        # keeps that race exact).
+        self._batch_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="frontend-batch"
+        )
+        self._admin_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="frontend-admin"
+        )
+        # EWMA of one dispatched batch's wall-clock, for retry_after.
+        self._batch_seconds = 0.05
+
+    @staticmethod
+    def _build_codec(service: QueryService):
+        """The label codec wire graphs decode through.
+
+        JSON stringifies every label; the index's labels may be ints
+        (the synthetic datasets).  φ(q) depends only on the *selected
+        patterns*, so a codec over the feature graphs' labels is exactly
+        sufficient: any other query label can never match a pattern and
+        decoding it as a string is harmless.
+        """
+        from repro.core.persistence import LabelCodec
+
+        return LabelCodec.for_graphs(
+            [f.graph for f in service.mapping.selected_features()]
+        )
+
+    def _decode_graph(self, wire) -> LabeledGraph:
+        return self._codec.decode_graph(protocol.graph_from_wire(wire))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncFrontend":
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return self
+
+    async def __aenter__(self) -> "AsyncFrontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued_queries
+
+    def begin_drain(self) -> None:
+        """Stop admission; idempotent and synchronous.
+
+        Everything already admitted will still be answered; the
+        dispatcher exits once the queue (plus the stop marker) runs dry.
+        """
+        if not self._draining:
+            self._draining = True
+            self._queue.put_nowait(_STOP)
+            self._shutdown_event.set()
+
+    async def wait_shutdown(self) -> None:
+        """Block until some peer requested shutdown (the serve loops)."""
+        await self._shutdown_event.wait()
+
+    async def drain(self) -> None:
+        """Begin drain and wait until every admitted request is answered."""
+        self.begin_drain()
+        if self._dispatcher is not None:
+            await asyncio.wait_for(
+                asyncio.shield(self._dispatcher), self.config.drain_timeout
+            )
+
+    async def aclose(self) -> None:
+        """Drain, then release executors (and the service when owned)."""
+        try:
+            await self.drain()
+        finally:
+            self._batch_executor.shutdown(wait=True)
+            self._admin_executor.shutdown(wait=True)
+            if self._own_service:
+                self.service.close()
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _admit(self, tenant: str, cost: int) -> None:
+        """Raise :class:`AdmissionError` unless *cost* queries may enter."""
+        if self._draining:
+            self.stats.rejected_draining += cost
+            raise AdmissionError(
+                "shutting_down", "server is draining; no new requests"
+            )
+        # Queue capacity is checked *before* the token bucket: an
+        # overload rejection must not burn the tenant's quota, or a
+        # compliant tenant retrying through a load spike would be
+        # double-penalised into quota_exceeded.
+        if self._queued_queries + cost > self.config.max_queue:
+            self.stats.rejected_overload += cost
+            backlog_batches = self._queued_queries / self.config.batch_size
+            raise AdmissionError(
+                "overloaded",
+                f"request queue is full ({self._queued_queries}/"
+                f"{self.config.max_queue} queries pending)",
+                # A batch bigger than the whole queue can never fit:
+                # no retry_after, matching the over-burst quota case.
+                retry_after=None
+                if cost > self.config.max_queue
+                else self.config.batch_window
+                + backlog_batches * self._batch_seconds,
+            )
+        if self.config.quota_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is not None:
+                self._buckets.move_to_end(tenant)
+            else:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.config.quota_rate, self.config.quota_burst
+                )
+                if len(self._buckets) > self.config.max_tenants:
+                    self._buckets.popitem(last=False)
+            ok, wait = bucket.try_acquire(cost)
+            if not ok:
+                self.stats.rejected_quota += cost
+                self.stats.tenant(tenant)["rejected_quota"] += cost
+                raise AdmissionError(
+                    "quota_exceeded",
+                    f"tenant {tenant!r} exceeded {self.config.quota_rate}"
+                    " queries/sec",
+                    retry_after=None if wait == float("inf") else wait,
+                )
+        self.stats.admitted += cost
+        self.stats.tenant(tenant)["admitted"] += cost
+        self._queued_queries += cost
+        self.stats.queue_peak = max(self.stats.queue_peak, self._queued_queries)
+
+    async def submit(
+        self,
+        graphs: Sequence[LabeledGraph],
+        k: int,
+        tenant: str = "",
+    ) -> Tuple[List[TopKResult], int]:
+        """Admit, queue, and answer one request of one or more queries.
+
+        Returns ``(results, generation)``; raises
+        :class:`~repro.utils.errors.AdmissionError` on a structured
+        rejection, or whatever the underlying batch raised (e.g.
+        :class:`~repro.utils.errors.QueryError` for a bad ``k``).
+        """
+        graphs = list(graphs)
+        if not graphs:
+            raise ProtocolError("empty query batch")
+        self._admit(tenant, len(graphs))
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_Pending(graphs, int(k), future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # the dispatcher: coalesce -> batch -> fan back out
+    # ------------------------------------------------------------------
+    async def _collect(self) -> Tuple[List[_Pending], bool]:
+        """Gather up to ``batch_size`` queries (linger-bounded)."""
+        loop = asyncio.get_running_loop()
+        first = await self._queue.get()
+        if first is _STOP:
+            return [], True
+        batch, total = [first], len(first.graphs)
+        stop = False
+        deadline = loop.time() + self.config.batch_window
+        while total < self.config.batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if item is _STOP:
+                stop = True
+                break
+            batch.append(item)
+            total += len(item.graphs)
+        return batch, stop
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch, stop = await self._collect()
+            if batch:
+                # Group by k: one service call answers every request in
+                # the group, whoever submitted it.
+                by_k: Dict[int, List[_Pending]] = {}
+                for item in batch:
+                    by_k.setdefault(item.k, []).append(item)
+                for k, group in sorted(by_k.items()):
+                    await self._run_group(loop, group, k)
+            if stop:
+                break
+
+    async def _run_group(
+        self, loop, group: List[_Pending], k: int
+    ) -> None:
+        graphs: List[LabeledGraph] = []
+        for item in group:
+            graphs.extend(item.graphs)
+        started = loop.time()
+        try:
+            result, generation = await loop.run_in_executor(
+                self._batch_executor,
+                self.service.batch_query_tagged,
+                graphs,
+                k,
+            )
+        except Exception as exc:
+            for item in group:
+                self._queued_queries -= len(item.graphs)
+                self.stats.failed += len(item.graphs)
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            return
+        elapsed = loop.time() - started
+        self._batch_seconds = 0.8 * self._batch_seconds + 0.2 * elapsed
+        self.stats.batches_dispatched += 1
+        offset = 0
+        for item in group:
+            size = len(item.graphs)
+            answers = result.results[offset : offset + size]
+            offset += size
+            self._queued_queries -= size
+            self.stats.completed += size
+            if not item.future.cancelled():
+                item.future.set_result((answers, generation))
+
+    # ------------------------------------------------------------------
+    # admin operations
+    # ------------------------------------------------------------------
+    async def apply_update(
+        self,
+        added: Sequence[LabeledGraph] = (),
+        removed: Sequence[int] = (),
+    ) -> int:
+        """Serialised live index mutation; returns the new generation.
+
+        Runs on the admin executor so it overlaps in-flight batches —
+        the service's swap lock guarantees each batch still sees exactly
+        one index generation.
+        """
+        async with self._update_lock:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._admin_executor,
+                self.service.apply_update,
+                list(added),
+                list(removed),
+            )
+            # A staleness-hook re-selection changes the feature set the
+            # wire codec was built from; rebuilding unconditionally is
+            # cheap (p tiny pattern graphs) and never stale.
+            self._codec = self._build_codec(self.service)
+            self.stats.updates_applied += 1
+            return self.service.generation
+
+    async def reload(self, path: str) -> Dict:
+        """Server-side artifact reload: swap in the index saved at *path*.
+
+        The replacement service is built off-loop with the same layout
+        (shard count, workers, cache size) as the current one, swapped
+        in atomically between batches, and the old service is closed.
+        A failed load leaves the serving index untouched.  The reload
+        counts as one more generation — the stamp stays monotonic, so
+        one number can never name two different database states.
+        """
+        async with self._update_lock:
+            loop = asyncio.get_running_loop()
+            old = self.service
+
+            def _build() -> QueryService:
+                from repro.index import load_index
+
+                mapping = load_index(path)
+                return QueryService(
+                    mapping.query_engine(),
+                    n_shards=max(len(old.shards), 1),
+                    n_workers=old.n_workers,
+                    cache_size=old._cache_size,
+                    embed_mode="auto",
+                )
+
+            replacement = await loop.run_in_executor(
+                self._admin_executor, _build
+            )
+            replacement.generation = old.generation + 1
+            owned_old = self._own_service
+            self.service = replacement
+            # The frontend built the replacement, so it owns it from
+            # here on (aclose() must release its pools) — while a
+            # caller-owned *old* service is left untouched for its
+            # owner, not closed underneath them.
+            self._own_service = True
+            self._codec = self._build_codec(replacement)
+            self.stats.reloads += 1
+            if owned_old:
+                # A coalesced batch may still be running on the old
+                # service.  The batch executor is single-threaded and
+                # the dispatcher reads ``self.service`` and submits in
+                # one event-loop step, so a no-op barrier queued *after*
+                # the swap drains any such batch before the old pools
+                # are shut down.
+                await loop.run_in_executor(
+                    self._batch_executor, lambda: None
+                )
+                old.close()
+            return {
+                "path": path,
+                "generation": replacement.generation,
+                "database_size": replacement.mapping.space.n,
+                "dimensionality": replacement.mapping.dimensionality,
+            }
+
+    def stats_payload(self) -> Dict:
+        """The ``stats`` op response body (frontend + service counters)."""
+        service = self.service
+        svc = service.stats
+        return {
+            "queue_depth": self.queue_depth,
+            "draining": self._draining,
+            "generation": service.generation,
+            "frontend": {
+                "admitted": self.stats.admitted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "rejected_quota": self.stats.rejected_quota,
+                "rejected_overload": self.stats.rejected_overload,
+                "rejected_draining": self.stats.rejected_draining,
+                "bad_requests": self.stats.bad_requests,
+                "batches_dispatched": self.stats.batches_dispatched,
+                "mean_coalesced": (
+                    self.stats.completed
+                    / max(self.stats.batches_dispatched, 1)
+                ),
+                "updates_applied": self.stats.updates_applied,
+                "reloads": self.stats.reloads,
+                "queue_peak": self.stats.queue_peak,
+                "per_tenant": {
+                    tenant: dict(counts)
+                    for tenant, counts in self.stats.per_tenant.items()
+                },
+            },
+            "service": {
+                "batches": svc.batches,
+                "queries": svc.queries,
+                "embedded_queries": svc.embedded_queries,
+                "cache_hits": svc.cache_hits,
+                "cache_misses": svc.cache_misses,
+                "vf2_calls": svc.vf2_calls,
+                "shard_tasks": svc.shard_tasks,
+                "updates": svc.updates,
+                "shards_rebuilt": svc.shards_rebuilt,
+                "n_shards": len(service.shards),
+                "embed_mode": service.embed_mode,
+                "database_size": service.mapping.space.n,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # protocol dispatch
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: str) -> Dict:
+        """One NDJSON request line in, one response object out."""
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            self.stats.bad_requests += 1
+            return protocol.error_response(None, "bad_request", str(exc))
+        return await self.handle_request(request)
+
+    async def handle_request(self, request: Dict) -> Dict:
+        request_id = request.get("id")
+        op = request["op"]
+        tenant = request.get("tenant") or ""
+        try:
+            if op == "query":
+                graph = self._decode_graph(request["graph"])
+                results, generation = await self.submit(
+                    [graph], request["k"], tenant
+                )
+                return protocol.ok_response(
+                    request_id,
+                    generation=generation,
+                    **protocol.result_to_wire(results[0]),
+                )
+            if op == "batch":
+                graphs = [
+                    self._decode_graph(g) for g in request["graphs"]
+                ]
+                results, generation = await self.submit(
+                    graphs, request["k"], tenant
+                )
+                return protocol.ok_response(
+                    request_id,
+                    generation=generation,
+                    results=[protocol.result_to_wire(r) for r in results],
+                )
+            if op == "stats":
+                return protocol.ok_response(
+                    request_id, **self.stats_payload()
+                )
+            if op == "update":
+                added = [
+                    self._decode_graph(g)
+                    for g in request.get("add", [])
+                ]
+                removed = []
+                for i in request.get("remove", []):
+                    if not isinstance(i, int):
+                        raise ProtocolError(
+                            "'remove' must hold integer database indices"
+                        )
+                    removed.append(i)
+                generation = await self.apply_update(added, removed)
+                return protocol.ok_response(
+                    request_id,
+                    generation=generation,
+                    added=len(added),
+                    removed=len(removed),
+                )
+            if op == "reload":
+                info = await self.reload(request["path"])
+                return protocol.ok_response(request_id, **info)
+            if op == "shutdown":
+                self.begin_drain()
+                return protocol.ok_response(request_id, draining=True)
+        except ProtocolError as exc:
+            self.stats.bad_requests += 1
+            return protocol.error_response(request_id, "bad_request", str(exc))
+        except AdmissionError as exc:
+            return protocol.error_response(
+                request_id, exc.code, str(exc), retry_after=exc.retry_after
+            )
+        except QueryError as exc:
+            # Bad top-k parameters are the client's fault, not ours.
+            self.stats.bad_requests += 1
+            return protocol.error_response(request_id, "bad_request", str(exc))
+        except (GraphDimensionError, OSError, ValueError) as exc:
+            return protocol.error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        raise AssertionError(f"unhandled op {op!r}")  # pragma: no cover

@@ -1,0 +1,407 @@
+"""Front-end benchmark: concurrent NDJSON clients against the serve loop.
+
+Shared by the ``repro-graphdim frontend-bench`` CLI command and
+``benchmarks/test_bench_frontend.py``, so the number the perf trajectory
+tracks is the number an operator can reproduce.
+
+Three phases, all over a real localhost TCP socket speaking the NDJSON
+protocol:
+
+* **coalescing** — ``clients`` concurrent serial clients (one query in
+  flight each, the worst case for batching) stream a repeat-heavy
+  workload twice: once against a front-end that coalesces across
+  clients, once against one with coalescing disabled
+  (``batch_size=1``).  The embedding cache is primed first in both
+  passes, so the comparison isolates exactly what coalescing buys:
+  batched BLAS and per-call overhead amortisation.
+* **quotas** — one flooding tenant and ``calm`` compliant tenants share
+  the server; the flooder must drown in structured ``quota_exceeded``
+  rejections (with ``retry_after``) while the compliant tenants see
+  zero rejections and exact answers.
+* **drain** — clients stream, the server is told to shut down
+  mid-stream, and every admitted request must still be answered
+  (``admitted == completed``, nothing failed) before the loop exits.
+
+Every ``ok`` response in every phase is checked bit-identical to the
+single-threaded engine before any throughput number is reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.serving import protocol
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.service import QueryService
+
+
+def _request_line(op: str, request_id, **fields) -> bytes:
+    payload = {"op": op, "id": request_id}
+    payload.update(fields)
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+async def _serial_client(
+    host: str,
+    port: int,
+    lines: List[bytes],
+) -> List[Dict]:
+    """One serial NDJSON client: a single query in flight at a time."""
+    reader, writer = await asyncio.open_connection(host, port)
+    responses: List[Dict] = []
+    try:
+        for line in lines:
+            try:
+                writer.write(line)
+                await writer.drain()
+                raw = await reader.readline()
+            except (ConnectionError, OSError):
+                break  # server drained and reset the socket under us
+            if not raw:
+                break  # server drained and closed under us
+            responses.append(json.loads(raw))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return responses
+
+
+async def _run_stream_phase(
+    service: QueryService,
+    config: FrontendConfig,
+    client_lines: List[List[bytes]],
+    warmup_lines: Optional[List[bytes]] = None,
+) -> Tuple[float, List[List[Dict]], Dict]:
+    """Serve *client_lines* concurrently; return (seconds, responses, stats)."""
+    frontend = AsyncFrontend(service, config)
+    server = await protocol.serve_tcp(frontend, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        await frontend.start()
+        if warmup_lines:
+            await _serial_client("127.0.0.1", port, warmup_lines)
+            frontend.stats.batches_dispatched = 0
+            frontend.stats.completed = 0
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(
+                _serial_client("127.0.0.1", port, lines)
+                for lines in client_lines
+            )
+        )
+        elapsed = time.perf_counter() - start
+        stats = frontend.stats_payload()
+    finally:
+        server.close()
+        await server.wait_closed()
+        # aclose, not just drain: each frontend owns two executors that
+        # would otherwise leak threads across the bench's many phases
+        # (own_service is False, so the shared service is untouched).
+        await frontend.aclose()
+    return elapsed, list(responses), stats
+
+
+def run_frontend_bench(
+    db_size: int = 80,
+    pool_size: int = 24,
+    per_client: int = 24,
+    clients: int = 8,
+    num_features: int = 60,
+    k: int = 10,
+    seed: int = 0,
+    batch_size: int = 0,
+    n_shards: int = 2,
+    cache_size: int = 1024,
+    quota_rate: float = 5.0,
+    quota_burst: float = 16.0,
+    flood_requests: int = 48,
+    calm_requests: int = 10,
+    rounds: int = 1,
+    num_labels: int = 6,
+    density: float = 0.3,
+    avg_edges: float = 20.0,
+    min_support: float = 0.10,
+    max_pattern_edges: int = 6,
+) -> Dict:
+    """Measure the NDJSON front-end under concurrent multi-tenant load.
+
+    ``batch_size=0`` (the default) coalesces to the client count — the
+    largest batch the closed-loop serial clients can ever fill without
+    paying the linger window for stragglers that cannot exist.
+    """
+    if clients < 1 or per_client < 1 or pool_size < 1:
+        raise ValueError("clients, per_client and pool_size must be >= 1")
+    coalesce = batch_size if batch_size >= 1 else max(clients, 2)
+
+    db = synthetic_database(
+        db_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed,
+    )
+    pool = synthetic_query_set(
+        pool_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed + 10_000,
+    )
+    features = mine_frequent_subgraphs(
+        db, min_support=min_support, max_edges=max_pattern_edges
+    )
+    space = FeatureSpace(features, len(db))
+    mapping = mapping_from_selection(
+        space, variance_selection(space, num_features)
+    )
+    engine = mapping.query_engine()
+    reference = engine.batch_query(pool, k)
+    wire_pool = [protocol.graph_to_wire(q) for q in pool]
+
+    rng = np.random.default_rng(seed + 99)
+    streams = [
+        [int(i) for i in rng.integers(0, len(pool), per_client)]
+        for _ in range(clients)
+    ]
+    client_lines = [
+        [
+            _request_line(
+                "query", f"c{ci}-{qi}", tenant=f"client-{ci}", k=k,
+                graph=wire_pool[pi],
+            )
+            for qi, pi in enumerate(stream)
+        ]
+        for ci, stream in enumerate(streams)
+    ]
+    warmup_lines = [
+        _request_line("query", f"warm-{pi}", k=k, graph=wire_pool[pi])
+        for pi in range(len(pool))
+    ]
+
+    def check_ok(response: Dict) -> None:
+        assert response.get("ok"), f"unexpected rejection: {response}"
+        pi = None
+        rid = str(response["id"])
+        if rid.startswith("c"):
+            ci, qi = rid[1:].split("-")
+            pi = streams[int(ci)][int(qi)]
+        elif rid.startswith("warm-"):
+            pi = int(rid.split("-")[1])
+        if pi is not None:
+            truth = reference[pi]
+            if (
+                response["ranking"] != truth.ranking
+                or response["scores"] != truth.scores
+            ):
+                raise AssertionError(
+                    "front-end answer diverged from the engine path for "
+                    f"request {rid}"
+                )
+
+    async def _bench() -> Dict:
+        result: Dict = {}
+
+        # ----- phase 1: coalescing on vs off -------------------------
+        def fresh_service() -> QueryService:
+            return QueryService(
+                engine, n_shards=n_shards, n_workers=0,
+                cache_size=cache_size,
+            )
+
+        coalesced_cfg = FrontendConfig(
+            batch_size=coalesce, batch_window=0.005, max_queue=4096
+        )
+        serial_cfg = FrontendConfig(
+            batch_size=1, batch_window=0.0, max_queue=4096
+        )
+        # min-of-rounds on both passes: one descheduled tick on a busy
+        # host would otherwise swing a single-shot comparison.
+        total = clients * per_client
+        serial_seconds = coalesced_seconds = float("inf")
+        serial_stats = coalesced_stats = None
+        for _ in range(max(rounds, 1)):
+            with fresh_service() as service:
+                seconds, responses, stats = await _run_stream_phase(
+                    service, serial_cfg, client_lines, warmup_lines
+                )
+            if seconds < serial_seconds:
+                serial_seconds, serial_stats = seconds, stats
+            serial_responses = responses
+            with fresh_service() as service:
+                seconds, responses, stats = await _run_stream_phase(
+                    service, coalesced_cfg, client_lines, warmup_lines
+                )
+            if seconds < coalesced_seconds:
+                coalesced_seconds, coalesced_stats = seconds, stats
+            coalesced_responses = responses
+            for responses in (serial_responses, coalesced_responses):
+                answered = sum(len(r) for r in responses)
+                assert answered == total, (
+                    f"expected {total} responses, got {answered}"
+                )
+                for client_responses in responses:
+                    for response in client_responses:
+                        check_ok(response)
+        result.update(
+            clients=clients,
+            per_client=per_client,
+            stream_length=total,
+            serial_qps=total / serial_seconds,
+            coalesced_qps=total / coalesced_seconds,
+            speedup=serial_seconds / coalesced_seconds,
+            serial_batches=serial_stats["frontend"]["batches_dispatched"],
+            coalesced_batches=coalesced_stats["frontend"][
+                "batches_dispatched"
+            ],
+            mean_coalesced=coalesced_stats["frontend"]["mean_coalesced"],
+            batch_size=coalesce,
+            rounds=max(rounds, 1),
+        )
+
+        # ----- phase 2: per-tenant quotas ----------------------------
+        flood_lines = [
+            _request_line(
+                "query", f"flood-{i}", tenant="flood", k=k,
+                graph=wire_pool[i % len(pool)],
+            )
+            for i in range(flood_requests)
+        ]
+        calm_clients = [
+            [
+                _request_line(
+                    "query", f"calm{t}-{i}", tenant=f"calm-{t}", k=k,
+                    graph=wire_pool[i % len(pool)],
+                )
+                for i in range(calm_requests)
+            ]
+            for t in range(2)
+        ]
+        quota_cfg = FrontendConfig(
+            batch_size=coalesce, batch_window=0.002, max_queue=4096,
+            quota_rate=quota_rate, quota_burst=quota_burst,
+        )
+        with fresh_service() as service:
+            _seconds, quota_responses, quota_stats = await _run_stream_phase(
+                service, quota_cfg, [flood_lines] + calm_clients
+            )
+        flood_ok = [r for r in quota_responses[0] if r.get("ok")]
+        flood_rejected = [r for r in quota_responses[0] if not r.get("ok")]
+        assert all(
+            r["error"] == "quota_exceeded" and r.get("retry_after", 0) >= 0
+            for r in flood_rejected
+        ), "flood rejections must be structured quota_exceeded responses"
+        calm_rejections = 0
+        for client_responses in quota_responses[1:]:
+            assert len(client_responses) == calm_requests
+            for response in client_responses:
+                calm_rejections += 0 if response.get("ok") else 1
+                if response.get("ok"):
+                    # Compliant tenants still get exact answers.
+                    rid = str(response["id"])
+                    pi = int(rid.split("-")[1]) % len(pool)
+                    truth = reference[pi]
+                    assert response["ranking"] == truth.ranking
+                    assert response["scores"] == truth.scores
+        per_tenant = quota_stats["frontend"]["per_tenant"]
+        result.update(
+            flood_requests=flood_requests,
+            flood_admitted=len(flood_ok),
+            flood_rejected=len(flood_rejected),
+            calm_requests=2 * calm_requests,
+            calm_rejections=calm_rejections,
+            quota_rate=quota_rate,
+            quota_burst=quota_burst,
+            flood_tenant_stats=per_tenant.get("flood", {}),
+        )
+
+        # ----- phase 3: graceful drain -------------------------------
+        drain_cfg = FrontendConfig(
+            batch_size=coalesce, batch_window=0.002, max_queue=4096
+        )
+        service = fresh_service()
+        frontend = AsyncFrontend(service, drain_cfg, own_service=True)
+        server = await protocol.serve_tcp(frontend, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        await frontend.start()
+
+        async def _controller() -> None:
+            # Shut the server down once a quarter of the stream landed.
+            while frontend.stats.completed < total // 4:
+                await asyncio.sleep(0.001)
+            await _serial_client(
+                "127.0.0.1", port, [_request_line("shutdown", "ctl")]
+            )
+
+        try:
+            drain_results = await asyncio.gather(
+                _controller(),
+                *(
+                    _serial_client("127.0.0.1", port, lines)
+                    for lines in client_lines
+                ),
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await frontend.aclose()
+        drained_responses = [r for rs in drain_results[1:] for r in rs]
+        ok_after = [r for r in drained_responses if r.get("ok")]
+        rejected_draining = [
+            r
+            for r in drained_responses
+            if not r.get("ok") and r.get("error") == "shutting_down"
+        ]
+        for response in ok_after:
+            check_ok(response)
+        stats = frontend.stats
+        assert stats.failed == 0, "drain must not fail admitted requests"
+        assert stats.admitted == stats.completed, (
+            f"drain dropped requests: admitted={stats.admitted} "
+            f"completed={stats.completed}"
+        )
+        result.update(
+            drain_admitted=stats.admitted,
+            drain_completed=stats.completed,
+            drain_answered=len(ok_after),
+            drain_rejected=len(rejected_draining),
+        )
+        return result
+
+    result = asyncio.run(_bench())
+    result.update(
+        db_size=db_size,
+        pool_size=pool_size,
+        k=k,
+        dimensionality=mapping.dimensionality,
+        n_shards=n_shards,
+    )
+    lines = [
+        f"NDJSON front-end — {clients} concurrent serial clients x "
+        f"{per_client} queries (pool {pool_size}, k={k}, n={db_size}, "
+        f"p={mapping.dimensionality})",
+        "",
+        f"{'path':<34}{'q/s':>10}{'batches':>10}",
+        f"{'no coalescing (batch=1)':<34}"
+        f"{result['serial_qps']:>10.0f}{result['serial_batches']:>10}",
+        f"{'coalesced (batch=' + str(coalesce) + ')':<34}"
+        f"{result['coalesced_qps']:>10.0f}{result['coalesced_batches']:>10}",
+        "",
+        f"coalescing speedup: {result['speedup']:.2f}x "
+        f"(mean batch {result['mean_coalesced']:.1f} queries)",
+        f"quotas: flood tenant {result['flood_admitted']} admitted / "
+        f"{result['flood_rejected']} rejected at {quota_rate}/s; "
+        f"compliant tenants {result['calm_rejections']} rejections "
+        f"out of {result['calm_requests']}",
+        f"drain: {result['drain_admitted']} admitted == "
+        f"{result['drain_completed']} answered, "
+        f"{result['drain_rejected']} structured shutting_down rejections",
+    ]
+    result["report"] = "\n".join(lines) + "\n"
+    return result

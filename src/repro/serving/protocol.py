@@ -1,0 +1,369 @@
+"""The newline-delimited-JSON serving protocol.
+
+One request per line, one response per line, in order of *completion*
+(responses carry the request ``id``, so clients may pipeline).  The same
+codec speaks over TCP and over stdin/stdout — ``repro-graphdim serve``
+wires both.
+
+Requests
+--------
+``{"op": "query", "id": 1, "tenant": "alice", "k": 5, "graph": G}``
+    Top-k for one query graph.  ``G`` is the wire graph format below.
+``{"op": "batch", "id": 2, "tenant": "alice", "k": 5, "graphs": [G...]}``
+    Top-k for a client-side batch (admitted as one unit).
+``{"op": "stats", "id": 3}``
+    Front-end + service counters and queue depth.
+``{"op": "update", "id": 4, "add": [G...], "remove": [3, 17]}``
+    Live index mutation through :meth:`QueryService.apply_update
+    <repro.serving.service.QueryService.apply_update>`; ``remove`` uses
+    the pre-update numbering.
+``{"op": "reload", "id": 5, "path": "/path/to/index.json"}``
+    Server-side artifact reload: load the v1/v2/v3 artifact at *path*
+    and swap the serving index atomically.
+``{"op": "shutdown", "id": 6}``
+    Graceful drain: stop admitting, answer everything in flight, then
+    exit.
+
+Responses
+---------
+``{"id": 1, "ok": true, "ranking": [...], "scores": [...],
+"generation": 0}`` on success (``generation`` counts applied updates —
+it names the exact database state the answer was computed on), or
+``{"id": 1, "ok": false, "error": "quota_exceeded", "message": "...",
+"retry_after": 0.25}`` on a structured rejection.  ``error`` is one of
+``bad_request``, ``quota_exceeded``, ``overloaded``, ``shutting_down``
+or ``internal``; ``retry_after`` (seconds) is present whenever retrying
+can succeed.
+
+Wire graphs
+-----------
+``{"vertices": ["C", "C", "O"], "edges": [[0, 1, "s"], [1, 2, "d"]],
+"id": "q1"}`` — the same stringified-label convention as
+:func:`repro.graph.io.dumps_json`, one graph per object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.graph.io import graph_to_obj
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.topk import TopKResult
+from repro.utils.errors import InvalidGraphError, ProtocolError
+
+#: Every operation the serve loop understands.
+OPS = ("query", "batch", "stats", "update", "reload", "shutdown")
+
+#: Structured rejection / failure codes a response's ``error`` may carry.
+ERROR_CODES = (
+    "bad_request",
+    "quota_exceeded",
+    "overloaded",
+    "shutting_down",
+    "internal",
+)
+
+
+# ----------------------------------------------------------------------
+# wire graphs
+# ----------------------------------------------------------------------
+def graph_to_wire(g: LabeledGraph) -> Dict:
+    """Serialise one graph as a JSON-ready object (labels stringified).
+
+    Exactly :func:`repro.graph.io.graph_to_obj` — the wire format *is*
+    the file format, shared at the function level so they cannot drift.
+    """
+    return graph_to_obj(g)
+
+
+def graph_from_wire(obj) -> LabeledGraph:
+    """Parse one wire graph, raising :class:`ProtocolError` on junk."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("graph must be an object")
+    vertices = obj.get("vertices")
+    if not isinstance(vertices, list) or not all(
+        isinstance(v, str) for v in vertices
+    ):
+        raise ProtocolError("graph 'vertices' must be a list of labels")
+    edges = obj.get("edges", [])
+    if not isinstance(edges, list):
+        raise ProtocolError("graph 'edges' must be a list of [u, v, label]")
+    g = LabeledGraph(vertices, graph_id=obj.get("id"))
+    for edge in edges:
+        if not isinstance(edge, (list, tuple)) or len(edge) != 3:
+            raise ProtocolError("each edge must be [u, v, label]")
+        u, v, label = edge
+        try:
+            g.add_edge(int(u), int(v), str(label))
+        except (TypeError, ValueError, InvalidGraphError) as exc:
+            raise ProtocolError(f"bad edge {edge!r}: {exc}") from exc
+    return g
+
+
+# ----------------------------------------------------------------------
+# requests and responses
+# ----------------------------------------------------------------------
+def parse_request(line: str) -> Dict:
+    """Parse and shape-check one request line.
+
+    Field *types* are validated here; graph payloads are decoded later
+    (per-op) so a bad graph in a batch fails that request alone, with a
+    message naming the culprit.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})"
+        )
+    if op in ("query", "batch"):
+        if not isinstance(request.get("k", None), int):
+            raise ProtocolError(f"{op!r} requires an integer 'k'")
+        if op == "query" and "graph" not in request:
+            raise ProtocolError("'query' requires a 'graph'")
+        if op == "batch" and not isinstance(request.get("graphs"), list):
+            raise ProtocolError("'batch' requires a 'graphs' list")
+    if op == "update":
+        if not isinstance(request.get("add", []), list):
+            raise ProtocolError("'update' field 'add' must be a list")
+        if not isinstance(request.get("remove", []), list):
+            raise ProtocolError("'update' field 'remove' must be a list")
+    if op == "reload" and not isinstance(request.get("path"), str):
+        raise ProtocolError("'reload' requires a string 'path'")
+    tenant = request.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError("'tenant' must be a string")
+    return request
+
+
+def ok_response(request_id, **fields) -> Dict:
+    response = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id,
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> Dict:
+    assert code in ERROR_CODES, code
+    response = {"id": request_id, "ok": False, "error": code, "message": message}
+    if retry_after is not None:
+        response["retry_after"] = round(float(retry_after), 6)
+    return response
+
+
+def result_to_wire(result: TopKResult) -> Dict:
+    return {
+        "ranking": list(result.ranking),
+        "scores": list(result.scores),
+    }
+
+
+def encode_response(response: Dict) -> bytes:
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode()
+
+
+# ----------------------------------------------------------------------
+# connection loops
+# ----------------------------------------------------------------------
+#: Longest accepted request line (a DoS guard on the stream reader).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+async def handle_connection(
+    frontend,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one NDJSON peer until EOF or server shutdown.
+
+    Requests are dispatched concurrently (clients may pipeline); each
+    response is written as soon as its request completes, serialised by
+    a per-connection lock so lines never interleave.
+    """
+    write_lock = asyncio.Lock()
+    pending: set = set()
+    # An idle peer must not block shutdown: since Python 3.12.1,
+    # ``Server.wait_closed()`` waits for every connection handler, so a
+    # handler parked in readline() would wedge the whole serve loop.
+    # Racing the read against the shutdown event (exactly like
+    # serve_stdio) keeps drain prompt on every Python.
+    shutdown = asyncio.ensure_future(frontend.wait_shutdown())
+
+    async def respond(response: Dict) -> None:
+        async with write_lock:
+            writer.write(encode_response(response))
+            await writer.drain()
+
+    async def dispatch(line: str) -> None:
+        response = await frontend.handle_line(line)
+        await respond(response)
+
+    try:
+        while True:
+            read_task = asyncio.ensure_future(reader.readline())
+            await asyncio.wait(
+                {read_task, shutdown},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not read_task.done():
+                # Drain began elsewhere.  Give a request already on the
+                # wire one short grace window so its sender gets a
+                # structured shutting_down rejection instead of a bare
+                # EOF; a genuinely idle peer just gets closed.
+                await asyncio.wait({read_task}, timeout=0.05)
+            if not read_task.done():
+                read_task.cancel()
+                break
+            try:
+                raw = read_task.result()
+            except (ValueError, asyncio.LimitOverrunError):
+                await respond(
+                    error_response(
+                        None, "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )
+                )
+                break
+            if not raw:
+                break
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                continue
+            task = asyncio.ensure_future(dispatch(line))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+            if frontend.draining:
+                # The shutdown op admits no successors on this
+                # connection: finish what was read, then close.
+                break
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    except asyncio.CancelledError:
+        # The server (or loop) was torn down mid-read.  Ending the
+        # handler normally keeps shutdown quiet; anything this peer had
+        # in flight is already settled by the frontend's drain.
+        pass
+    finally:
+        shutdown.cancel()
+        for task in pending:
+            task.cancel()
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+
+async def serve_tcp(frontend, host: str, port: int) -> asyncio.AbstractServer:
+    """Start the NDJSON TCP listener (bind with ``port=0`` for tests)."""
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(frontend, r, w),
+        host,
+        port,
+        limit=MAX_LINE_BYTES,
+    )
+
+
+async def serve_stdio(frontend, stdin=None, stdout=None) -> None:
+    """Serve NDJSON over this process's stdin/stdout until EOF or drain.
+
+    *stdin*/*stdout* accept explicit binary streams for testing; by
+    default the real file descriptors are wrapped with asyncio pipes.
+    """
+    import sys
+    import threading
+
+    loop = asyncio.get_running_loop()
+    source = stdin if stdin is not None else sys.stdin.buffer
+    out = stdout if stdout is not None else sys.stdout.buffer
+    try:
+        reader = asyncio.StreamReader(limit=MAX_LINE_BYTES)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), source
+        )
+
+        async def read_line() -> bytes:
+            return await reader.readline()
+
+    except (ValueError, OSError):
+        # stdin is a regular file (``serve < session.ndjson``), which
+        # pipe transports reject.  A *daemon* thread pumps lines into
+        # the loop: unlike run_in_executor, a read still blocked at
+        # process exit cannot hang interpreter shutdown.  The semaphore
+        # bounds read-ahead, so a multi-GB session file is streamed a
+        # few lines at a time instead of buffered wholesale.
+        lines: "asyncio.Queue[bytes]" = asyncio.Queue()
+        backpressure = threading.Semaphore(64)
+
+        def _pump() -> None:
+            while True:
+                try:
+                    chunk = source.readline()
+                except (ValueError, OSError):
+                    chunk = b""
+                backpressure.acquire()
+                try:
+                    loop.call_soon_threadsafe(lines.put_nowait, chunk)
+                except RuntimeError:  # loop already closed
+                    return
+                if not chunk:
+                    return
+
+        threading.Thread(
+            target=_pump, name="serve-stdio-reader", daemon=True
+        ).start()
+
+        async def read_line() -> bytes:
+            raw = await lines.get()
+            backpressure.release()
+            return raw
+
+    # A drain can start outside this loop — a TCP peer's shutdown op,
+    # or a SIGINT/SIGTERM handler — while we are blocked reading
+    # stdin; racing the read against the shutdown event keeps the
+    # serve loop responsive to all of them.
+    shutdown = asyncio.ensure_future(frontend.wait_shutdown())
+    try:
+        while not frontend.draining:
+            pending_line = asyncio.ensure_future(read_line())
+            await asyncio.wait(
+                {pending_line, shutdown},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not pending_line.done():
+                pending_line.cancel()
+                break  # drain began elsewhere; stop reading
+            try:
+                raw = pending_line.result()
+            except (ValueError, asyncio.LimitOverrunError):
+                out.write(
+                    encode_response(
+                        error_response(
+                            None, "bad_request",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                )
+                out.flush()
+                break
+            if not raw:
+                break
+            line = raw.decode(errors="replace").strip()
+            if not line:
+                continue
+            response = await frontend.handle_line(line)
+            out.write(encode_response(response))
+            out.flush()
+    finally:
+        shutdown.cancel()

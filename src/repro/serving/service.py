@@ -194,6 +194,10 @@ class QueryService:
         self._cache_size = int(cache_size)
         self._swap_lock = threading.Lock()
         self.stats = ServiceStats()
+        #: Monotonic database generation: 0 at construction, +1 per
+        #: applied update.  Snapshotted together with the shard list, so
+        #: a tagged batch names exactly the database state it ran on.
+        self.generation = 0
 
         if isinstance(engine_or_mapping, DSPreservedMapping):
             engine = engine_or_mapping.query_engine()
@@ -389,6 +393,7 @@ class QueryService:
         with self._swap_lock:
             self.shards = new_shards
             self.engine = engine
+            self.generation += 1
             if selection_changed:
                 self._selection_snapshot = selection
                 if self._cache is not None:
@@ -682,11 +687,27 @@ class QueryService:
         against one generation of the index even while
         :meth:`apply_update` swaps in another.
         """
+        result, _generation = self.batch_query_tagged(queries, k)
+        return result
+
+    def batch_query_tagged(
+        self, queries: Sequence[LabeledGraph], k: int
+    ) -> Tuple[BatchQueryResult, int]:
+        """:meth:`batch_query` plus the index generation it ran against.
+
+        The generation is part of the same swap-lock snapshot as the
+        engine and shard list, so the returned number names *exactly*
+        the database state the answers were computed on — the serving
+        front-end stamps it on every response, and the soak tests use
+        it to check each answer against a fresh index of that
+        generation.
+        """
         queries = list(queries)
         with self._swap_lock:
             engine = self.engine
             shards = list(self.shards)
             generation = self._selection_snapshot
+            index_generation = self.generation
         k = _check_k(k, sum(shard.num_rows for shard in shards))
         start = time.perf_counter()
         vectors = self.embed_batch(queries, engine, generation)
@@ -699,8 +720,11 @@ class QueryService:
         self.stats.queries += len(queries)
         self.stats.embed_seconds += mapping_seconds
         self.stats.search_seconds += search_seconds
-        return BatchQueryResult.with_shared_timing(
-            results, vectors, mapping_seconds, search_seconds
+        return (
+            BatchQueryResult.with_shared_timing(
+                results, vectors, mapping_seconds, search_seconds
+            ),
+            index_generation,
         )
 
     def query(self, q: LabeledGraph, k: int) -> TopKResult:

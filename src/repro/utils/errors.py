@@ -61,6 +61,15 @@ class PayloadMissingError(ArtifactError):
     """Raised when a v3 manifest's binary payload sidecar is absent."""
 
 
+class ManifestMissingError(ArtifactError):
+    """Raised when the index manifest itself is absent at the load path.
+
+    Distinct from :class:`PayloadMissingError` (manifest present, binary
+    sidecar gone) so operators can tell "wrong path / deleted index"
+    apart from "half-deleted index" at a glance.
+    """
+
+
 class CodecMissingError(ArtifactCorruptError):
     """Raised when an artifact lacks its label codec.
 
@@ -75,3 +84,27 @@ class LatticeShapeError(ArtifactCorruptError):
 
 class JournalError(ArtifactCorruptError):
     """Raised when the delta journal is unreadable or out of sequence."""
+
+
+class ServingError(GraphDimensionError):
+    """Base class for errors raised by the serving front-end."""
+
+
+class AdmissionError(ServingError):
+    """A request the front-end refused to admit.
+
+    Carries the structured rejection the NDJSON protocol sends back:
+    ``code`` is one of ``"quota_exceeded"``, ``"overloaded"`` or
+    ``"shutting_down"``, and ``retry_after`` is the seconds a
+    well-behaved client should wait before retrying (``None`` when
+    retrying is pointless, i.e. the server is draining).
+    """
+
+    def __init__(self, code: str, message: str, retry_after=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ProtocolError(ServingError):
+    """A malformed NDJSON request (bad JSON, unknown op, bad graph)."""

@@ -1,9 +1,92 @@
-"""Shared fixtures: small graphs and databases used across the suite."""
+"""Shared fixtures: small graphs and databases used across the suite.
+
+Also provides offline fallbacks for two optional pytest plugins the
+serving tests use, so the tier-1 suite runs identically with or without
+them installed (CI installs the real plugins; the offline container may
+not have them):
+
+* ``pytest-asyncio`` — ``async def`` tests marked ``asyncio`` run via
+  ``asyncio.run`` when the plugin is absent;
+* ``pytest-timeout`` — ``@pytest.mark.timeout(N)`` arms a SIGALRM
+  watchdog when the plugin is absent, so a hung soak test fails instead
+  of wedging the whole suite.
+"""
+
+import asyncio
+import inspect
+import signal
+import threading
 
 import pytest
 
 from repro.datasets import chemical_database, chemical_query_set
 from repro.graph import LabeledGraph, graphgen_database
+
+try:  # pragma: no cover - plugin presence varies by environment
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_ASYNCIO_PLUGIN = True
+except ImportError:
+    _HAVE_ASYNCIO_PLUGIN = False
+
+try:  # pragma: no cover - plugin presence varies by environment
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "asyncio: run an async def test on a fresh event loop"
+    )
+    config.addinivalue_line(
+        "markers", "timeout(seconds): fail the test if it runs this long"
+    )
+
+
+if not _HAVE_ASYNCIO_PLUGIN:
+
+    @pytest.hookimpl(tryfirst=True)
+    def pytest_pyfunc_call(pyfuncitem):
+        func = pyfuncitem.obj
+        if inspect.iscoroutinefunction(func):
+            kwargs = {
+                name: pyfuncitem.funcargs[name]
+                for name in pyfuncitem._fixtureinfo.argnames
+            }
+            asyncio.run(func(**kwargs))
+            return True
+        return None
+
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if (
+            marker is None
+            or not marker.args
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+        seconds = float(marker.args[0])
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded its {seconds:.0f}s timeout marker"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

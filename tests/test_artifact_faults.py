@@ -1,0 +1,258 @@
+"""Fault injection for the v3 artifact path, and journal auto-compaction.
+
+Each fault test follows the same arc the ISSUE-4 satellite demands:
+inject one precise fault into the on-disk artifact, assert the *exact*
+:class:`~repro.utils.errors.ArtifactError` subclass fires on load (never
+a silent mis-rank, never a generic exception), then prove a subsequent
+full :func:`save_index` from the live mapping repairs the damage — the
+journal is reset and a reload answers bit-identically to the live index.
+"""
+
+import json
+
+import pytest
+
+from repro.core.mapping import build_mapping
+from repro.index import (
+    DEFAULT_AUTO_COMPACT_RATIO,
+    IndexArtifact,
+    compact_index,
+    journal_path,
+    load_index,
+    payload_path,
+    save_index,
+)
+from repro.utils.errors import (
+    ChecksumError,
+    JournalError,
+    ManifestMissingError,
+    PayloadMissingError,
+)
+
+
+@pytest.fixture(scope="module")
+def built_mapping(small_chemical_db):
+    return build_mapping(
+        small_chemical_db, num_features=8, min_support=0.2, max_pattern_edges=3
+    )
+
+
+@pytest.fixture()
+def mutated(built_mapping, tmp_path, small_chemical_queries):
+    """A saved base plus a journal of two mutations, and the live mapping."""
+    path = tmp_path / "index.json"
+    save_index(built_mapping, path)
+    mapping = load_index(path)
+    built_mapping.artifact_ref = None  # keep the module fixture pristine
+    built_mapping.journal_seq = 0
+    mapping.add_graphs(small_chemical_queries[:2])
+    save_index(mapping, path)
+    mapping.remove_graphs([1, 3])
+    save_index(mapping, path)
+    assert len(journal_path(path).read_text().splitlines()) == 2
+    return path, mapping
+
+
+def _assert_repaired(path, mapping, queries):
+    """A full save from the live mapping must heal the artifact."""
+    save_index(mapping, path)
+    assert not journal_path(path).exists(), "repair must reset the journal"
+    reloaded = load_index(path)
+    assert reloaded.space.n == mapping.space.n
+    a = mapping.query_engine().batch_query(queries, 5)
+    b = reloaded.query_engine().batch_query(queries, 5)
+    for x, y in zip(a, b):
+        assert x.ranking == y.ranking and x.scores == y.scores
+
+
+class TestJournalFaults:
+    def test_truncated_mid_record(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        journal = journal_path(path)
+        text = journal.read_text()
+        journal.write_text(text[: len(text) // 2])  # cut inside a record
+        with pytest.raises(JournalError):
+            load_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+    def test_flipped_byte_in_entry(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        journal = journal_path(path)
+        lines = journal.read_text().splitlines()
+        entry = json.loads(lines[0])
+        entry["op"] = "remove" if entry["op"] == "add" else "add"
+        lines[0] = json.dumps(entry, sort_keys=True)  # stale checksum
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ChecksumError):
+            load_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+    def test_reordered_entries(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        journal = journal_path(path)
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(reversed(lines)) + "\n")
+        with pytest.raises(JournalError, match="out of sequence"):
+            load_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+    def test_journal_from_another_artifact(
+        self, mutated, small_chemical_queries
+    ):
+        path, mapping = mutated
+        journal = journal_path(path)
+        lines = journal.read_text().splitlines()
+        entry = json.loads(lines[0])
+        entry["artifact_id"] = "feedfacedeadbeef"
+        # Re-checksum so only the lineage check can object.
+        from repro.index.artifact import _entry_digest
+
+        entry.pop("sha256")
+        entry["sha256"] = _entry_digest(entry)
+        lines[0] = json.dumps(entry, sort_keys=True)
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="belongs to artifact"):
+            load_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+
+class TestPayloadFaults:
+    def test_flipped_payload_byte(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        payload = payload_path(path)
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        payload.write_bytes(bytes(data))
+        with pytest.raises(ChecksumError):
+            load_index(path)
+        # Same-size corruption is invisible to the O(1) append-path
+        # stat (by design — hashing the whole base per delta would make
+        # incremental saves O(base)); every load still fails loudly,
+        # and an explicit full save repairs it.
+        save_index(mapping, path, compact=True)
+        assert not journal_path(path).exists()
+        reloaded = load_index(path)
+        a = mapping.query_engine().batch_query(small_chemical_queries, 5)
+        b = reloaded.query_engine().batch_query(small_chemical_queries, 5)
+        for x, y in zip(a, b):
+            assert x.ranking == y.ranking and x.scores == y.scores
+
+    def test_truncated_payload(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        payload = payload_path(path)
+        payload.write_bytes(payload.read_bytes()[:-20])
+        with pytest.raises(ChecksumError):
+            load_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+    def test_deleted_payload_sidecar(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        payload_path(path).unlink()
+        with pytest.raises(PayloadMissingError):
+            load_index(path)
+        # The delta fast-path must notice the missing sidecar and write
+        # a full base even though manifest and journal still agree.
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+
+class TestManifestFaults:
+    def test_deleted_manifest(self, mutated, small_chemical_queries):
+        path, mapping = mutated
+        path.unlink()
+        with pytest.raises(ManifestMissingError):
+            load_index(path)
+        with pytest.raises(ManifestMissingError):
+            IndexArtifact.load(path)
+        with pytest.raises(ManifestMissingError):
+            compact_index(path)
+        _assert_repaired(path, mapping, small_chemical_queries)
+
+    def test_manifest_missing_is_a_valueerror_too(self, tmp_path):
+        # Pre-existing callers catch ValueError around load_index.
+        with pytest.raises(ValueError):
+            load_index(tmp_path / "never-saved.json")
+
+
+class TestAutoCompaction:
+    def test_small_ratio_triggers_compaction(
+        self, mutated, small_chemical_queries
+    ):
+        path, mapping = mutated
+        payload_before = payload_path(path).read_bytes()
+        mapping.add_graphs(small_chemical_queries[2:3])
+        save_index(mapping, path, auto_compact_ratio=1e-9)
+        assert not journal_path(path).exists(), (
+            "an oversized journal must fold into a fresh base"
+        )
+        assert payload_path(path).read_bytes() != payload_before
+        assert mapping.journal_seq == 0
+        reloaded = load_index(path)
+        a = mapping.query_engine().batch_query(small_chemical_queries, 5)
+        b = reloaded.query_engine().batch_query(small_chemical_queries, 5)
+        for x, y in zip(a, b):
+            assert x.ranking == y.ranking and x.scores == y.scores
+
+    def test_large_ratio_keeps_appending(
+        self, mutated, small_chemical_queries
+    ):
+        path, mapping = mutated
+        payload_before = payload_path(path).read_bytes()
+        mapping.add_graphs(small_chemical_queries[2:3])
+        save_index(mapping, path, auto_compact_ratio=1e9)
+        assert len(journal_path(path).read_text().splitlines()) == 3
+        assert payload_path(path).read_bytes() == payload_before
+
+    def test_default_ratio_is_sane_and_configurable(self):
+        assert 0 < DEFAULT_AUTO_COMPACT_RATIO <= 1
+
+    def test_pre_bytes_manifest_upgraded_on_first_append(
+        self, mutated, small_chemical_queries
+    ):
+        """A v3 manifest from before the payload 'bytes' field forces
+        one full-hash intact check; the first delta save must record
+        the size so subsequent appends are O(1) stats again."""
+        path, mapping = mutated
+        manifest = json.loads(path.read_text())
+        del manifest["payload"]["bytes"]
+        path.write_text(json.dumps(manifest))
+        mapping.add_graphs(small_chemical_queries[2:3])
+        save_index(mapping, path)  # delta append, not a full write
+        assert len(journal_path(path).read_text().splitlines()) == 3
+        upgraded = json.loads(path.read_text())
+        assert upgraded["payload"]["bytes"] == (
+            payload_path(path).stat().st_size
+        )
+
+    def test_junk_bytes_field_triggers_repair_not_crash(
+        self, mutated, small_chemical_queries
+    ):
+        path, mapping = mutated
+        manifest = json.loads(path.read_text())
+        manifest["payload"]["bytes"] = "not-a-number"
+        path.write_text(json.dumps(manifest))
+        mapping.add_graphs(small_chemical_queries[2:3])
+        save_index(mapping, path)  # must repair with a full base
+        assert not journal_path(path).exists()
+        assert load_index(path).space.n == mapping.space.n
+
+    def test_non_positive_ratio_rejected(self, mutated):
+        path, mapping = mutated
+        with pytest.raises(ValueError, match="auto_compact_ratio"):
+            save_index(mapping, path, auto_compact_ratio=0.0)
+
+    def test_compaction_threshold_is_journal_vs_payload(
+        self, mutated, small_chemical_queries
+    ):
+        """The trigger compares journal bytes to base payload bytes: a
+        ratio just above the current journal/payload quotient must not
+        fire, one just below must."""
+        path, mapping = mutated
+        journal_bytes = journal_path(path).stat().st_size
+        payload_bytes = payload_path(path).stat().st_size
+        quotient = journal_bytes / payload_bytes
+        mapping.add_graphs(small_chemical_queries[2:3])
+        save_index(mapping, path, auto_compact_ratio=quotient * 10)
+        assert journal_path(path).exists()
+        mapping.add_graphs(small_chemical_queries[3:4])
+        save_index(mapping, path, auto_compact_ratio=quotient / 10)
+        assert not journal_path(path).exists()

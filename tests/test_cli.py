@@ -184,3 +184,116 @@ class TestMain:
             "--num-features", "6", "--k", "0", "--workers", "0",
         ]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServeVerb:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.index is None
+        assert args.tcp is None
+        assert not args.no_stdio
+        assert args.queue == 256
+        assert args.batch_size == 16
+        assert args.quota_rate is None
+
+    def test_serve_no_stdio_requires_tcp(self, capsys):
+        assert main(["serve", "--no-stdio"]) == 2
+        assert "--no-stdio requires --tcp" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_tcp(self, capsys):
+        assert main(["serve", "--tcp", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_missing_index_fails_cleanly(self, tmp_path, capsys):
+        assert main(["serve", "--index", str(tmp_path / "no.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_stdio_session_subprocess(self, tmp_path):
+        """A full NDJSON session through the real CLI entry point."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.core.mapping import build_mapping
+        from repro.datasets import chemical_database, chemical_query_set
+        from repro.index import save_index
+        from repro.serving.protocol import graph_to_wire
+
+        db = chemical_database(14, seed=0)
+        mapping = build_mapping(
+            db, num_features=5, min_support=0.3, max_pattern_edges=2
+        )
+        idx = tmp_path / "index.json"
+        save_index(mapping, idx)
+        q = chemical_query_set(1, seed=5)[0]
+        session = "\n".join([
+            json.dumps({"op": "query", "id": 1, "k": 3,
+                        "graph": graph_to_wire(q)}),
+            json.dumps({"op": "stats", "id": 2}),
+            json.dumps({"op": "shutdown", "id": 3}),
+        ]) + "\n"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve", "--index", str(idx)],
+            input=session, capture_output=True, text=True, env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        responses = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        truth = mapping.query_engine().query(q, 3)
+        assert responses[0]["ranking"] == truth.ranking
+        assert responses[0]["scores"] == truth.scores
+        assert responses[1]["frontend"]["completed"] == 1
+        assert responses[2]["draining"]
+        assert "drained and shut down" in proc.stderr
+
+
+class TestFrontendBenchVerb:
+    def test_frontend_bench_parser_defaults(self):
+        args = build_parser().parse_args(["frontend-bench"])
+        assert args.command == "frontend-bench"
+        assert args.clients == 8
+        assert args.batch_size == 0  # 0 = coalesce to client count
+        assert args.rounds == 1
+
+    def test_frontend_bench_invalid_args_fail(self, capsys):
+        assert main(["frontend-bench", "--clients", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_frontend_bench_json_output(self, capsys):
+        assert main([
+            "frontend-bench", "--db-size", "30", "--pool", "8",
+            "--per-client", "6", "--clients", "4", "--num-features", "15",
+            "--k", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coalescing speedup" in out
+        assert "quotas" in out and "drain" in out
+
+
+class TestAutoCompactOption:
+    def test_index_add_auto_compacts(self, tmp_path, capsys):
+        from repro.core.mapping import build_mapping
+        from repro.datasets import chemical_database, chemical_query_set
+        from repro.graph.io import save_gspan
+        from repro.index import journal_path, load_index, save_index
+
+        db = chemical_database(14, seed=0)
+        mapping = build_mapping(
+            db, num_features=5, min_support=0.3, max_pattern_edges=2
+        )
+        idx = tmp_path / "index.json"
+        save_index(mapping, idx)
+        graph_file = tmp_path / "new.gspan"
+        save_gspan(chemical_query_set(2, seed=5), graph_file)
+        assert main([
+            "index-add", str(idx), "--graphs", str(graph_file),
+            "--auto-compact-ratio", "1e-9",
+        ]) == 0
+        assert not journal_path(idx).exists()  # folded into a fresh base
+        assert load_index(idx).space.n == 16

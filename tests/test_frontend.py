@@ -1,0 +1,730 @@
+"""Behaviour tests for the asyncio serving front-end.
+
+The front-end's contract: admission decisions are structured and
+immediate, everything admitted is answered bit-identically to the
+engine, and coalescing/quotas/drain change *when* work happens, never
+*what* is answered.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.index import save_index
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.serving import protocol
+from repro.serving.frontend import AsyncFrontend, FrontendConfig, TokenBucket
+from repro.serving.service import QueryService
+from repro.utils.errors import AdmissionError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def materials():
+    db = synthetic_database(30, avg_edges=16, density=0.3, num_labels=5, seed=3)
+    queries = synthetic_query_set(
+        10, avg_edges=16, density=0.3, num_labels=5, seed=99
+    )
+    features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+    space = FeatureSpace(features, len(db))
+    mapping = mapping_from_selection(space, variance_selection(space, 15))
+    return db, queries, mapping
+
+
+@pytest.fixture(scope="module")
+def engine(materials):
+    _db, _queries, mapping = materials
+    return mapping.query_engine()
+
+
+def _frontend(engine, **config_kwargs):
+    service = QueryService(engine, n_shards=2, n_workers=0)
+    return AsyncFrontend(
+        service, FrontendConfig(**config_kwargs), own_service=True
+    )
+
+
+def _wire_query(q, k, request_id=0, tenant=None):
+    request = {
+        "op": "query", "id": request_id, "k": k,
+        "graph": protocol.graph_to_wire(q),
+    }
+    if tenant is not None:
+        request["tenant"] = tenant
+    return request
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: clock[0])
+        assert all(bucket.try_acquire()[0] for _ in range(3))
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.5)  # 1 token at 2/sec
+
+    def test_refill_is_rate_times_elapsed(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=4.0, burst=8.0, clock=lambda: clock[0])
+        assert bucket.try_acquire(8.0)[0]
+        clock[0] = 1.0  # +4 tokens
+        assert bucket.try_acquire(4.0)[0]
+        ok, wait = bucket.try_acquire(2.0)
+        assert not ok and wait == pytest.approx(0.5)
+
+    def test_refill_caps_at_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=lambda: clock[0])
+        clock[0] = 100.0
+        assert bucket.try_acquire(2.0)[0]
+        assert not bucket.try_acquire(0.5)[0]
+
+    def test_cost_beyond_burst_can_never_succeed(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        ok, wait = bucket.try_acquire(5.0)
+        assert not ok and wait == float("inf")
+
+
+class TestProtocol:
+    def test_wire_graph_round_trip_structure(self, materials):
+        _db, queries, _mapping = materials
+        q = queries[0]
+        back = protocol.graph_from_wire(protocol.graph_to_wire(q))
+        assert back.num_vertices == q.num_vertices
+        assert back.num_edges == q.num_edges
+        # JSON stringifies labels; the frontend's codec restores types.
+        assert [back.vertex_label(v) for v in range(back.num_vertices)] == [
+            str(q.vertex_label(v)) for v in range(q.num_vertices)
+        ]
+
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("not json", "not valid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            ('{"op": "frobnicate"}', "unknown op"),
+            ('{"op": "query", "graph": {}}', "integer 'k'"),
+            ('{"op": "query", "k": "five", "graph": {}}', "integer 'k'"),
+            ('{"op": "query", "k": 5}', "requires a 'graph'"),
+            ('{"op": "batch", "k": 5}', "'graphs' list"),
+            ('{"op": "reload"}', "string 'path'"),
+            ('{"op": "query", "k": 5, "graph": {}, "tenant": 7}', "'tenant'"),
+        ],
+    )
+    def test_parse_request_rejections(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            protocol.parse_request(line)
+
+    def test_bad_graph_payloads(self):
+        with pytest.raises(ProtocolError):
+            protocol.graph_from_wire({"vertices": "abc"})
+        with pytest.raises(ProtocolError):
+            protocol.graph_from_wire(
+                {"vertices": ["a", "b"], "edges": [[0, 1]]}
+            )
+        with pytest.raises(ProtocolError):
+            protocol.graph_from_wire(
+                {"vertices": ["a", "b"], "edges": [[0, 9, "x"]]}
+            )
+
+
+class TestAdmission:
+    @pytest.mark.asyncio
+    async def test_queue_full_is_structured_overload(self, engine):
+        frontend = _frontend(engine, max_queue=2)
+        try:
+            queries = synthetic_query_set(
+                3, avg_edges=16, density=0.3, num_labels=5, seed=99
+            )
+            # Dispatcher not started: the first two submissions park in
+            # the queue, the third must bounce immediately.
+            waiting = [
+                asyncio.ensure_future(frontend.submit([q], 3))
+                for q in queries[:2]
+            ]
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit([queries[2]], 3)
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retry_after > 0
+            assert frontend.stats.rejected_overload == 1
+            await frontend.start()
+            for future in waiting:
+                results, generation = await future
+                assert generation == 0 and len(results) == 1
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_batch_request_counts_its_size(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, max_queue=3)
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit(queries[:4], 3)
+            assert excinfo.value.code == "overloaded"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_batch_larger_than_queue_can_never_retry(
+        self, engine, materials
+    ):
+        """A batch that exceeds the whole queue bound gets no
+        retry_after — retrying an un-fittable request is pointless."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, max_queue=2)
+        try:
+            await frontend.start()
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit(queries[:4], 3)
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retry_after is None
+        finally:
+            await frontend.aclose()
+
+    def test_non_positive_quota_burst_rejected(self):
+        with pytest.raises(ValueError, match="quota_burst"):
+            FrontendConfig(quota_rate=5.0, quota_burst=0.0)
+
+    @pytest.mark.asyncio
+    async def test_tenant_stats_table_follows_max_tenants(
+        self, engine, materials
+    ):
+        """The stats cap is driven by the same max_tenants knob as the
+        bucket table — one bound, not two silently diverging ones."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, max_tenants=3)
+        try:
+            await frontend.start()
+            for i in range(6):
+                await frontend.submit([queries[0]], 3, tenant=f"t{i}")
+            per_tenant = frontend.stats.per_tenant
+            assert len(per_tenant) == 4  # 3 individual + "<other>"
+            assert per_tenant["<other>"]["admitted"] == 3
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_tenant_bucket_table_is_bounded(self, engine, materials):
+        """Wire-supplied tenant names must not grow server state without
+        bound: past max_tenants the least-recently-seen bucket evicts."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(
+            engine, quota_rate=100.0, quota_burst=100.0, max_tenants=3
+        )
+        try:
+            await frontend.start()
+            for i in range(8):
+                await frontend.submit([queries[0]], 3, tenant=f"t{i}")
+            assert len(frontend._buckets) == 3
+            assert "t7" in frontend._buckets  # most recent survive
+            assert "t0" not in frontend._buckets
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_per_tenant_quota_isolation(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, quota_rate=1.0, quota_burst=2.0)
+        try:
+            await frontend.start()
+            for q in queries[:2]:
+                await frontend.submit([q], 3, tenant="greedy")
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit([queries[2]], 3, tenant="greedy")
+            assert excinfo.value.code == "quota_exceeded"
+            assert 0 < excinfo.value.retry_after <= 1.0
+            # A different tenant has its own bucket.
+            results, _gen = await frontend.submit(
+                [queries[2]], 3, tenant="polite"
+            )
+            assert len(results) == 1
+            assert frontend.stats.per_tenant["greedy"]["rejected_quota"] == 1
+            assert frontend.stats.per_tenant["polite"]["rejected_quota"] == 0
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_overload_rejection_does_not_burn_quota(
+        self, engine, materials
+    ):
+        """A compliant tenant bounced by a full queue must keep its
+        tokens — otherwise retrying through a load spike would be
+        double-penalised into quota_exceeded."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(
+            engine, max_queue=1, quota_rate=1.0, quota_burst=2.0
+        )
+        try:
+            # Dispatcher not started: one query fills the queue.
+            parked = asyncio.ensure_future(frontend.submit([queries[0]], 3))
+            await asyncio.sleep(0)
+            for _ in range(3):  # would exhaust burst=2 if tokens burned
+                with pytest.raises(AdmissionError) as excinfo:
+                    await frontend.submit([queries[1]], 3, tenant="t")
+                assert excinfo.value.code == "overloaded"
+            await frontend.start()
+            await parked
+            # Tokens intact: the tenant still has its full burst.
+            for q in queries[1:3]:
+                await frontend.submit([q], 3, tenant="t")
+            assert frontend.stats.per_tenant["t"]["rejected_quota"] == 0
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_draining_rejects_new_work(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            frontend.begin_drain()
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit([queries[0]], 3)
+            assert excinfo.value.code == "shutting_down"
+            assert excinfo.value.retry_after is None
+        finally:
+            await frontend.aclose()
+
+
+class TestCoalescing:
+    @pytest.mark.asyncio
+    async def test_concurrent_queries_share_one_batch(
+        self, engine, materials
+    ):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, batch_size=4, batch_window=0.05)
+        try:
+            await frontend.start()
+            answers = await asyncio.gather(
+                *(frontend.submit([q], 5) for q in queries[:4])
+            )
+            assert frontend.stats.batches_dispatched == 1
+            reference = engine.batch_query(queries[:4], 5)
+            for (results, generation), truth in zip(answers, reference):
+                assert generation == 0
+                assert results[0].ranking == truth.ranking
+                assert results[0].scores == truth.scores
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_mixed_k_requests_split_by_k(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, batch_size=4, batch_window=0.05)
+        try:
+            await frontend.start()
+            (r3, _), (r5, _) = await asyncio.gather(
+                frontend.submit([queries[0]], 3),
+                frontend.submit([queries[1]], 5),
+            )
+            assert frontend.stats.batches_dispatched == 2
+            assert len(r3[0].ranking) == 3
+            assert len(r5[0].ranking) == 5
+            assert r3[0].ranking == engine.query(queries[0], 3).ranking
+            assert r5[0].ranking == engine.query(queries[1], 5).ranking
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_linger_window_flushes_partial_batches(
+        self, engine, materials
+    ):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, batch_size=64, batch_window=0.01)
+        try:
+            await frontend.start()
+            results, _gen = await asyncio.wait_for(
+                frontend.submit([queries[0]], 3), timeout=5
+            )
+            assert len(results) == 1  # did not wait for 63 more queries
+        finally:
+            await frontend.aclose()
+
+
+class TestRequestDispatch:
+    @pytest.mark.asyncio
+    async def test_query_and_batch_round_trip(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            reference = engine.batch_query(queries[:3], 5)
+            single = await frontend.handle_line(
+                json.dumps(_wire_query(queries[0], 5, request_id=11))
+            )
+            assert single["ok"] and single["id"] == 11
+            assert single["ranking"] == reference[0].ranking
+            assert single["scores"] == reference[0].scores
+            batch = await frontend.handle_request(
+                {
+                    "op": "batch", "id": 12, "k": 5,
+                    "graphs": [
+                        protocol.graph_to_wire(q) for q in queries[:3]
+                    ],
+                }
+            )
+            assert batch["ok"] and len(batch["results"]) == 3
+            for got, truth in zip(batch["results"], reference):
+                assert got["ranking"] == truth.ranking
+                assert got["scores"] == truth.scores
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_malformed_lines_get_bad_request(self, engine):
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            response = await frontend.handle_line("{ not json")
+            assert not response["ok"] and response["error"] == "bad_request"
+            response = await frontend.handle_line(
+                '{"op": "query", "k": 5, "graph": {"vertices": 3}}'
+            )
+            assert not response["ok"] and response["error"] == "bad_request"
+            assert frontend.stats.bad_requests == 2
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_bad_k_is_bad_request_not_internal(
+        self, engine, materials
+    ):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            response = await frontend.handle_request(
+                _wire_query(queries[0], 0)
+            )
+            assert not response["ok"]
+            assert response["error"] == "bad_request"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_stats_op_reports_both_layers(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            await frontend.submit([queries[0]], 3, tenant="t1")
+            response = await frontend.handle_request({"op": "stats", "id": 9})
+            assert response["ok"]
+            assert response["generation"] == 0
+            assert response["frontend"]["completed"] == 1
+            assert response["frontend"]["per_tenant"]["t1"]["admitted"] == 1
+            assert response["service"]["queries"] == 1
+            assert response["service"]["n_shards"] == 2
+        finally:
+            await frontend.aclose()
+
+
+class TestLiveUpdateAndReload:
+    @pytest.mark.asyncio
+    async def test_update_op_bumps_generation_and_answers(self, materials):
+        db, queries, _mapping = materials
+        # A private mapping: updates mutate it in place.
+        features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+        space = FeatureSpace(features, len(db))
+        mapping = mapping_from_selection(space, variance_selection(space, 15))
+        frontend = _frontend(mapping.query_engine())
+        try:
+            await frontend.start()
+            before = await frontend.handle_request(_wire_query(queries[0], 5))
+            assert before["ok"] and before["generation"] == 0
+            response = await frontend.handle_request(
+                {
+                    "op": "update", "id": 1,
+                    "add": [protocol.graph_to_wire(queries[1])],
+                    "remove": [0, 2],
+                }
+            )
+            assert response["ok"]
+            assert response["generation"] == 1
+            assert response["added"] == 1 and response["removed"] == 2
+            after = await frontend.handle_request(_wire_query(queries[0], 5))
+            assert after["ok"] and after["generation"] == 1
+            # The answer matches a fresh service over the mutated index.
+            with QueryService(
+                mapping.query_engine(), n_shards=2, n_workers=0
+            ) as scratch:
+                truth = scratch.batch_query([queries[0]], 5)[0]
+            assert after["ranking"] == truth.ranking
+            assert after["scores"] == truth.scores
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_update_refreshes_the_wire_codec(self, materials):
+        """A staleness-hook re-selection changes the feature set the
+        codec decodes against; apply_update must rebuild it."""
+        db, queries, _mapping = materials
+        features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+        space = FeatureSpace(features, len(db))
+        mapping = mapping_from_selection(space, variance_selection(space, 15))
+        frontend = _frontend(mapping.query_engine())
+        try:
+            await frontend.start()
+            before = frontend._codec
+            await frontend.apply_update(added=[queries[0]])
+            assert frontend._codec is not before  # rebuilt, never stale
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_update_remove_validates_indices(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            response = await frontend.handle_request(
+                {"op": "update", "id": 1, "remove": ["zero"]}
+            )
+            assert not response["ok"]
+            assert response["error"] == "bad_request"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_reload_swaps_the_served_index(self, materials, tmp_path):
+        db, queries, mapping = materials
+        path = tmp_path / "index.json"
+        save_index(mapping, path)
+        # Serve a *different* (smaller) index first.
+        small_features = mine_frequent_subgraphs(
+            db[:20], min_support=0.2, max_edges=4
+        )
+        small_space = FeatureSpace(small_features, 20)
+        small = mapping_from_selection(
+            small_space, variance_selection(small_space, 8)
+        )
+        frontend = _frontend(small.query_engine())
+        try:
+            await frontend.start()
+            response = await frontend.handle_request(
+                {"op": "reload", "id": 1, "path": str(path)}
+            )
+            assert response["ok"]
+            assert response["database_size"] == mapping.space.n
+            assert response["dimensionality"] == mapping.dimensionality
+            # A reload is one more generation: the stamp stays
+            # monotonic, so generation 0 can never name two databases.
+            assert response["generation"] == 1
+            after = await frontend.handle_request(_wire_query(queries[0], 5))
+            truth = mapping.query_engine().query(queries[0], 5)
+            assert after["generation"] == 1
+            assert after["ranking"] == truth.ranking
+            assert after["scores"] == truth.scores
+            assert frontend.stats.reloads == 1
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_reload_never_closes_a_caller_owned_service(
+        self, engine, materials, tmp_path
+    ):
+        """With own_service=False the old service belongs to the
+        caller: reload must leave it fully usable — and must take
+        ownership of the replacement it built itself."""
+        _db, queries, mapping = materials
+        path = tmp_path / "index.json"
+        save_index(mapping, path)
+        caller_service = QueryService(engine, n_shards=2, n_workers=0)
+        frontend = AsyncFrontend(caller_service)  # own_service=False
+        try:
+            await frontend.start()
+            response = await frontend.handle_request(
+                {"op": "reload", "id": 1, "path": str(path)}
+            )
+            assert response["ok"]
+            assert frontend.service is not caller_service
+            assert frontend._own_service  # replacement is frontend-owned
+        finally:
+            await frontend.aclose()
+        # The caller's service survived both the reload and the aclose.
+        result = caller_service.batch_query([queries[0]], 3)
+        assert result[0].ranking == engine.query(queries[0], 3).ranking
+        caller_service.close()
+
+    @pytest.mark.asyncio
+    async def test_failed_reload_leaves_service_untouched(
+        self, engine, materials, tmp_path
+    ):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            old_service = frontend.service
+            response = await frontend.handle_request(
+                {"op": "reload", "id": 1, "path": str(tmp_path / "no.json")}
+            )
+            assert not response["ok"]
+            assert response["error"] == "internal"
+            assert "does not exist" in response["message"]
+            assert frontend.service is old_service
+            ok = await frontend.handle_request(_wire_query(queries[0], 3))
+            assert ok["ok"]
+        finally:
+            await frontend.aclose()
+
+
+class TestDrain:
+    @pytest.mark.asyncio
+    async def test_drain_answers_everything_admitted(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, batch_size=4, batch_window=0.05)
+        try:
+            futures = [
+                asyncio.ensure_future(frontend.submit([q], 3))
+                for q in queries[:6]
+            ]
+            await asyncio.sleep(0)  # let submissions enqueue
+            await frontend.start()
+            await frontend.drain()
+            for future in futures:
+                results, _gen = await future  # resolved, not dropped
+                assert len(results) == 1
+            assert frontend.stats.admitted == frontend.stats.completed == 6
+            assert frontend.stats.failed == 0
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_shutdown_op_starts_drain(self, engine):
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            response = await frontend.handle_request({"op": "shutdown"})
+            assert response["ok"] and response["draining"]
+            assert frontend.draining
+            await asyncio.wait_for(frontend.wait_shutdown(), timeout=1)
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_aclose_is_idempotent(self, engine):
+        frontend = _frontend(engine)
+        await frontend.start()
+        await frontend.aclose()
+        await frontend.aclose()
+
+
+class TestStdioLoop:
+    @pytest.mark.asyncio
+    async def test_stdio_session(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        await frontend.start()
+
+        lines = [
+            json.dumps(_wire_query(queries[0], 3, request_id=1)),
+            json.dumps({"op": "stats", "id": 2}),
+            json.dumps({"op": "shutdown", "id": 3}),
+        ]
+        read_fd, write_fd = os.pipe()
+        with os.fdopen(write_fd, "wb") as w:
+            w.write(("\n".join(lines) + "\n").encode())
+
+        class _Out:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            def flush(self):
+                pass
+
+        out = _Out()
+        try:
+            with os.fdopen(read_fd, "rb") as stdin:
+                await asyncio.wait_for(
+                    protocol.serve_stdio(frontend, stdin=stdin, stdout=out),
+                    timeout=10,
+                )
+            responses = [
+                json.loads(chunk) for chunk in b"".join(out.chunks).splitlines()
+            ]
+            assert [r["id"] for r in responses] == [1, 2, 3]
+            assert responses[0]["ok"]
+            assert responses[0]["ranking"] == (
+                engine.query(queries[0], 3).ranking
+            )
+            assert responses[2]["draining"]
+            assert frontend.draining  # shutdown op ended the loop
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(15)
+    async def test_stdio_loop_wakes_on_external_drain(self, engine):
+        """A drain begun elsewhere (a TCP peer's shutdown op, a signal
+        handler) must end the stdio loop even though stdin is silent."""
+        frontend = _frontend(engine)
+        await frontend.start()
+        read_fd, write_fd = os.pipe()  # held open: stdin never EOFs
+        try:
+            with os.fdopen(read_fd, "rb") as stdin:
+                loop_task = asyncio.ensure_future(
+                    protocol.serve_stdio(
+                        frontend, stdin=stdin, stdout=_NullOut()
+                    )
+                )
+                await asyncio.sleep(0.05)
+                assert not loop_task.done()
+                frontend.begin_drain()
+                await asyncio.wait_for(loop_task, timeout=5)
+        finally:
+            os.close(write_fd)
+            await frontend.aclose()
+
+
+class _NullOut:
+    def write(self, data):
+        pass
+
+    def flush(self):
+        pass
+
+
+class TestTcpDrain:
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(15)
+    async def test_idle_tcp_client_does_not_block_drain(
+        self, engine, materials
+    ):
+        """A connected-but-silent peer must see its connection closed
+        when drain begins — on Python >= 3.12.1 Server.wait_closed()
+        waits for every handler, so a handler parked in readline()
+        would otherwise wedge shutdown forever."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        await frontend.start()
+        server = await protocol.serve_tcp(frontend, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # One real request proves the connection is live...
+            writer.write(
+                (json.dumps(_wire_query(queries[0], 3, request_id=1)) + "\n")
+                .encode()
+            )
+            await writer.drain()
+            first = json.loads(await reader.readline())
+            assert first["ok"]
+            # ...then the client goes idle and drain begins elsewhere.
+            frontend.begin_drain()
+            eof = await asyncio.wait_for(reader.readline(), timeout=5)
+            assert eof == b""  # handler exited and closed the socket
+            writer.close()
+            server.close()
+            await asyncio.wait_for(server.wait_closed(), timeout=5)
+        finally:
+            await frontend.aclose()

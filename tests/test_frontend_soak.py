@@ -1,0 +1,208 @@
+"""Concurrency soak: clients stream while live updates churn the index.
+
+The strongest serving claim in the repo is that mutation is invisible to
+correctness: a batch snapshotted at generation *g* answers **exactly**
+like a from-scratch index over the generation-*g* database — same
+patterns, supports recomputed by brute-force VF2 — ties, scores and all.
+
+This test hammers that claim from the front-end: N async clients stream
+seeded queries through the coalescing dispatcher while an updater task
+interleaves ``apply_update`` add/remove churn.  Every response carries
+the generation it was computed at; afterwards each one is checked
+bit-identical against the scratch rebuild of that exact generation.  No
+request may be dropped, fail, or see a torn shard list (a torn list
+would surface as a wrong ranking or score for its generation).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.isomorphism.vf2 import is_subgraph
+from repro.mining import mine_frequent_subgraphs
+from repro.mining.gspan import FrequentSubgraph
+from repro.query.bench import variance_selection
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.service import QueryService
+
+SEED = 7
+CLIENTS = 6
+QUERIES_PER_CLIENT = 20
+K = 7
+P = 12
+
+
+@pytest.fixture(scope="module")
+def materials():
+    db = synthetic_database(
+        30, avg_edges=16, density=0.3, num_labels=5, seed=SEED
+    )
+    extra = synthetic_query_set(
+        6, avg_edges=16, density=0.3, num_labels=5, seed=SEED + 1
+    )
+    pool = synthetic_query_set(
+        12, avg_edges=16, density=0.3, num_labels=5, seed=SEED + 2
+    )
+    features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+    return db, extra, pool, features
+
+
+def _fresh_mapping(materials):
+    """Pristine supports per test: mutations are in-place."""
+    db, _extra, _pool, features = materials
+    copies = [FrequentSubgraph(f.graph, set(f.support)) for f in features]
+    space = FeatureSpace(copies, len(db))
+    return mapping_from_selection(space, variance_selection(space, P))
+
+
+def _scratch_answers(mapping, generation_db, pool, k):
+    """The from-scratch reference for one generation's database: same
+    selected patterns, supports recomputed by brute-force VF2."""
+    features = [
+        FrequentSubgraph(
+            f.graph,
+            {i for i, g in enumerate(generation_db) if is_subgraph(f.graph, g)},
+        )
+        for f in mapping.selected_features()
+    ]
+    space = FeatureSpace(features, len(generation_db))
+    scratch = mapping_from_selection(space, list(range(len(features))))
+    return scratch.query_engine().batch_query(pool, k)
+
+
+def _apply_plan(db_state, added, removed):
+    """Track the database contents through one update, mirroring
+    ``apply_update`` semantics (removals first, pre-update numbering)."""
+    survivors = [g for i, g in enumerate(db_state) if i not in set(removed)]
+    return survivors + list(added)
+
+
+@pytest.mark.timeout(30)
+@pytest.mark.asyncio
+async def test_soak_streaming_clients_under_update_churn(materials):
+    db, extra, pool, _features = materials
+    mapping = _fresh_mapping(materials)
+    service = QueryService(
+        mapping.query_engine(), n_shards=3, n_workers=0, cache_size=256
+    )
+    frontend = AsyncFrontend(
+        service,
+        FrontendConfig(batch_size=CLIENTS, batch_window=0.002, max_queue=512),
+        own_service=True,
+    )
+
+    # The churn plan is fixed up front so each generation's database
+    # contents are known exactly.
+    plan = [
+        ([extra[0], extra[1]], []),
+        ([], [3, 7]),
+        ([extra[2]], [1]),
+        ([extra[3], extra[4]], [0, 5]),
+    ]
+    db_states = [list(db)]
+    for added, removed in plan:
+        db_states.append(_apply_plan(db_states[-1], added, removed))
+
+    rng = np.random.default_rng(SEED + 99)
+    picks = [
+        [int(i) for i in rng.integers(0, len(pool), QUERIES_PER_CLIENT)]
+        for _ in range(CLIENTS)
+    ]
+    observed = []  # (pool_idx, generation, ranking, scores)
+    dropped = []
+
+    async def client(ci: int) -> None:
+        for pi in picks[ci]:
+            try:
+                results, generation = await frontend.submit(
+                    [pool[pi]], K, tenant=f"client-{ci}"
+                )
+            except Exception as exc:  # no rejection is acceptable here
+                dropped.append((ci, pi, repr(exc)))
+                continue
+            observed.append(
+                (pi, generation, results[0].ranking, results[0].scores)
+            )
+
+    async def updater() -> None:
+        total = CLIENTS * QUERIES_PER_CLIENT
+        for gi, (added, removed) in enumerate(plan, start=1):
+            # Interleave: let the stream make progress between updates.
+            target = min(gi * total // (len(plan) + 1), total - 1)
+            while frontend.stats.completed < target:
+                await asyncio.sleep(0.001)
+            new_generation = await frontend.apply_update(added, removed)
+            assert new_generation == gi
+
+    try:
+        await frontend.start()
+        await asyncio.wait_for(
+            asyncio.gather(updater(), *(client(ci) for ci in range(CLIENTS))),
+            timeout=25,
+        )
+        await frontend.drain()
+    finally:
+        await frontend.aclose()
+
+    # -- nothing dropped, everything admitted was answered -------------
+    assert dropped == []
+    assert len(observed) == CLIENTS * QUERIES_PER_CLIENT
+    assert frontend.stats.admitted == frontend.stats.completed
+    assert frontend.stats.failed == 0
+    assert frontend.stats.updates_applied == len(plan)
+
+    # -- the stream really raced the churn ------------------------------
+    generations = {generation for _pi, generation, _r, _s in observed}
+    assert generations >= {0, len(plan)}, (
+        f"stream did not span the churn: saw generations {generations}"
+    )
+
+    # -- every answer is bit-identical to a fresh index of its
+    #    generation — a torn shard list could not pass this ------------
+    for generation in sorted(generations):
+        reference = _scratch_answers(
+            mapping, db_states[generation], pool, K
+        )
+        for pi, got_generation, ranking, scores in observed:
+            if got_generation != generation:
+                continue
+            truth = reference[pi]
+            assert ranking == truth.ranking, (
+                f"generation {generation}, pool query {pi}: ranking "
+                f"{ranking} != fresh-built {truth.ranking}"
+            )
+            assert scores == truth.scores, (
+                f"generation {generation}, pool query {pi}: scores diverged"
+            )
+
+
+@pytest.mark.timeout(30)
+@pytest.mark.asyncio
+async def test_soak_final_state_matches_scratch_rebuild(materials):
+    """After the churn settles, the served index *is* the final database."""
+    db, extra, pool, _features = materials
+    mapping = _fresh_mapping(materials)
+    service = QueryService(mapping.query_engine(), n_shards=2, n_workers=0)
+    frontend = AsyncFrontend(service, own_service=True)
+    plan = [([extra[5]], [2, 4]), ([extra[0]], [])]
+    final_db = list(db)
+    for added, removed in plan:
+        final_db = _apply_plan(final_db, added, removed)
+    try:
+        await frontend.start()
+        for added, removed in plan:
+            await frontend.apply_update(added, removed)
+        answers = [
+            await frontend.submit([q], K) for q in pool
+        ]
+    finally:
+        await frontend.aclose()
+    reference = _scratch_answers(mapping, final_db, pool, K)
+    for (results, generation), truth in zip(answers, reference):
+        assert generation == len(plan)
+        assert results[0].ranking == truth.ranking
+        assert results[0].scores == truth.scores
