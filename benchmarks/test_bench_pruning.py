@@ -1,0 +1,68 @@
+"""Bench: shard skipping — exact bounds and approx partition routing.
+
+Shapes asserted:
+
+* exact-mode pruning is bit-identical to the full scan (checked inside
+  the bench runner before any throughput number is reported) and at
+  least 1.3x its batch throughput on clustered data — with the skip
+  counters proving shards actually get skipped, not merely checked;
+* approx routing at nprobe = ceil(partitions/2) keeps mean top-k
+  recall >= 0.9 while visiting at most half the shard blocks;
+* timings are min-of-rounds (a descheduled tick on a busy host must
+  not swing the comparison), and the JSON payload carries the shared
+  provenance fields every bench now emits.
+"""
+
+from pathlib import Path
+
+from repro.serving.pruning_bench import run_pruning_bench
+
+REPORT_NAME = "pruning_small.txt"
+ROUNDS = 3
+
+
+def test_shard_skipping_throughput(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_pruning_bench(
+            n_clusters=8, per_cluster=250, dims_per_cluster=16,
+            query_count=64, batch_size=16, k=10, seed=0, rounds=ROUNDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- exact mode: faster, and *because* shards were skipped ---------
+    assert result["exact_speedup"] >= 1.3, (
+        f"exact shard skipping should be >= 1.3x the full scan on "
+        f"clustered data, got {result['exact_speedup']:.2f}x"
+    )
+    assert result["exact"]["shards_skipped"] > 0, (
+        "speedup must come from skipped shard blocks, not timing noise"
+    )
+    assert result["exact"]["bound_checks"] > 0
+    # The full scan computes every block (per round) and never skips.
+    n_batches = -(-result["query_count"] // result["batch_size"])
+    assert result["full_scan"]["shard_tasks"] == (
+        result["n_clusters"] * n_batches
+    )
+    assert result["full_scan"]["shards_skipped"] == 0
+    assert (
+        result["exact"]["shard_tasks"] + result["exact"]["shards_skipped"]
+        == result["full_scan"]["shard_tasks"]
+    )
+
+    # -- approx mode: half the partitions, recall holds ----------------
+    assert result["nprobe"] == -(-result["n_clusters"] // 2)
+    assert result["approx_recall"] >= 0.9, (
+        f"approx recall at nprobe={result['nprobe']} fell to "
+        f"{result['approx_recall']:.3f}"
+    )
+    assert result["approx"]["shard_tasks"] <= (
+        result["nprobe"] * n_batches
+    )
+
+    # -- provenance fields ride every --json payload -------------------
+    assert result["rounds"] == ROUNDS
+    assert isinstance(result["git_describe"], str) and result["git_describe"]
+    assert isinstance(result["index_format_version"], int)

@@ -112,6 +112,8 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
     from repro.query.bench import run_query_engine_bench
     from repro.utils.errors import GraphDimensionError
 
+    if not _check_bench_search_flags(args):
+        return 2
     try:
         result = run_query_engine_bench(
             db_size=args.db_size,
@@ -120,6 +122,8 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
             k=args.k,
             seed=args.seed,
             batch_sizes=tuple(args.batch_sizes),
+            search_mode=args.search_mode,
+            nprobe=args.nprobe,
         )
     except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -128,11 +132,28 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_bench_search_flags(args: argparse.Namespace) -> bool:
+    """The bench verbs' half of the --search-mode/--nprobe rule.
+
+    Benches default a missing approx nprobe to ⌈shards/2⌉ (a documented,
+    comparable operating point), so unlike ``serve`` they only reject a
+    --nprobe that would otherwise be *silently ignored* — reporting the
+    wrong mode without warning is the failure this guards against.
+    """
+    if args.nprobe is not None and args.search_mode != "approx":
+        print("error: --nprobe requires --search-mode approx",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Sharded QueryService vs the single-threaded engine, in q/s."""
     from repro.serving.bench import run_serving_bench
     from repro.utils.errors import GraphDimensionError
 
+    if not _check_bench_search_flags(args):
+        return 2
     try:
         result = run_serving_bench(
             db_size=args.db_size,
@@ -145,6 +166,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             n_shards=args.shards,
             n_workers=args.workers,
             cache_size=args.cache_size,
+            search_mode=args.search_mode or "exact",
+            nprobe=args.nprobe,
         )
     except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -179,6 +202,23 @@ def _cmd_frontend_bench(args: argparse.Namespace) -> int:
         return 2
     _emit_bench_result(result, args.json)
     return 0
+
+
+def _parse_search_policy(args: argparse.Namespace):
+    """The server-wide default SearchPolicy from --search-mode/--nprobe.
+
+    Returns ``None`` for plain exact mode (the service default), so the
+    flags only pin a policy when they actually change behaviour.
+    """
+    from repro.query.pruning import SearchPolicy
+
+    if args.search_mode == "approx":
+        if args.nprobe is None:
+            raise ValueError("--search-mode approx requires --nprobe")
+        return SearchPolicy(mode="approx", nprobe=args.nprobe)
+    if args.nprobe is not None:
+        raise ValueError("--nprobe requires --search-mode approx")
+    return None
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -234,6 +274,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window=args.batch_window,
             quota_rate=args.quota_rate,
             quota_burst=args.quota_burst,
+            default_policy=_parse_search_policy(args),
         )
     except (ValueError, OSError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -373,6 +414,30 @@ def _cmd_index_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pruning(args: argparse.Namespace) -> int:
+    """Full scan vs exact shard skipping vs approx routing, in q/s."""
+    from repro.serving.pruning_bench import run_pruning_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_pruning_bench(
+            n_clusters=args.clusters,
+            per_cluster=args.per_cluster,
+            dims_per_cluster=args.dims_per_cluster,
+            query_count=args.queries,
+            batch_size=args.batch_size,
+            k=args.k,
+            seed=args.seed,
+            rounds=args.rounds,
+            nprobe=args.nprobe,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def _cmd_bench_incremental(args: argparse.Namespace) -> int:
     """Incremental add/remove vs full offline rebuild, in seconds."""
     from repro.index.bench import run_incremental_bench
@@ -387,12 +452,27 @@ def _cmd_bench_incremental(args: argparse.Namespace) -> int:
             query_count=args.queries,
             k=args.k,
             seed=args.seed,
+            rounds=args.rounds,
         )
     except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _emit_bench_result(result, args.json)
     return 0
+
+
+def _add_search_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared --search-mode/--nprobe pair (serve + bench verbs)."""
+    parser.add_argument(
+        "--search-mode", choices=("exact", "approx"), default=None,
+        help="shard-search policy: exact (bit-identical, skips only "
+             "provably irrelevant shards) or approx (route each query "
+             "to its --nprobe closest shards only)",
+    )
+    parser.add_argument(
+        "--nprobe", type=int, default=None,
+        help="shards each query visits in approx mode",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -435,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--batch-sizes", type=int, nargs="+", default=[1, 16, 64]
     )
+    _add_search_flags(bench)
     bench.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the report table",
@@ -457,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=4)
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--cache-size", type=int, default=1024)
+    _add_search_flags(serve)
     serve.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the report table",
@@ -501,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quota-burst", type=float, default=None,
         help="per-tenant burst allowance (default: max(rate, batch size))",
     )
+    _add_search_flags(serve_cmd)
     serve_cmd.set_defaults(func=_cmd_serve)
 
     fbench = sub.add_parser(
@@ -567,6 +650,33 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("index", help="path to the index manifest")
     compact.set_defaults(func=_cmd_index_compact)
 
+    pruning = sub.add_parser(
+        "bench-pruning",
+        help="measure shard skipping: full scan vs exact bounds vs "
+             "approx partition routing",
+    )
+    pruning.add_argument("--clusters", type=int, default=8,
+                         help="similarity clusters (= shards)")
+    pruning.add_argument("--per-cluster", type=int, default=250,
+                         help="database rows per cluster")
+    pruning.add_argument("--dims-per-cluster", type=int, default=16,
+                         help="embedding dimensions owned by each cluster")
+    pruning.add_argument("--queries", type=int, default=64)
+    pruning.add_argument("--batch-size", type=int, default=16)
+    pruning.add_argument("--k", type=int, default=10)
+    pruning.add_argument("--seed", type=int, default=0)
+    pruning.add_argument("--rounds", type=int, default=3,
+                         help="throughput rounds (min-of-N timing)")
+    pruning.add_argument(
+        "--nprobe", type=int, default=None,
+        help="approx-mode shards per query (default: ceil(clusters/2))",
+    )
+    pruning.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    pruning.set_defaults(func=_cmd_bench_pruning)
+
     inc = sub.add_parser(
         "bench-incremental",
         help="measure incremental add/remove vs full index rebuild",
@@ -578,6 +688,8 @@ def build_parser() -> argparse.ArgumentParser:
     inc.add_argument("--queries", type=int, default=16)
     inc.add_argument("--k", type=int, default=10)
     inc.add_argument("--seed", type=int, default=0)
+    inc.add_argument("--rounds", type=int, default=1,
+                     help="timing rounds on both sides (min-of-N)")
     inc.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the report table",

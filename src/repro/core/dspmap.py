@@ -233,6 +233,45 @@ class DSPMap:
         return choices
 
     # ------------------------------------------------------------------
+    # partition routing (the approximate serving tier)
+    # ------------------------------------------------------------------
+    def route_queries(
+        self,
+        mapping: DSPreservedMapping,
+        query_vectors: np.ndarray,
+        nprobe: int,
+    ) -> np.ndarray:
+        """The *nprobe* most similar partition blocks per query vector.
+
+        For each row of *query_vectors* (a φ(q) over *mapping*'s
+        selected features), returns the indices into
+        :attr:`partitions_` of the ``nprobe`` blocks whose embedding
+        centroids are closest, nearest first (ties broken by ascending
+        block index).  This is the routing signal of the approximate
+        serving tier: a :class:`~repro.serving.service.QueryService`
+        built over ``shards=self.partitions_`` makes the same choice
+        for ``SearchPolicy(mode="approx", nprobe=...)``, because both
+        read the same :class:`~repro.query.pruning.ShardSummary` set
+        through *mapping*'s summary cache (so an artifact that
+        persisted the summaries also routes with zero recomputation).
+        """
+        from repro.query.pruning import (
+            shard_centroid_distances,
+            summaries_for_blocks,
+        )
+
+        if not self.partitions_:
+            raise SelectionError("fit() must run before route_queries()")
+        if nprobe < 1:
+            raise SelectionError("nprobe must be >= 1")
+        summaries = summaries_for_blocks(mapping, self.partitions_)
+        distances = shard_centroid_distances(
+            np.asarray(query_vectors, dtype=float), summaries
+        )
+        nprobe = min(int(nprobe), len(summaries))
+        return np.argsort(distances, axis=1, kind="stable")[:, :nprobe]
+
+    # ------------------------------------------------------------------
     # partition-local online structures
     # ------------------------------------------------------------------
     def block_mappings(

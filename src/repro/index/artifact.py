@@ -57,6 +57,7 @@ from repro.utils.errors import (
     LatticeShapeError,
     ManifestMissingError,
     PayloadMissingError,
+    QueryError,
 )
 
 PathLike = Union[str, Path]
@@ -141,6 +142,105 @@ def _read_journal(path: Path, artifact_id: str) -> List[Dict]:
             )
         entries.append(entry)
     return entries
+
+
+#: Most shard layouts persisted per manifest.  The in-memory cache may
+#: hold more (several routers over one index), but each persisted
+#: layout repeats every database row id — bounding the manifest bloat
+#: to the most recently used few keeps delta saves cheap at scale.
+MAX_PERSISTED_SUMMARY_LAYOUTS = 2
+
+
+def _persisted_layout_items(mapping: DSPreservedMapping):
+    """The cache entries that would be persisted (most recent last)."""
+    items = list(mapping.shard_summary_cache.items())
+    return items[-MAX_PERSISTED_SUMMARY_LAYOUTS:]
+
+
+def _summaries_payload(
+    mapping: DSPreservedMapping, seq: int
+) -> Optional[Dict]:
+    """Serialise the mapping's shard-summary cache (``None`` when empty).
+
+    *seq* records the journal position the summaries describe — ``0``
+    for a fresh base (the state is fully folded in), the post-append
+    journal head for a delta save.  A loader only restores them when
+    its replayed journal is exactly that long, so stale geometry can
+    never survive a divergent history.  The section carries its own
+    checksum: summaries steer exact-mode shard skipping, so corrupted
+    geometry must fail the load loudly like every other
+    result-affecting artifact section, not silently mis-prune.
+    """
+    items = _persisted_layout_items(mapping)
+    if not items:
+        return None
+    section = {
+        "seq": int(seq),
+        "layouts": [
+            {
+                "blocks": [[int(i) for i in block] for block in key],
+                "summaries": [s.to_payload() for s in summaries],
+            }
+            for key, summaries in items
+        ],
+    }
+    section["sha256"] = _entry_digest(section)
+    return section
+
+
+def _restore_summaries(
+    mapping: DSPreservedMapping, payload: Dict, journal_len: int
+) -> None:
+    """Attach persisted shard summaries to a freshly loaded mapping.
+
+    Restores only when the recorded ``seq`` matches the journal length
+    actually replayed — otherwise the stored geometry describes a
+    different database state and is silently dropped (the next service
+    build recomputes lazily and the next save re-persists).  Malformed
+    sections fail loudly like every other corrupt manifest field.
+    """
+    from repro.query.pruning import ShardSummary
+
+    section = payload.get("shard_summaries")
+    if section is None:
+        return
+    if not isinstance(section, dict) or not isinstance(
+        section.get("layouts"), list
+    ):
+        raise _corrupt("malformed shard_summaries section")
+    if section.get("sha256") != _entry_digest(section):
+        raise ChecksumError(
+            "shard_summaries section fails its checksum — corrupted "
+            "pruning geometry would silently break exact-mode answers"
+        )
+    if section.get("seq") != journal_len:
+        return
+    p = mapping.dimensionality
+    n = mapping.space.n
+    for layout in section["layouts"]:
+        blocks = layout.get("blocks")
+        entries = layout.get("summaries")
+        if (
+            not isinstance(blocks, list)
+            or not isinstance(entries, list)
+            or len(blocks) != len(entries)
+        ):
+            raise _corrupt("shard summary layout/summaries mismatch")
+        ids = sorted(int(i) for block in blocks for i in block)
+        if ids != list(range(n)):
+            raise _corrupt(
+                "shard summary layout does not partition the database"
+            )
+        try:
+            summaries = [
+                ShardSummary.from_payload(entry, p) for entry in entries
+            ]
+        except (KeyError, TypeError, ValueError, QueryError) as exc:
+            raise _corrupt(f"unreadable shard summary: {exc}") from exc
+        mapping.store_shard_summaries(
+            tuple(tuple(int(i) for i in block) for block in blocks),
+            summaries,
+        )
 
 
 @dataclass
@@ -238,10 +338,17 @@ class IndexArtifact:
         }
         # A deterministic content identity (independent of npz
         # compression bytes): the manifest core plus the raw array data.
+        # Derived sections — the payload metadata and the shard-summary
+        # cache — stay out of the digest, so the same index state keeps
+        # the same identity whether or not a service warmed summaries.
         digest = hashlib.sha256()
         digest.update(
             json.dumps(
-                {k: v for k, v in payload.items() if k != "payload"},
+                {
+                    k: v
+                    for k, v in payload.items()
+                    if k not in ("payload", "shard_summaries")
+                },
                 sort_keys=True,
                 separators=(",", ":"),
             ).encode()
@@ -249,6 +356,9 @@ class IndexArtifact:
         for name in PAYLOAD_ARRAYS:
             digest.update(arrays[name].tobytes())
         payload["artifact_id"] = digest.hexdigest()[:16]
+        summaries = _summaries_payload(mapping, seq=0)
+        if summaries is not None:
+            payload["shard_summaries"] = summaries
         return cls(payload, arrays=arrays)
 
     # ------------------------------------------------------------------
@@ -337,6 +447,11 @@ class IndexArtifact:
             mapping.artifact_ref = payload.get("artifact_id")
             mapping.journal_seq = len(self.journal)
             mapping.mutation_log.clear()
+        # After replay (which clears derived caches): shard summaries
+        # whose recorded seq matches the replayed journal describe this
+        # exact database state, so the serving tier cold-starts with
+        # zero summary recomputation.
+        _restore_summaries(mapping, payload, len(self.journal))
         # A load must always succeed; drift past the (default) policy
         # threshold is reported through the flag, never raised.
         if mapping.support_drift > mapping.staleness_policy.max_drift:
@@ -577,6 +692,7 @@ def save_index(
                 existing = None  # damaged journal: fall through and repair
             if existing is not None and len(existing) == mapping.journal_seq:
                 _append_deltas(path, mapping)
+                _sync_manifest_summaries(path, manifest, mapping)
                 if auto_compact_ratio is not None and _journal_oversized(
                     path, auto_compact_ratio
                 ):
@@ -653,6 +769,47 @@ def _append_deltas(path: Path, mapping: DSPreservedMapping) -> None:
     mapping.mutation_log.clear()
 
 
+def _sync_manifest_summaries(
+    path: Path, manifest: Dict, mapping: DSPreservedMapping
+) -> None:
+    """Bring the manifest's ``shard_summaries`` up to the mapping's.
+
+    Runs on every delta-path save (the manifest is small JSON — the
+    whole point of the delta path is not rewriting the *binary*
+    payload), so summaries maintained through
+    :meth:`QueryService.apply_update
+    <repro.serving.service.QueryService.apply_update>` — or computed
+    lazily after loading a pre-summary artifact — are persisted with
+    their ``seq`` at the current journal head, and a mapping whose
+    summaries were invalidated drops the stale section.  No-op when
+    nothing changed — detected from ``seq`` + the layout keys alone
+    (summaries are a pure function of database state and layout, and
+    ``seq`` pins the database state), so the up-to-date case never
+    re-serialises the float payload.
+    """
+    existing = manifest.get("shard_summaries")
+    items = _persisted_layout_items(mapping)
+    if (
+        isinstance(existing, dict)
+        and existing.get("seq") == mapping.journal_seq
+        and isinstance(existing.get("layouts"), list)
+        and [layout.get("blocks") for layout in existing["layouts"]]
+        == [
+            [[int(i) for i in block] for block in key]
+            for key, _summaries in items
+        ]
+    ):
+        return
+    summaries = _summaries_payload(mapping, seq=mapping.journal_seq)
+    if summaries is not None:
+        manifest["shard_summaries"] = summaries
+    elif "shard_summaries" not in manifest:
+        return
+    else:
+        manifest.pop("shard_summaries", None)
+    path.write_text(json.dumps(manifest))
+
+
 def load_index(path: PathLike) -> DSPreservedMapping:
     """Reload an index artifact into a warm mapping (v1/v2/v3).
 
@@ -692,7 +849,7 @@ def save_index_v2(mapping: DSPreservedMapping, path: PathLike) -> None:
     payload = {
         k: v
         for k, v in artifact.payload.items()
-        if k not in ("payload", "artifact_id")
+        if k not in ("payload", "artifact_id", "shard_summaries")
     }
     payload["format_version"] = V2_FORMAT_VERSION
     payload["database_vectors"] = (

@@ -7,6 +7,7 @@ from repro.query.engine import (
     FeatureLattice,
     QueryEngine,
 )
+from repro.query.pruning import PruningTrace, SearchPolicy, ShardSummary
 from repro.query.measures import (
     inverse_rank_distance,
     kendall_tau_topk,
@@ -20,7 +21,10 @@ __all__ = [
     "ExactTopKEngine",
     "FeatureLattice",
     "MappedTopKEngine",
+    "PruningTrace",
     "QueryEngine",
+    "SearchPolicy",
+    "ShardSummary",
     "TopKResult",
     "precision_at_k",
     "kendall_tau_topk",

@@ -16,7 +16,7 @@ the naive path's on every query.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.features.binary_matrix import FeatureSpace
 from repro.graph.labeled_graph import LabeledGraph
 from repro.mining import mine_frequent_subgraphs
 from repro.query.topk import MappedTopKEngine
+from repro.utils.benchmeta import attach_bench_metadata
 
 
 def variance_selection(space: FeatureSpace, p: int) -> List[int]:
@@ -95,8 +96,19 @@ def run_query_engine_bench(
     avg_edges: float = 20.0,
     min_support: float = 0.15,
     max_pattern_edges: int = 6,
+    search_mode: Optional[str] = None,
+    nprobe: Optional[int] = None,
+    n_shards: int = 4,
 ) -> Dict:
-    """Measure naive vs engine queries/sec; returns metrics + report text."""
+    """Measure naive vs engine queries/sec; returns metrics + report text.
+
+    When *search_mode* is given (``"exact"`` or ``"approx"``), a third
+    path is measured on the selected mapping: a sharded
+    :class:`~repro.serving.service.QueryService` running that
+    :class:`~repro.query.pruning.SearchPolicy` over *n_shards*
+    contiguous shards — exact mode additionally asserts bit-identity
+    with the engine, approx mode reports its recall instead.
+    """
     if db_size < 1 or query_count < 1:
         raise ValueError("db_size and query_count must be >= 1")
     if not batch_sizes or any(bs < 1 for bs in batch_sizes):
@@ -128,6 +140,12 @@ def run_query_engine_bench(
         "selected": _measure_mapping(selected, queries, k, batch_sizes),
         "original": _measure_mapping(original, queries, k, batch_sizes),
     }
+    if search_mode is not None:
+        result["pruned_service"] = _measure_policy_service(
+            selected, queries, k, max(batch_sizes), search_mode, nprobe,
+            n_shards,
+        )
+    attach_bench_metadata(result)
 
     lines = [
         f"query engine throughput — synthetic dataset "
@@ -150,5 +168,74 @@ def run_query_engine_bench(
             f"  vf2 calls/query: {stats['vf2_calls_per_query']:.1f}, "
             f"lattice-pruned/query: {stats['features_pruned_per_query']:.1f}"
         )
+    if "pruned_service" in result:
+        svc = result["pruned_service"]
+        recall = (
+            "exact (bit-identical)"
+            if svc["recall"] == 1.0 and svc["search_mode"] == "exact"
+            else f"recall {svc['recall']:.3f}"
+        )
+        lines.append(
+            f"pruned service ({svc['search_mode']}"
+            + (f", nprobe={svc['nprobe']}" if svc["nprobe"] else "")
+            + f", {svc['n_shards']} shards): {svc['service_qps']:.0f} q/s, "
+            f"{svc['shards_skipped']} shard blocks skipped "
+            f"({svc['bound_checks']} bound checks), {recall}"
+        )
     result["report"] = "\n".join(lines) + "\n"
     return result
+
+
+def _measure_policy_service(
+    mapping: DSPreservedMapping,
+    queries: Sequence[LabeledGraph],
+    k: int,
+    batch_size: int,
+    search_mode: str,
+    nprobe: Optional[int],
+    n_shards: int,
+) -> Dict:
+    """One policy-driven :class:`QueryService` pass over *queries*.
+
+    Exact mode is asserted bit-identical to the engine before any
+    number is reported; approx mode reports mean top-k recall against
+    the engine's answers instead.
+    """
+    from repro.query.pruning import SearchPolicy, default_nprobe, topk_recall
+
+    engine = mapping.query_engine()
+    reference = engine.batch_query(list(queries), k)
+    if search_mode == "approx" and nprobe is None:
+        nprobe = default_nprobe(n_shards)
+    policy = SearchPolicy(
+        mode=search_mode,
+        nprobe=nprobe if search_mode == "approx" else None,
+    )
+    with mapping.query_service(n_shards=n_shards, cache_size=0) as service:
+        start = time.perf_counter()
+        answers: List = []
+        for lo in range(0, len(queries), batch_size):
+            answers.extend(
+                service.batch_query(queries[lo : lo + batch_size], k, policy)
+            )
+        seconds = time.perf_counter() - start
+        overlaps = []
+        for truth, got in zip(reference, answers):
+            if search_mode == "exact" and (
+                truth.ranking != got.ranking or truth.scores != got.scores
+            ):
+                raise AssertionError(
+                    "exact-mode pruned service diverged from the engine"
+                )
+            overlaps.append(topk_recall(truth, got))
+        stats = service.stats
+        return {
+            "search_mode": search_mode,
+            "nprobe": nprobe if search_mode == "approx" else None,
+            "n_shards": len(service.shards),
+            "service_qps": len(queries) / seconds,
+            "recall": float(np.mean(overlaps)) if overlaps else 1.0,
+            "shard_tasks": stats.shard_tasks,
+            "shards_skipped": stats.shards_skipped,
+            "bound_checks": stats.bound_checks,
+        }

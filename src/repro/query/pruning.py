@@ -1,0 +1,437 @@
+"""Shard-skipping machinery: summaries, bounds, and search policies.
+
+The paper's promise is that a handful of dimension features answers a
+top-k dissimilarity query without touching most of the database.  The
+sharded :class:`~repro.serving.service.QueryService` realises the
+*compute* half of that promise (small distance blocks, folded constant
+columns); this module adds the *skipping* half — per-shard geometric
+summaries tight enough that most shards never compute a distance block
+at all:
+
+* :class:`ShardSummary` — centroid, radius, and per-dimension min/max
+  envelope of one shard's rows in embedding space, built once at shard
+  construction (and persisted in the v3 index artifact so cold starts
+  recompute nothing).
+* :func:`shard_lower_bounds` — for a batch of query vectors, a per
+  (query, shard) **lower bound** on the normalised distance to *any*
+  row of the shard.  Two bounds are combined, both classical:
+
+  - *triangle inequality*: ``‖φ(q) − centroid‖ − radius ≤ ‖φ(q) − x‖``
+    for every shard row ``x``;
+  - *envelope (bounding box)*: per dimension, a query coordinate
+    outside ``[min_j, max_j]`` contributes at least its gap to the
+    squared distance of every row.
+
+  The maximum of the two is still a valid lower bound, and on
+  DSPMap-style similarity partitions it is usually tight enough to
+  skip most shards once a running k-th-best candidate exists.
+* :class:`SearchPolicy` — the per-request knob: ``exact`` (default)
+  skips only shards *provably* unable to contribute, so answers stay
+  bit-identical to the full scan; ``approx`` additionally routes each
+  query to its ``nprobe`` closest partitions only, trading recall for
+  latency.
+* :class:`PruningTrace` — per-query visited/skipped/bound-check
+  counters, surfaced per response by the serving protocol.
+
+Floating-point safety
+---------------------
+Embeddings are binary, so every true squared distance is an exactly
+represented integer; the bounds, however, go through means and square
+roots and may round *up* past the true bound by a few ulps.  A shard is
+therefore only skipped when its bound clears the running k-th-best by a
+relative :data:`PRUNE_SLACK_REL` (plus :data:`PRUNE_SLACK_ABS`) margin —
+about a million times wider than the worst rounding error, and about a
+million times narrower than any real distance gap — so exact mode can
+never skip a shard holding a true top-k member, ties included.  The
+metamorphic property suite (``tests/test_pruning_properties.py``)
+hammers exactly this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.errors import QueryError
+
+__all__ = [
+    "PRUNE_SLACK_ABS",
+    "PRUNE_SLACK_REL",
+    "PruningTrace",
+    "SearchPolicy",
+    "ShardSummary",
+    "SummaryStack",
+    "default_nprobe",
+    "prunable",
+    "prunable_mask",
+    "shard_centroid_distances",
+    "shard_lower_bounds",
+    "stack_summaries",
+    "summaries_for_blocks",
+    "topk_recall",
+]
+
+#: Relative + absolute slack a bound must clear before a shard may be
+#: skipped in exact mode (see module docstring).
+PRUNE_SLACK_REL = 1e-9
+PRUNE_SLACK_ABS = 1e-12
+
+#: Recognised :class:`SearchPolicy` modes.
+SEARCH_MODES = ("exact", "approx")
+
+
+@dataclass(frozen=True)
+class SearchPolicy:
+    """How one request wants its shards searched.
+
+    ``mode="exact"`` (the default) answers bit-identically to the full
+    scan; ``prune=False`` additionally disables the bound checks, which
+    is the pre-pruning behaviour (and the benchmark baseline).
+    ``mode="approx"`` visits only the ``nprobe`` shards whose centroids
+    are closest to φ(q) — on DSPMap partition shards this is exactly
+    partition routing — and applies the same bound pruning inside that
+    candidate set.  ``nprobe`` is a floor, not a cap on the answer
+    length: routing extends past it (nearest shards first) whenever the
+    routed shards hold fewer than k rows, so approx answers are always
+    full-length and only recall degrades.
+    """
+
+    mode: str = "exact"
+    nprobe: Optional[int] = None
+    prune: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in SEARCH_MODES:
+            raise QueryError(
+                f"unknown search mode {self.mode!r} "
+                f"(expected one of {', '.join(SEARCH_MODES)})"
+            )
+        if self.mode == "approx":
+            if not isinstance(self.nprobe, int) or self.nprobe < 1:
+                raise QueryError(
+                    "approx search requires an integer nprobe >= 1"
+                )
+        elif self.nprobe is not None:
+            raise QueryError("nprobe only applies to approx search")
+
+    @property
+    def is_full_scan(self) -> bool:
+        """True when every shard must be computed (the legacy path)."""
+        return self.mode == "exact" and not self.prune
+
+
+#: The default policy — exact answers with shard skipping enabled.
+EXACT_POLICY = SearchPolicy()
+
+
+@dataclass
+class ShardSummary:
+    """Geometry of one shard's rows in the full embedding space.
+
+    ``centroid`` is the row mean, ``radius`` the largest unnormalised
+    Euclidean distance of any row to it, and ``dim_min``/``dim_max``
+    the per-dimension envelope.  All are over the *full* ``p``
+    dimensions (not the shard's folded varying columns), because query
+    vectors arrive unfolded.
+    """
+
+    num_rows: int
+    centroid: np.ndarray
+    radius: float
+    dim_min: np.ndarray
+    dim_max: np.ndarray
+
+    #: Process-wide count of summaries computed from raw vectors.  The
+    #: artifact tests pin cold-start cost with it: loading an artifact
+    #: that persisted its summaries must not move this counter.
+    builds: ClassVar[int] = 0
+
+    @classmethod
+    def from_vectors(cls, rows: np.ndarray) -> "ShardSummary":
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise QueryError("a shard summary needs a non-empty 2-d block")
+        centroid = rows.mean(axis=0)
+        radius = float(
+            np.sqrt(((rows - centroid) ** 2).sum(axis=1).max())
+        )
+        ShardSummary.builds += 1
+        return cls(
+            num_rows=rows.shape[0],
+            centroid=centroid,
+            radius=radius,
+            dim_min=rows.min(axis=0),
+            dim_max=rows.max(axis=0),
+        )
+
+    # ------------------------------------------------------------------
+    # artifact persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict:
+        return {
+            "num_rows": int(self.num_rows),
+            "centroid": [float(v) for v in self.centroid],
+            "radius": float(self.radius),
+            "dim_min": [float(v) for v in self.dim_min],
+            "dim_max": [float(v) for v in self.dim_max],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict, dimensionality: int) -> "ShardSummary":
+        """Restore a persisted summary, rejecting incoherent geometry.
+
+        An over-tight summary (shrunken radius, inverted envelope)
+        would make exact mode silently prune shards that hold true
+        answers, so beyond the shape check the structural invariants
+        any genuine summary satisfies are enforced: a finite
+        non-negative radius, an ordered envelope, and a centroid (the
+        row mean) inside it.
+        """
+        centroid = np.asarray(payload["centroid"], dtype=float)
+        dim_min = np.asarray(payload["dim_min"], dtype=float)
+        dim_max = np.asarray(payload["dim_max"], dtype=float)
+        if not (
+            centroid.shape == dim_min.shape == dim_max.shape
+            == (dimensionality,)
+        ):
+            raise QueryError(
+                "shard summary does not match the index dimensionality"
+            )
+        radius = float(payload["radius"])
+        num_rows = int(payload["num_rows"])
+        if num_rows < 1 or not np.isfinite(radius) or radius < 0:
+            raise QueryError("shard summary has incoherent size/radius")
+        # The centroid is the row mean, so it lies inside the envelope —
+        # up to the mean's own summation rounding on non-integer data.
+        tol = 1e-9 * (1.0 + np.abs(centroid))
+        if not (
+            np.isfinite(centroid).all()
+            and np.isfinite(dim_min).all()
+            and np.isfinite(dim_max).all()
+            and (dim_min <= dim_max).all()
+            and (dim_min - tol <= centroid).all()
+            and (centroid <= dim_max + tol).all()
+        ):
+            raise QueryError("shard summary has incoherent geometry")
+        return cls(
+            num_rows=num_rows,
+            centroid=centroid,
+            radius=radius,
+            dim_min=dim_min,
+            dim_max=dim_max,
+        )
+
+
+@dataclass
+class SummaryStack:
+    """Per-shard summaries stacked into matrices, ready for BLAS.
+
+    The stacking (and the centroids' squared norms) only change when
+    the shard list does, so the query service builds one stack per
+    shard-list generation and snapshots it with the shards — the
+    per-batch bound computation then never re-stacks identical arrays.
+    """
+
+    centroids: np.ndarray
+    radii: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+    centroid_sq_norms: np.ndarray
+
+
+def stack_summaries(summaries: Sequence[ShardSummary]) -> SummaryStack:
+    centroids = np.stack([s.centroid for s in summaries])
+    return SummaryStack(
+        centroids=centroids,
+        radii=np.array([s.radius for s in summaries]),
+        lows=np.stack([s.dim_min for s in summaries]),
+        highs=np.stack([s.dim_max for s in summaries]),
+        centroid_sq_norms=(centroids**2).sum(axis=1),
+    )
+
+
+def _as_stack(
+    summaries: Union[SummaryStack, Sequence[ShardSummary]]
+) -> SummaryStack:
+    if isinstance(summaries, SummaryStack):
+        return summaries
+    return stack_summaries(summaries)
+
+
+def shard_centroid_distances(
+    vectors: np.ndarray,
+    summaries: Union[SummaryStack, Sequence[ShardSummary]],
+) -> np.ndarray:
+    """Unnormalised ``‖φ(q) − centroid‖`` per (query, shard).
+
+    The approx-mode router: each query visits the ``nprobe`` shards
+    with the smallest centroid distance (ties broken by shard index via
+    the caller's stable argsort).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    stack = _as_stack(summaries)
+    sq = (
+        (vectors**2).sum(axis=1)[:, None]
+        + stack.centroid_sq_norms[None, :]
+        - 2.0 * vectors @ stack.centroids.T
+    )
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def shard_lower_bounds(
+    vectors: np.ndarray,
+    summaries: Union[SummaryStack, Sequence[ShardSummary]],
+    dimensionality: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower bounds on the *normalised* distance per (query, shard).
+
+    Returns ``(bounds, centroid_distances)`` — the centroid distances
+    fall out of the triangle-inequality term for free and double as the
+    approx router's signal, so both are computed in one pass.
+    ``bounds[i, j] <= min over rows x of shard j of d(q_i, x)`` always
+    holds mathematically (the metamorphic suite enforces it).
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    stack = _as_stack(summaries)
+    centroid_d = shard_centroid_distances(vectors, stack)
+    tri_sq = np.maximum(centroid_d - stack.radii[None, :], 0.0) ** 2
+    # Envelope term, one shard at a time: at most one of below/above is
+    # nonzero per coordinate, so the squared gap splits exactly — and
+    # peak memory stays at (nq, p) instead of an (nq, ns, p) cube.
+    box_sq = np.empty_like(centroid_d)
+    for si in range(len(stack.radii)):
+        below = np.maximum(stack.lows[si] - vectors, 0.0)
+        above = np.maximum(vectors - stack.highs[si], 0.0)
+        box_sq[:, si] = (below**2).sum(axis=1) + (above**2).sum(axis=1)
+    best = np.maximum(tri_sq, box_sq)
+    if dimensionality:
+        bounds = np.sqrt(best / dimensionality)
+    else:
+        # p == 0 mirrors cross_normalized_euclidean_distances: every
+        # distance is zero, so no bound can ever exceed it.
+        bounds = np.zeros_like(best)
+    return bounds, centroid_d
+
+
+def prunable_mask(
+    bounds: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Elementwise: does each bound provably clear its k-th-best?
+
+    This is the *shipped* skip test — the query service applies it to
+    whole bound columns against its per-query running thresholds (use
+    ``+inf`` while a query has fewer than k candidates: nothing may be
+    skipped before that, and no finite bound clears infinity).  The
+    slack margin keeps exact mode safe against the bound's own rounding
+    (see the module docstring); a bound exactly *equal* to the
+    threshold never prunes, because a row at that distance could still
+    win on the ascending-index tie-break.
+    """
+    return np.asarray(bounds) > (
+        np.asarray(thresholds) * (1.0 + PRUNE_SLACK_REL) + PRUNE_SLACK_ABS
+    )
+
+
+def prunable(bound: float, threshold: Optional[float]) -> bool:
+    """Scalar convenience over :func:`prunable_mask` (``None`` = no k yet).
+
+    Delegates to the vectorised form so the property suite and the
+    serving hot path exercise one formula, not two copies of it.
+    """
+    if threshold is None:
+        threshold = float("inf")
+    return bool(prunable_mask(np.array([bound]), np.array([threshold]))[0])
+
+
+@dataclass
+class PruningTrace:
+    """Per-query pruning outcome of one batch.
+
+    ``visited[i]`` / ``skipped[i]`` count shards whose distance block
+    query *i* did / did not participate in; ``bound_checks[i]`` counts
+    the (query, shard) bound evaluations made on its behalf.  The
+    serving front-end slices these per request so every NDJSON response
+    carries its own ``pruning`` stats.
+    """
+
+    mode: str
+    nprobe: Optional[int]
+    visited: np.ndarray
+    skipped: np.ndarray
+    bound_checks: np.ndarray
+    #: Shard distance blocks computed / skipped outright for the whole
+    #: batch (shard-level, not per query).
+    shard_tasks: int = 0
+    shards_skipped: int = 0
+
+    @classmethod
+    def full_scan(cls, num_queries: int, num_shards: int) -> "PruningTrace":
+        """The trace of the legacy every-shard path."""
+        return cls(
+            mode="exact",
+            nprobe=None,
+            visited=np.full(num_queries, num_shards, dtype=np.int64),
+            skipped=np.zeros(num_queries, dtype=np.int64),
+            bound_checks=np.zeros(num_queries, dtype=np.int64),
+            shard_tasks=num_shards if num_queries else 0,
+            shards_skipped=0,
+        )
+
+    def slice_payload(self, lo: int, hi: int) -> Dict:
+        """The ``pruning`` response section for queries ``lo..hi-1``."""
+        return {
+            "mode": self.mode,
+            **({"nprobe": self.nprobe} if self.nprobe is not None else {}),
+            "shards_visited": int(self.visited[lo:hi].sum()),
+            "shards_skipped": int(self.skipped[lo:hi].sum()),
+            "bound_checks": int(self.bound_checks[lo:hi].sum()),
+        }
+
+    def totals(self) -> Dict:
+        return self.slice_payload(0, len(self.visited))
+
+
+def default_nprobe(n_shards: int) -> int:
+    """The benchmarks' shared approx default: ⌈shards / 2⌉ (min 1)."""
+    return max(1, -(-int(n_shards) // 2))
+
+
+def topk_recall(truth, answer) -> float:
+    """Fraction of *truth*'s top-k ids present in *answer*'s.
+
+    The recall the approximate tier is graded on everywhere (benches
+    and CI alike), defined once so the numbers stay comparable.
+    """
+    reference = set(truth.ranking)
+    if not reference:
+        return 1.0
+    return len(reference & set(answer.ranking)) / len(reference)
+
+
+def summaries_for_blocks(
+    mapping, blocks: Sequence[np.ndarray]
+) -> List[ShardSummary]:
+    """Summaries for an explicit shard layout, via the mapping's cache.
+
+    The cache key is the layout itself (sorted row ids per block), so a
+    service rebuilt with the same shard count — or a DSPMap router over
+    the same partitions — reuses one set of summaries, and the index
+    artifact can persist them for zero-recompute cold starts.
+    """
+    key = tuple(
+        tuple(int(i) for i in sorted(int(j) for j in block))
+        for block in blocks
+    )
+    cached = mapping.shard_summaries_for(key)
+    if cached is not None:
+        return list(cached)
+    summaries = [
+        ShardSummary.from_vectors(
+            mapping.database_vectors[np.asarray(block_key, dtype=np.int64)]
+        )
+        for block_key in key
+    ]
+    mapping.store_shard_summaries(key, summaries)
+    return summaries

@@ -17,6 +17,7 @@ Both produce a :class:`TopKResult` with deterministic tie-breaking
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -87,6 +88,78 @@ def rank_with_ties(values: np.ndarray, k: int) -> Tuple[List[int], List[float]]:
     order = np.lexsort((candidates, values[candidates]))
     top = candidates[order[:k]]
     return [int(i) for i in top], [float(values[i]) for i in top]
+
+
+def merge_candidates(
+    parts: Sequence[Tuple[np.ndarray, Sequence[float]]], k: int
+) -> Tuple[List[int], List[float]]:
+    """Re-rank ``(indices, scores)`` candidate lists, k best kept.
+
+    Exactly the tie-breaking of :func:`rank_with_ties` — ascending
+    score, then ascending database index — so merging shard-local
+    top-k lists (in any grouping or order) equals the single-scan
+    answer.  This is what makes the bound-aware running merge exact:
+    ``merge(merge(A, B), C) == merge(A, B, C)`` for top-k selection
+    under a total order.
+    """
+    if not parts:
+        return [], []
+    idx = np.concatenate(
+        [np.asarray(ids, dtype=np.int64) for ids, _ in parts]
+    )
+    vals = np.concatenate(
+        [np.asarray(scores, dtype=float) for _, scores in parts]
+    )
+    order = np.lexsort((idx, vals))[:k]
+    return [int(i) for i in idx[order]], [float(v) for v in vals[order]]
+
+
+class RunningTopK:
+    """One query's best-k candidates across incrementally visited shards.
+
+    Feeds the shard-skipping loop: shard-local top-k lists accumulate
+    via :meth:`update`, and once ``k`` candidates exist,
+    :attr:`threshold` (the current k-th-best score) upper-bounds what
+    any still-unvisited shard must beat to matter.  The threshold is
+    tracked with a bounded max-heap of the k best *scores* — the k-th
+    value does not depend on index tie-breaking, and heap updates are
+    O(log k) against the per-consultation sorts a naive running merge
+    would pay.  The full (score, index) merge of every visited part
+    runs exactly once, in :meth:`result`, via
+    :func:`merge_candidates` — so the final ``(ranking, scores)`` pair
+    is bit-identical to merging every visited shard at once, and the
+    non-pruning regime costs one merge per query, same as the plain
+    full scan.
+    """
+
+    __slots__ = ("k", "_parts", "_heap")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._parts: List[Tuple[np.ndarray, Sequence[float]]] = []
+        self._heap: List[float] = []  # negated: a max-heap of the best k
+
+    def update(self, ids: np.ndarray, scores: Sequence[float]) -> None:
+        self._parts.append((np.asarray(ids, dtype=np.int64), scores))
+        heap, k = self._heap, self.k
+        for value in scores:  # ascending within a part: break early
+            if len(heap) < k:
+                heapq.heappush(heap, -value)
+            elif value < -heap[0]:
+                heapq.heapreplace(heap, -value)
+            else:
+                break
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """The k-th-best score, or ``None`` while fewer than k exist."""
+        if len(self._heap) < self.k:
+            return None
+        return -self._heap[0]
+
+    def result(self) -> TopKResult:
+        ranking, scores = merge_candidates(self._parts, self.k)
+        return TopKResult(ranking, scores)
 
 
 class ExactTopKEngine:

@@ -21,6 +21,7 @@ from repro.serving.frontend import (
     TokenBucket,
 )
 from repro.serving.frontend_bench import run_frontend_bench
+from repro.serving.pruning_bench import run_pruning_bench
 from repro.serving.service import QueryService, ServiceStats, Shard
 
 __all__ = [
@@ -32,5 +33,6 @@ __all__ = [
     "Shard",
     "TokenBucket",
     "run_frontend_bench",
+    "run_pruning_bench",
     "run_serving_bench",
 ]

@@ -17,7 +17,7 @@ reported.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +26,9 @@ from repro.datasets import synthetic_database, synthetic_query_set
 from repro.features.binary_matrix import FeatureSpace
 from repro.mining import mine_frequent_subgraphs
 from repro.query.bench import variance_selection
+from repro.query.pruning import SearchPolicy, default_nprobe, topk_recall
 from repro.serving.service import ServiceStats
+from repro.utils.benchmeta import attach_bench_metadata
 
 
 def run_serving_bench(
@@ -45,12 +47,26 @@ def run_serving_bench(
     avg_edges: float = 20.0,
     min_support: float = 0.10,
     max_pattern_edges: int = 6,
+    search_mode: str = "exact",
+    nprobe: Optional[int] = None,
 ) -> Dict:
-    """Measure engine vs service queries/sec on a repeat-heavy stream."""
+    """Measure engine vs service queries/sec on a repeat-heavy stream.
+
+    *search_mode*/*nprobe* pick the service pass's
+    :class:`~repro.query.pruning.SearchPolicy`.  Exact mode (the
+    default) keeps the bit-identity gate; approx mode reports the mean
+    top-k recall against the engine instead of asserting identity.
+    """
     if db_size < 1 or pool_size < 1 or stream_length < 1:
         raise ValueError("db_size, pool_size and stream_length must be >= 1")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if search_mode == "approx" and nprobe is None:
+        nprobe = default_nprobe(n_shards)
+    policy = SearchPolicy(
+        mode=search_mode,
+        nprobe=nprobe if search_mode == "approx" else None,
+    )
     db = synthetic_database(
         db_size, avg_edges=avg_edges, density=density,
         num_labels=num_labels, seed=seed,
@@ -99,16 +115,25 @@ def run_serving_bench(
         start = time.perf_counter()
         service_answers: List = []
         for batch in batches:
-            service_answers.extend(service.batch_query(batch, k))
+            service_answers.extend(service.batch_query(batch, k, policy))
         service_seconds = time.perf_counter() - start
 
+        overlaps = []
         for a, b in zip(engine_answers, service_answers):
-            if a.ranking != b.ranking or a.scores != b.scores:
+            if search_mode == "exact" and (
+                a.ranking != b.ranking or a.scores != b.scores
+            ):
                 raise AssertionError(
                     "service results diverged from the engine path"
                 )
+            overlaps.append(topk_recall(a, b))
         stats = service.stats
         result = {
+            "search_mode": search_mode,
+            "nprobe": nprobe if search_mode == "approx" else None,
+            "recall": float(np.mean(overlaps)) if overlaps else 1.0,
+            "shards_skipped": stats.shards_skipped,
+            "bound_checks": stats.bound_checks,
             "db_size": db_size,
             "pool_size": pool_size,
             "stream_length": stream_length,
@@ -135,6 +160,7 @@ def run_serving_bench(
         }
     finally:
         service.close()
+    attach_bench_metadata(result)
 
     lines = [
         f"query service throughput — synthetic stream "
@@ -156,7 +182,16 @@ def run_serving_bench(
         f"stage timings: embed {result['embed_seconds'] * 1e3:.1f} ms, "
         f"search {result['search_seconds'] * 1e3:.1f} ms "
         f"({result['shard_tasks']} shard tasks totalling "
-        f"{result['shard_seconds'] * 1e3:.1f} ms)",
+        f"{result['shard_seconds'] * 1e3:.1f} ms; "
+        f"{result['shards_skipped']} blocks skipped, "
+        f"{result['bound_checks']} bound checks)",
+        f"search policy: {search_mode}"
+        + (f" (nprobe={nprobe})" if search_mode == "approx" else "")
+        + (
+            f", recall {result['recall']:.3f}"
+            if search_mode == "approx"
+            else " (bit-identical, asserted)"
+        ),
         f"shard sizes: {result['shard_sizes']}, varying columns per shard: "
         f"{result['varying_columns']}",
     ]

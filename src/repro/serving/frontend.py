@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
+from repro.query.pruning import EXACT_POLICY, SearchPolicy
 from repro.query.topk import TopKResult
 from repro.serving import protocol
 from repro.serving.service import QueryService
@@ -71,6 +72,11 @@ class FrontendConfig:
     quota_rate: Optional[float] = None
     quota_burst: Optional[float] = None
     drain_timeout: float = 30.0
+    #: Shard-search policy for requests that do not send their own
+    #: ``"search"`` object (``None`` = the service default: exact with
+    #: shard skipping).  ``repro-graphdim serve --search-mode approx
+    #: --nprobe N`` sets this server-wide.
+    default_policy: Optional[SearchPolicy] = None
     #: Most tenants tracked at once.  Tenant names come off the wire,
     #: so without a bound a client cycling names would grow the bucket
     #: table (and its own quota) without limit; past the cap the
@@ -166,16 +172,18 @@ class FrontendStats:
 class _Pending:
     """One admitted request waiting for its batch slot."""
 
-    __slots__ = ("graphs", "k", "future")
+    __slots__ = ("graphs", "k", "policy", "future")
 
     def __init__(
         self,
         graphs: List[LabeledGraph],
         k: int,
-        future: "asyncio.Future[Tuple[List[TopKResult], int]]",
+        policy: Optional[SearchPolicy],
+        future: "asyncio.Future[Tuple[List[TopKResult], int, Dict]]",
     ) -> None:
         self.graphs = graphs
         self.k = k
+        self.policy = policy
         self.future = future
 
 
@@ -354,6 +362,7 @@ class AsyncFrontend:
         graphs: Sequence[LabeledGraph],
         k: int,
         tenant: str = "",
+        policy: Optional[SearchPolicy] = None,
     ) -> Tuple[List[TopKResult], int]:
         """Admit, queue, and answer one request of one or more queries.
 
@@ -362,12 +371,40 @@ class AsyncFrontend:
         rejection, or whatever the underlying batch raised (e.g.
         :class:`~repro.utils.errors.QueryError` for a bad ``k``).
         """
+        results, generation, _pruning = await self.submit_traced(
+            graphs, k, tenant, policy
+        )
+        return results, generation
+
+    async def submit_traced(
+        self,
+        graphs: Sequence[LabeledGraph],
+        k: int,
+        tenant: str = "",
+        policy: Optional[SearchPolicy] = None,
+    ) -> Tuple[List[TopKResult], int, Dict]:
+        """:meth:`submit` plus this request's own ``pruning`` stats.
+
+        *policy* falls back to the configured server-wide default;
+        requests with different policies coalesce into separate service
+        batches (a policy changes which shards are read, so it is part
+        of the batch key exactly like ``k``).
+        """
         graphs = list(graphs)
         if not graphs:
             raise ProtocolError("empty query batch")
+        if policy is None:
+            policy = self.config.default_policy
+        if policy is None:
+            # Normalise "no policy" to the explicit default: a request
+            # sending {"mode": "exact"} and one sending nothing mean
+            # the same thing and must coalesce into the same batch
+            # (SearchPolicy is a frozen dataclass, so equal policies
+            # hash equal).
+            policy = EXACT_POLICY
         self._admit(tenant, len(graphs))
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_Pending(graphs, int(k), future))
+        self._queue.put_nowait(_Pending(graphs, int(k), policy, future))
         return await future
 
     # ------------------------------------------------------------------
@@ -407,29 +444,39 @@ class AsyncFrontend:
         while True:
             batch, stop = await self._collect()
             if batch:
-                # Group by k: one service call answers every request in
-                # the group, whoever submitted it.
-                by_k: Dict[int, List[_Pending]] = {}
+                # Group by (k, policy): one service call answers every
+                # request in the group, whoever submitted it.  The
+                # policy is frozen/hashable, so exact and approx
+                # traffic coalesce separately instead of forcing the
+                # whole batch to the stricter mode.
+                groups: Dict[Tuple, List[_Pending]] = {}
                 for item in batch:
-                    by_k.setdefault(item.k, []).append(item)
-                for k, group in sorted(by_k.items()):
-                    await self._run_group(loop, group, k)
+                    groups.setdefault((item.k, item.policy), []).append(item)
+                for (k, policy), group in sorted(
+                    groups.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+                ):
+                    await self._run_group(loop, group, k, policy)
             if stop:
                 break
 
     async def _run_group(
-        self, loop, group: List[_Pending], k: int
+        self,
+        loop,
+        group: List[_Pending],
+        k: int,
+        policy: Optional[SearchPolicy] = None,
     ) -> None:
         graphs: List[LabeledGraph] = []
         for item in group:
             graphs.extend(item.graphs)
         started = loop.time()
         try:
-            result, generation = await loop.run_in_executor(
+            result, generation, trace = await loop.run_in_executor(
                 self._batch_executor,
-                self.service.batch_query_tagged,
+                self.service.batch_query_traced,
                 graphs,
                 k,
+                policy,
             )
         except Exception as exc:
             for item in group:
@@ -445,11 +492,12 @@ class AsyncFrontend:
         for item in group:
             size = len(item.graphs)
             answers = result.results[offset : offset + size]
+            pruning = trace.slice_payload(offset, offset + size)
             offset += size
             self._queued_queries -= size
             self.stats.completed += size
             if not item.future.cancelled():
-                item.future.set_result((answers, generation))
+                item.future.set_result((answers, generation, pruning))
 
     # ------------------------------------------------------------------
     # admin operations
@@ -574,6 +622,8 @@ class AsyncFrontend:
                 "cache_misses": svc.cache_misses,
                 "vf2_calls": svc.vf2_calls,
                 "shard_tasks": svc.shard_tasks,
+                "shards_skipped": svc.shards_skipped,
+                "bound_checks": svc.bound_checks,
                 "updates": svc.updates,
                 "shards_rebuilt": svc.shards_rebuilt,
                 "n_shards": len(service.shards),
@@ -600,25 +650,29 @@ class AsyncFrontend:
         tenant = request.get("tenant") or ""
         try:
             if op == "query":
+                policy = protocol.search_policy_from_request(request)
                 graph = self._decode_graph(request["graph"])
-                results, generation = await self.submit(
-                    [graph], request["k"], tenant
+                results, generation, pruning = await self.submit_traced(
+                    [graph], request["k"], tenant, policy
                 )
                 return protocol.ok_response(
                     request_id,
                     generation=generation,
+                    pruning=pruning,
                     **protocol.result_to_wire(results[0]),
                 )
             if op == "batch":
+                policy = protocol.search_policy_from_request(request)
                 graphs = [
                     self._decode_graph(g) for g in request["graphs"]
                 ]
-                results, generation = await self.submit(
-                    graphs, request["k"], tenant
+                results, generation, pruning = await self.submit_traced(
+                    graphs, request["k"], tenant, policy
                 )
                 return protocol.ok_response(
                     request_id,
                     generation=generation,
+                    pruning=pruning,
                     results=[protocol.result_to_wire(r) for r in results],
                 )
             if op == "stats":

@@ -43,6 +43,7 @@ from repro.query.bench import variance_selection
 from repro.serving import protocol
 from repro.serving.frontend import AsyncFrontend, FrontendConfig
 from repro.serving.service import QueryService
+from repro.utils.benchmeta import attach_bench_metadata
 
 
 def _request_line(op: str, request_id, **fields) -> bytes:
@@ -382,6 +383,7 @@ def run_frontend_bench(
         dimensionality=mapping.dimensionality,
         n_shards=n_shards,
     )
+    attach_bench_metadata(result)
     lines = [
         f"NDJSON front-end — {clients} concurrent serial clients x "
         f"{per_client} queries (pool {pool_size}, k={k}, n={db_size}, "

@@ -9,8 +9,17 @@ Requests
 --------
 ``{"op": "query", "id": 1, "tenant": "alice", "k": 5, "graph": G}``
     Top-k for one query graph.  ``G`` is the wire graph format below.
+    An optional ``"search"`` object picks the shard-search policy:
+    ``{"mode": "exact"}`` (the default — bit-exact answers, shards
+    skipped only when provably irrelevant), ``{"mode": "exact",
+    "prune": false}`` (force the full scan), or ``{"mode": "approx",
+    "nprobe": 2}`` (visit each query's 2 closest shards only — DSPMap
+    partition routing when the server shards by partition; routing
+    extends past ``nprobe`` if those shards hold fewer than ``k`` rows,
+    so answers stay full-length).
 ``{"op": "batch", "id": 2, "tenant": "alice", "k": 5, "graphs": [G...]}``
-    Top-k for a client-side batch (admitted as one unit).
+    Top-k for a client-side batch (admitted as one unit); accepts the
+    same optional ``"search"`` policy.
 ``{"op": "stats", "id": 3}``
     Front-end + service counters and queue depth.
 ``{"op": "update", "id": 4, "add": [G...], "remove": [3, 17]}``
@@ -27,8 +36,11 @@ Requests
 Responses
 ---------
 ``{"id": 1, "ok": true, "ranking": [...], "scores": [...],
-"generation": 0}`` on success (``generation`` counts applied updates —
-it names the exact database state the answer was computed on), or
+"generation": 0, "pruning": {"mode": "exact", "shards_visited": 2,
+"shards_skipped": 2, "bound_checks": 4}}`` on success (``generation``
+counts applied updates — it names the exact database state the answer
+was computed on; ``pruning`` reports this request's own share of the
+shard-skipping work), or
 ``{"id": 1, "ok": false, "error": "quota_exceeded", "message": "...",
 "retry_after": 0.25}`` on a structured rejection.  ``error`` is one of
 ``bad_request``, ``quota_exceeded``, ``overloaded``, ``shutting_down``
@@ -50,8 +62,9 @@ from typing import Dict, Optional
 
 from repro.graph.io import graph_to_obj
 from repro.graph.labeled_graph import LabeledGraph
+from repro.query.pruning import SEARCH_MODES, SearchPolicy
 from repro.query.topk import TopKResult
-from repro.utils.errors import InvalidGraphError, ProtocolError
+from repro.utils.errors import InvalidGraphError, ProtocolError, QueryError
 
 #: Every operation the serve loop understands.
 OPS = ("query", "batch", "stats", "update", "reload", "shutdown")
@@ -130,6 +143,8 @@ def parse_request(line: str) -> Dict:
             raise ProtocolError("'query' requires a 'graph'")
         if op == "batch" and not isinstance(request.get("graphs"), list):
             raise ProtocolError("'batch' requires a 'graphs' list")
+        if "search" in request and not isinstance(request["search"], dict):
+            raise ProtocolError("'search' must be an object")
     if op == "update":
         if not isinstance(request.get("add", []), list):
             raise ProtocolError("'update' field 'add' must be a list")
@@ -141,6 +156,41 @@ def parse_request(line: str) -> Dict:
     if tenant is not None and not isinstance(tenant, str):
         raise ProtocolError("'tenant' must be a string")
     return request
+
+
+def search_policy_from_request(request: Dict) -> Optional[SearchPolicy]:
+    """The request's ``search`` object as a policy (``None`` when absent).
+
+    Shapes and values are validated here so a junk policy fails the one
+    request with a structured ``bad_request``, before it is ever
+    admitted or coalesced with well-formed traffic.
+    """
+    section = request.get("search")
+    if section is None:
+        return None
+    mode = section.get("mode", "exact")
+    if mode not in SEARCH_MODES:
+        raise ProtocolError(
+            f"unknown search mode {mode!r} "
+            f"(expected one of {', '.join(SEARCH_MODES)})"
+        )
+    nprobe = section.get("nprobe")
+    if nprobe is not None and (
+        isinstance(nprobe, bool) or not isinstance(nprobe, int)
+    ):
+        raise ProtocolError("'nprobe' must be an integer")
+    prune = section.get("prune", True)
+    if not isinstance(prune, bool):
+        raise ProtocolError("'prune' must be a boolean")
+    unknown = set(section) - {"mode", "nprobe", "prune"}
+    if unknown:
+        raise ProtocolError(
+            f"unknown 'search' fields: {', '.join(sorted(unknown))}"
+        )
+    try:
+        return SearchPolicy(mode=mode, nprobe=nprobe, prune=prune)
+    except QueryError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def ok_response(request_id, **fields) -> Dict:

@@ -32,6 +32,16 @@ result bit:
   new shard list atomically, rebuilding only the shards whose rows
   changed; the embedding cache survives because φ(q) depends only on
   the selected patterns, which add/remove never touches.
+* **Shard skipping.**  Every shard carries a
+  :class:`~repro.query.pruning.ShardSummary` (centroid, radius,
+  per-dimension envelope).  Under the default
+  :class:`~repro.query.pruning.SearchPolicy`, shards are visited most
+  promising first while a running k-th-best threshold tightens; a
+  shard whose lower bound provably cannot beat it is skipped without
+  computing its distance block — still bit-identical, ties included.
+  ``SearchPolicy(mode="approx", nprobe=...)`` additionally routes each
+  query to its *nprobe* closest shards only (DSPMap partition routing
+  when the shards are partition blocks), trading recall for latency.
 
 Bit-identity with the engine path is enforced by the serving test suite
 and re-asserted on every benchmark run.
@@ -53,7 +63,18 @@ import numpy as np
 from repro.core.mapping import DSPreservedMapping
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.engine import BatchQueryResult, QueryEngine
-from repro.query.topk import TopKResult, _check_k, rank_with_ties
+from repro.query.pruning import (
+    EXACT_POLICY,
+    PruningTrace,
+    SearchPolicy,
+    ShardSummary,
+    SummaryStack,
+    prunable_mask,
+    shard_lower_bounds,
+    stack_summaries,
+)
+from repro.query.topk import RunningTopK, TopKResult, _check_k, rank_with_ties
+from repro.query.topk import merge_candidates as _merge_candidates
 
 
 def _effective_cpus() -> int:
@@ -114,6 +135,10 @@ class Shard:
     constant_values: np.ndarray
     vectors: np.ndarray
     sq_norms: np.ndarray
+    #: Full-space geometry (centroid/radius/envelope) the shard-skipping
+    #: bounds read; reused untouched when a live update only renumbers
+    #: this shard's rows.
+    summary: ShardSummary = None
 
     @property
     def num_rows(self) -> int:
@@ -146,6 +171,11 @@ class ServiceStats:
     shard_seconds: float = 0.0
     updates: int = 0
     shards_rebuilt: int = 0
+    #: Shard distance blocks skipped outright (their lower bound beat
+    #: the running k-th-best for every query, or approx routing never
+    #: sent a query their way) and (query, shard) bound evaluations.
+    shards_skipped: int = 0
+    bound_checks: int = 0
 
 
 class QueryService:
@@ -222,9 +252,32 @@ class QueryService:
                 raise ValueError(
                     "shards must partition the database rows exactly once"
                 )
-        self.shards: List[Shard] = [
-            self._build_shard(block) for block in assignment if len(block)
+        blocks = [
+            np.asarray(sorted(int(i) for i in block), dtype=np.int64)
+            for block in assignment
+            if len(block)
         ]
+        # Summaries come from the mapping's layout-keyed cache: a
+        # reloaded artifact that persisted them cold-starts without
+        # recomputing a single one (counter-enforced by the tests).  On
+        # a miss, _build_shard derives each summary from the row slice
+        # it gathers anyway — one copy per shard, not two — and the
+        # fresh set is stored for the next service/save.
+        layout_key = tuple(tuple(int(i) for i in block) for block in blocks)
+        cached = self.mapping.shard_summaries_for(layout_key)
+        self.shards: List[Shard] = [
+            self._build_shard(block, cached[bi] if cached else None)
+            for bi, block in enumerate(blocks)
+        ]
+        if cached is None:
+            self.mapping.store_shard_summaries(
+                layout_key, [shard.summary for shard in self.shards]
+            )
+        # Stacked once per shard-list generation; snapshotted together
+        # with the shard list so per-batch bound checks never re-stack.
+        self._summary_stack = stack_summaries(
+            [shard.summary for shard in self.shards]
+        )
 
         self.n_workers = max(int(n_workers), 0)
         self._cpus = _effective_cpus()
@@ -252,7 +305,9 @@ class QueryService:
     # ------------------------------------------------------------------
     # shard construction
     # ------------------------------------------------------------------
-    def _build_shard(self, block: np.ndarray) -> Shard:
+    def _build_shard(
+        self, block: np.ndarray, summary: Optional[ShardSummary] = None
+    ) -> Shard:
         indices = np.asarray(sorted(int(i) for i in block), dtype=np.int64)
         rows = self.mapping.database_vectors[indices]
         constant_mask = (rows == rows[0]).all(axis=0)
@@ -266,6 +321,7 @@ class QueryService:
             constant_values=rows[0, constant].copy(),
             vectors=block_vectors,
             sq_norms=(block_vectors**2).sum(axis=1),
+            summary=summary or ShardSummary.from_vectors(rows),
         )
 
     # ------------------------------------------------------------------
@@ -375,8 +431,9 @@ class QueryService:
                 new_shards.append(self._build_shard(ids))
                 rebuilt += 1
             else:
-                # Row data unchanged — reuse the folded block, relabel
-                # the global ids.  A fresh Shard object keeps in-flight
+                # Row data unchanged — reuse the folded block (and the
+                # shard summary: same rows, same geometry), relabel the
+                # global ids.  A fresh Shard object keeps in-flight
                 # snapshots of the old list self-consistent.
                 new_shards.append(
                     Shard(
@@ -386,12 +443,22 @@ class QueryService:
                         constant_values=shard.constant_values,
                         vectors=shard.vectors,
                         sq_norms=shard.sq_norms,
+                        summary=shard.summary,
                     )
                 )
 
+        # The mutation cleared the mapping's summary cache (row
+        # geometry changed); re-store the maintained summaries under
+        # the post-update layout so the next save_index persists them.
+        mapping.store_shard_summaries(
+            tuple(tuple(int(i) for i in s.indices) for s in new_shards),
+            [s.summary for s in new_shards],
+        )
         engine = mapping.query_engine()
+        new_stack = stack_summaries([s.summary for s in new_shards])
         with self._swap_lock:
             self.shards = new_shards
+            self._summary_stack = new_stack
             self.engine = engine
             self.generation += 1
             if selection_changed:
@@ -624,15 +691,13 @@ class QueryService:
         parts: List[Tuple[np.ndarray, List[float]]], k: int
     ) -> Tuple[List[int], List[float]]:
         """Re-rank shard candidates with (distance, index) tie-breaking."""
-        idx = np.concatenate([ids for ids, _ in parts])
-        vals = np.concatenate(
-            [np.asarray(scores, dtype=float) for _, scores in parts]
-        )
-        order = np.lexsort((idx, vals))[:k]
-        return [int(i) for i in idx[order]], [float(v) for v in vals[order]]
+        return _merge_candidates(parts, k)
 
     def batch_query_vectors(
-        self, vectors: np.ndarray, k: int
+        self,
+        vectors: np.ndarray,
+        k: int,
+        policy: Optional[SearchPolicy] = None,
     ) -> List[TopKResult]:
         """Top-k for pre-embedded query vectors (the vector-serving path).
 
@@ -643,17 +708,38 @@ class QueryService:
         """
         with self._swap_lock:
             shards = list(self.shards)
-        return self._query_vectors(vectors, k, shards)
+            stack = self._summary_stack
+        results, _trace = self._query_vectors(
+            vectors, k, shards, policy, stack
+        )
+        return results
 
     def _query_vectors(
-        self, vectors: np.ndarray, k: int, shards: List[Shard]
-    ) -> List[TopKResult]:
+        self,
+        vectors: np.ndarray,
+        k: int,
+        shards: List[Shard],
+        policy: Optional[SearchPolicy] = None,
+        stack: Optional[SummaryStack] = None,
+    ) -> Tuple[List[TopKResult], PruningTrace]:
         """The distance stage over an already-snapshotted shard list."""
+        policy = EXACT_POLICY if policy is None else policy
         n = sum(shard.num_rows for shard in shards)
         k = _check_k(k, n)
         vectors = np.asarray(vectors, dtype=float)
         if vectors.shape[0] == 0:
-            return []
+            return [], PruningTrace.full_scan(0, len(shards))
+        if policy.is_full_scan:
+            return self._query_vectors_full(vectors, k, shards)
+        if stack is None:
+            stack = stack_summaries([shard.summary for shard in shards])
+        return self._query_vectors_pruned(vectors, k, shards, policy, stack)
+
+    def _query_vectors_full(
+        self, vectors: np.ndarray, k: int, shards: List[Shard]
+    ) -> Tuple[List[TopKResult], PruningTrace]:
+        """Every shard computed — the pre-pruning path, shard pool and
+        all (``SearchPolicy(prune=False)``, the benchmark baseline)."""
         if self._parallel_shards and len(shards) > 1:
             pool = self._ensure_shard_pool()
             futures = [
@@ -672,13 +758,176 @@ class QueryService:
         for qi in range(vectors.shape[0]):
             ranking, scores = self._merge([part[qi] for part in parts], k)
             results.append(TopKResult(ranking, scores))
-        return results
+        return results, PruningTrace.full_scan(vectors.shape[0], len(shards))
+
+    def _query_vectors_pruned(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        shards: List[Shard],
+        policy: SearchPolicy,
+        stack: SummaryStack,
+    ) -> Tuple[List[TopKResult], PruningTrace]:
+        """The bound-aware path: skip shards that provably cannot matter.
+
+        Shards are visited most promising (smallest mean lower bound)
+        first, so each query's running k-th-best threshold tightens as
+        early as possible.  In exact mode a shard is skipped for a
+        query only when its lower bound clears that threshold by the
+        conservative slack of :func:`repro.query.pruning.prunable` —
+        which keeps the merged answer bit-identical to the full scan,
+        ties included.  In approx mode each query is additionally
+        routed to its ``nprobe`` closest shards (by centroid) only.
+
+        With the shard thread pool available, only the *first* (most
+        promising) shard is computed sequentially to seed the
+        thresholds; skip decisions for every remaining shard are then
+        made in one shot and the surviving blocks run concurrently.
+        One-shot decisions are strictly conservative — a seed-phase
+        threshold can only be looser than the fully tightened one — so
+        parallel hosts may skip fewer shards than single-threaded ones,
+        but never an unsafe one, and results stay bit-identical either
+        way.
+        """
+        nq, p = vectors.shape
+        ns = len(shards)
+        bounds, centroid_d = shard_lower_bounds(vectors, stack, p)
+        eligible = np.ones((nq, ns), dtype=bool)
+        nprobe = None
+        if policy.mode == "approx":
+            nprobe = min(int(policy.nprobe), ns)
+            # nprobe is a floor, not a cap on answer length: routing
+            # extends past it (nearest shards first) until the eligible
+            # shards hold at least k rows, so approx answers are always
+            # full-length — only recall degrades, never k itself.
+            routed = np.argsort(centroid_d, axis=1, kind="stable")
+            rows = np.array([shard.num_rows for shard in shards])
+            covered = np.cumsum(rows[routed], axis=1)
+            need = np.argmax(covered >= k, axis=1) + 1  # k <= n: exists
+            take = np.maximum(nprobe, need)
+            eligible = np.zeros((nq, ns), dtype=bool)
+            eligible[np.arange(nq)[:, None], routed] = (
+                np.arange(ns)[None, :] < take[:, None]
+            )
+        visit_order = np.argsort(bounds.mean(axis=0), kind="stable")
+        running = [RunningTopK(k) for _ in range(nq)]
+        visited = np.zeros(nq, dtype=np.int64)
+        skipped = np.zeros(nq, dtype=np.int64)
+        checks = np.zeros(nq, dtype=np.int64)
+        # Per-query running k-th-best; +inf until k candidates exist, so
+        # the vectorised skip test below is exactly `prunable()`:
+        # nothing is ever pruned against an undefined threshold.
+        thresholds = np.full(nq, np.inf)
+        shard_tasks = 0
+        shards_skipped = 0
+        order = [int(si) for si in visit_order]
+        parallel = self._parallel_shards and len(order) > 1
+
+        def decide(si: int) -> Tuple[np.ndarray, np.ndarray]:
+            """(eligibility, active queries) for one shard — counters
+            for skips/checks are updated here, exactly once per shard."""
+            nonlocal shards_skipped
+            elig = eligible[:, si]
+            if policy.prune:
+                checks[:] += elig
+                pruned_away = elig & prunable_mask(
+                    bounds[:, si], thresholds
+                )
+                active_mask = elig & ~pruned_away
+            else:
+                active_mask = elig
+            skipped[:] += ~active_mask
+            active = np.flatnonzero(active_mask)
+            if active.size == 0:
+                shards_skipped += 1
+            return elig, active
+
+        def absorb(active: np.ndarray, out, seconds: float) -> None:
+            nonlocal shard_tasks
+            shard_tasks += 1
+            self.stats.shard_seconds += seconds
+            for pos, qi in enumerate(active):
+                qi = int(qi)
+                ids, scores = out[pos]
+                tracker = running[qi]
+                tracker.update(ids, scores)
+                threshold = tracker.threshold
+                if threshold is not None:
+                    thresholds[qi] = threshold
+            visited[active] += 1
+
+        # Sequential tightening: every shard when single-threaded, just
+        # the most promising one (the threshold seed) when the shard
+        # pool can run the rest concurrently.  Before paying that
+        # serialized seed block, a cheap feasibility check: each
+        # query's final k-th-best can never exceed the distance *upper*
+        # bound (‖φ(q) − centroid‖ + radius) of the nearest shards
+        # covering k rows — if no (query, shard) lower bound clears
+        # even that cap, no threshold could ever prune anything, and
+        # all blocks dispatch concurrently at the pre-pruning latency.
+        # Forgoing skip *attempts* never changes results, only which
+        # exact strategy computes them.
+        seedless = not policy.prune or p == 0  # bounds are all zero at p=0
+        if parallel and policy.prune and p:
+            upper = (centroid_d + stack.radii[None, :]) / np.sqrt(p)
+            rows = np.array([shard.num_rows for shard in shards])
+            by_upper = np.argsort(upper, axis=1, kind="stable")
+            covered = np.cumsum(
+                rows[by_upper], axis=1
+            ) >= k
+            cap_pos = np.argmax(covered, axis=1)
+            caps = upper[np.arange(nq), by_upper[np.arange(nq), cap_pos]]
+            seedless = not (
+                eligible & prunable_mask(bounds, caps[:, None])
+            ).any()
+        prefix = (order[:1] if not seedless else []) if parallel else order
+        for si in prefix:
+            _elig, active = decide(si)
+            if active.size:
+                out, seconds = self._timed_shard_topk(
+                    shards[si], vectors[active], k
+                )
+                absorb(active, out, seconds)
+        if parallel:
+            pending = []
+            pool = self._ensure_shard_pool()
+            for si in order[len(prefix):]:
+                _elig, active = decide(si)
+                if active.size:
+                    pending.append((
+                        active,
+                        pool.submit(
+                            self._timed_shard_topk,
+                            shards[si],
+                            vectors[active],
+                            k,
+                        ),
+                    ))
+            for active, future in pending:
+                out, seconds = future.result()
+                absorb(active, out, seconds)
+        self.stats.shard_tasks += shard_tasks
+        self.stats.shards_skipped += shards_skipped
+        self.stats.bound_checks += int(checks.sum())
+        trace = PruningTrace(
+            mode=policy.mode,
+            nprobe=nprobe,
+            visited=visited,
+            skipped=skipped,
+            bound_checks=checks,
+            shard_tasks=shard_tasks,
+            shards_skipped=shards_skipped,
+        )
+        return [r.result() for r in running], trace
 
     # ------------------------------------------------------------------
     # the serving entry points
     # ------------------------------------------------------------------
     def batch_query(
-        self, queries: Sequence[LabeledGraph], k: int
+        self,
+        queries: Sequence[LabeledGraph],
+        k: int,
+        policy: Optional[SearchPolicy] = None,
     ) -> BatchQueryResult:
         """Top-k for a batch of query graphs — the traffic entry point.
 
@@ -687,32 +936,54 @@ class QueryService:
         against one generation of the index even while
         :meth:`apply_update` swaps in another.
         """
-        result, _generation = self.batch_query_tagged(queries, k)
+        result, _generation, _trace = self.batch_query_traced(
+            queries, k, policy
+        )
         return result
 
     def batch_query_tagged(
-        self, queries: Sequence[LabeledGraph], k: int
+        self,
+        queries: Sequence[LabeledGraph],
+        k: int,
+        policy: Optional[SearchPolicy] = None,
     ) -> Tuple[BatchQueryResult, int]:
-        """:meth:`batch_query` plus the index generation it ran against.
+        """:meth:`batch_query` plus the index generation it ran against."""
+        result, generation, _trace = self.batch_query_traced(
+            queries, k, policy
+        )
+        return result, generation
+
+    def batch_query_traced(
+        self,
+        queries: Sequence[LabeledGraph],
+        k: int,
+        policy: Optional[SearchPolicy] = None,
+    ) -> Tuple[BatchQueryResult, int, PruningTrace]:
+        """:meth:`batch_query` plus generation plus the pruning trace.
 
         The generation is part of the same swap-lock snapshot as the
         engine and shard list, so the returned number names *exactly*
         the database state the answers were computed on — the serving
         front-end stamps it on every response, and the soak tests use
         it to check each answer against a fresh index of that
-        generation.
+        generation.  The :class:`~repro.query.pruning.PruningTrace`
+        carries the per-query shard-visit/skip counters the protocol
+        surfaces as each response's ``pruning`` stats.
         """
         queries = list(queries)
         with self._swap_lock:
             engine = self.engine
             shards = list(self.shards)
+            stack = self._summary_stack
             generation = self._selection_snapshot
             index_generation = self.generation
         k = _check_k(k, sum(shard.num_rows for shard in shards))
         start = time.perf_counter()
         vectors = self.embed_batch(queries, engine, generation)
         mapped = time.perf_counter()
-        results = self._query_vectors(vectors, k, shards)
+        results, trace = self._query_vectors(
+            vectors, k, shards, policy, stack
+        )
         end = time.perf_counter()
         mapping_seconds = mapped - start
         search_seconds = end - mapped
@@ -725,8 +996,14 @@ class QueryService:
                 results, vectors, mapping_seconds, search_seconds
             ),
             index_generation,
+            trace,
         )
 
-    def query(self, q: LabeledGraph, k: int) -> TopKResult:
+    def query(
+        self,
+        q: LabeledGraph,
+        k: int,
+        policy: Optional[SearchPolicy] = None,
+    ) -> TopKResult:
         """Single-query convenience wrapper over :meth:`batch_query`."""
-        return self.batch_query([q], k).results[0]
+        return self.batch_query([q], k, policy).results[0]

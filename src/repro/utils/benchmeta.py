@@ -1,0 +1,72 @@
+"""Shared provenance metadata for every benchmark's ``--json`` output.
+
+Before this module, only some bench payloads could be traced back to the
+code that produced them; now every runner stamps the same two fields
+through :func:`attach_bench_metadata`, so CI artifacts from different
+benches (and different commits) are directly comparable:
+
+* ``git_describe`` — ``git describe --always --dirty --tags`` of the
+  working tree (``"unknown"`` outside a repository or without git);
+* ``index_format_version`` — the current on-disk artifact format, which
+  names the index semantics the numbers were measured under.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict
+
+from repro.core.persistence import FORMAT_VERSION
+
+__all__ = ["attach_bench_metadata", "bench_metadata", "git_describe"]
+
+
+@lru_cache(maxsize=1)
+def git_describe() -> str:
+    """This package's ``git describe`` line, or ``"unknown"``.
+
+    Cached per process — benches call this once per round, and the
+    answer cannot change mid-run.  The repository must actually contain
+    the package: a pip-installed copy whose venv happens to live inside
+    some *other* project's checkout must stamp ``"unknown"``, not that
+    repository's commit.
+    """
+    here = Path(__file__).resolve().parent
+
+    def _git(*argv: str):
+        return subprocess.run(
+            ["git", *argv],
+            cwd=here,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+
+    try:
+        # The repository found from here is only *ours* if it actually
+        # tracks this module — a pip-installed copy sitting inside some
+        # other project's checkout (project/.venv/...) is untracked
+        # there, and ls-files --error-unmatch then exits non-zero.
+        tracked = _git("ls-files", "--error-unmatch", str(Path(__file__)))
+        if tracked.returncode != 0:
+            return "unknown"
+        proc = _git("describe", "--always", "--dirty", "--tags")
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = proc.stdout.strip()
+    return described if proc.returncode == 0 and described else "unknown"
+
+
+def bench_metadata() -> Dict:
+    return {
+        "git_describe": git_describe(),
+        "index_format_version": FORMAT_VERSION,
+    }
+
+
+def attach_bench_metadata(result: Dict) -> Dict:
+    """Stamp *result* with the shared provenance fields (in place)."""
+    result.update(bench_metadata())
+    return result

@@ -1,0 +1,81 @@
+"""Every bench's ``--json`` payload carries the shared provenance fields.
+
+Regression for an inconsistency where only some benchmark outputs could
+be traced back to the code that produced them: all runners now stamp
+``git_describe`` and ``index_format_version`` through one helper, so CI
+artifacts from different benches and commits are directly comparable.
+"""
+
+import pytest
+
+from repro.core.persistence import FORMAT_VERSION
+from repro.utils.benchmeta import attach_bench_metadata, bench_metadata
+
+META_KEYS = ("git_describe", "index_format_version")
+
+
+def _assert_stamped(result):
+    for key in META_KEYS:
+        assert key in result, f"bench payload missing {key!r}"
+    assert isinstance(result["git_describe"], str)
+    assert result["git_describe"]  # never empty: "unknown" is the floor
+    assert result["index_format_version"] == FORMAT_VERSION
+
+
+def test_bench_metadata_shape():
+    meta = bench_metadata()
+    assert set(meta) == set(META_KEYS)
+    _assert_stamped(meta)
+
+
+def test_attach_is_in_place_and_returns():
+    result = {"speedup": 2.0}
+    assert attach_bench_metadata(result) is result
+    _assert_stamped(result)
+    assert result["speedup"] == 2.0
+
+
+@pytest.mark.parametrize(
+    "runner",
+    ["queries", "serving", "incremental", "pruning", "frontend"],
+)
+def test_every_bench_runner_is_stamped(runner):
+    """Smoke-size invocations of all five runners; metadata must ride."""
+    if runner == "queries":
+        from repro.query.bench import run_query_engine_bench
+
+        result = run_query_engine_bench(
+            db_size=20, query_count=6, num_features=10, k=3, seed=0,
+            batch_sizes=(1, 4),
+        )
+    elif runner == "serving":
+        from repro.serving.bench import run_serving_bench
+
+        result = run_serving_bench(
+            db_size=24, pool_size=6, stream_length=12, num_features=12,
+            k=3, seed=0, batch_size=4, n_shards=2, n_workers=0,
+        )
+    elif runner == "incremental":
+        from repro.index.bench import run_incremental_bench
+
+        result = run_incremental_bench(
+            db_size=20, add_count=2, remove_count=2, num_features=10,
+            query_count=4, k=3, seed=0,
+        )
+    elif runner == "pruning":
+        from repro.serving.pruning_bench import run_pruning_bench
+
+        result = run_pruning_bench(
+            n_clusters=3, per_cluster=20, dims_per_cluster=6,
+            query_count=9, batch_size=3, k=3, seed=0, rounds=1,
+        )
+    else:
+        from repro.serving.frontend_bench import run_frontend_bench
+
+        result = run_frontend_bench(
+            db_size=20, pool_size=4, per_client=3, clients=2,
+            num_features=10, k=3, seed=0, flood_requests=8,
+            calm_requests=3, rounds=1,
+        )
+    _assert_stamped(result)
+    assert "report" in result

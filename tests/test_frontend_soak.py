@@ -180,6 +180,129 @@ async def test_soak_streaming_clients_under_update_churn(materials):
             )
 
 
+@pytest.mark.timeout(40)
+@pytest.mark.asyncio
+async def test_soak_exact_pruning_under_update_churn():
+    """The shard-skipping tier under mutation: still bit-exact.
+
+    Clustered database (label-disjoint clusters → block-structured
+    embeddings), cluster-sharded service, clients streaming their own
+    cluster's queries — the regime where exact mode genuinely skips
+    shard blocks — while ``apply_update`` churns rows in and out.
+    Every response must be bit-identical to a fresh-built index of its
+    generation (summaries maintained through the mutation, never
+    stale), and the pruning counters must show shards were actually
+    skipped while the churn ran.
+    """
+    from test_pruning import NUM_LABELS, make_clustered, offset_graph
+
+    from repro.query.pruning import SearchPolicy
+
+    db, per_cluster_queries, mapping, blocks = make_clustered(
+        queries_per_cluster=6
+    )
+    extra = [
+        offset_graph(g, (i % 3) * NUM_LABELS)
+        for i, g in enumerate(
+            synthetic_query_set(
+                6, avg_edges=14, density=0.3, num_labels=NUM_LABELS,
+                seed=777,
+            )
+        )
+    ]
+    service = QueryService(
+        mapping.query_engine(), shards=blocks, n_workers=0, cache_size=256
+    )
+    frontend = AsyncFrontend(
+        service,
+        FrontendConfig(batch_size=6, batch_window=0.002, max_queue=512),
+        own_service=True,
+    )
+    plan = [
+        ([extra[0], extra[1]], []),
+        ([], [3, 17]),
+        ([extra[2], extra[3]], [1, 20]),
+    ]
+    db_states = [list(db)]
+    for added, removed in plan:
+        db_states.append(_apply_plan(db_states[-1], added, removed))
+
+    queries_per_client = 15
+    clients = len(per_cluster_queries)
+    rng = np.random.default_rng(4242)
+    picks = [
+        [int(i) for i in rng.integers(0, len(qs), queries_per_client)]
+        for qs in per_cluster_queries
+    ]
+    observed = []  # (cluster, pool idx, generation, ranking, scores)
+    pruning_totals = {"shards_visited": 0, "shards_skipped": 0}
+    dropped = []
+
+    async def client(ci: int) -> None:
+        for pi in picks[ci]:
+            try:
+                results, generation, pruning = await frontend.submit_traced(
+                    [per_cluster_queries[ci][pi]], K,
+                    tenant=f"client-{ci}", policy=SearchPolicy(),
+                )
+            except Exception as exc:
+                dropped.append((ci, pi, repr(exc)))
+                continue
+            pruning_totals["shards_visited"] += pruning["shards_visited"]
+            pruning_totals["shards_skipped"] += pruning["shards_skipped"]
+            observed.append(
+                (ci, pi, generation, results[0].ranking, results[0].scores)
+            )
+
+    async def updater() -> None:
+        total = clients * queries_per_client
+        for gi, (added, removed) in enumerate(plan, start=1):
+            target = min(gi * total // (len(plan) + 1), total - 1)
+            while frontend.stats.completed < target:
+                await asyncio.sleep(0.001)
+            assert await frontend.apply_update(added, removed) == gi
+
+    try:
+        await frontend.start()
+        await asyncio.wait_for(
+            asyncio.gather(updater(), *(client(ci) for ci in range(clients))),
+            timeout=35,
+        )
+        await frontend.drain()
+    finally:
+        await frontend.aclose()
+
+    assert dropped == []
+    assert len(observed) == clients * queries_per_client
+    assert frontend.stats.failed == 0
+    generations = {gen for _c, _p, gen, _r, _s in observed}
+    assert generations >= {0, len(plan)}, (
+        f"stream did not span the churn: saw generations {generations}"
+    )
+    # The pruning tier was genuinely active while the index mutated.
+    assert pruning_totals["shards_skipped"] > 0, (
+        "exact mode never skipped a shard on clustered traffic"
+    )
+
+    for generation in sorted(generations):
+        for ci, qs in enumerate(per_cluster_queries):
+            reference = _scratch_answers(
+                mapping, db_states[generation], qs, K
+            )
+            for c2, pi, got_generation, ranking, scores in observed:
+                if c2 != ci or got_generation != generation:
+                    continue
+                truth = reference[pi]
+                assert ranking == truth.ranking, (
+                    f"generation {generation}, cluster {ci}, query {pi}: "
+                    f"pruned ranking {ranking} != fresh {truth.ranking}"
+                )
+                assert scores == truth.scores, (
+                    f"generation {generation}, cluster {ci}, query {pi}: "
+                    "scores diverged under pruning"
+                )
+
+
 @pytest.mark.timeout(30)
 @pytest.mark.asyncio
 async def test_soak_final_state_matches_scratch_rebuild(materials):

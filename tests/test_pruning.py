@@ -1,0 +1,806 @@
+"""The bounded shard-skipping query tier, end to end.
+
+Exact mode's contract is the service's own, unchanged: *bit-identical
+results* — now with most shard distance blocks never computed.  These
+tests pin that identity across shard counts, shard modes, tie-heavy
+workloads, and post-``apply_update`` states, with skip counters proving
+shards actually get skipped on clustered data (a pruning tier that
+never prunes would pass a pure identity suite).  Approx mode, the
+artifact summary lifecycle, DSPMap routing, and the wire protocol's
+``search``/``pruning`` fields are covered alongside.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dspmap import DSPMap
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.graph.labeled_graph import LabeledGraph
+from repro.index import load_index, save_index
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.query.pruning import (
+    PruningTrace,
+    SearchPolicy,
+    ShardSummary,
+    shard_lower_bounds,
+    summaries_for_blocks,
+)
+from repro.serving import protocol
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.service import QueryService
+from repro.utils.errors import (
+    ArtifactCorruptError,
+    ProtocolError,
+    QueryError,
+    SelectionError,
+)
+
+N_CLUSTERS = 3
+PER_CLUSTER = 12
+NUM_LABELS = 4
+
+
+def offset_graph(g: LabeledGraph, offset: int) -> LabeledGraph:
+    """Shift every label by *offset*: disjoint alphabets per cluster."""
+    labels = [g.vertex_label(v) + offset for v in range(g.num_vertices)]
+    edges = [(e.u, e.v, e.label) for e in g.edges()]
+    return LabeledGraph(labels, edges, graph_id=f"{g.graph_id}o{offset}")
+
+
+def make_clustered(per_cluster=PER_CLUSTER, queries_per_cluster=4):
+    """A database of label-disjoint clusters + per-cluster query lists.
+
+    Features mined from one cluster can only match that cluster's
+    graphs (and queries), so the embedding is block-structured — the
+    geometry DSPMap partitions produce, at unit-test scale.
+    """
+    db, per_cluster_queries = [], []
+    for c in range(N_CLUSTERS):
+        base = synthetic_database(
+            per_cluster, avg_edges=14, density=0.3,
+            num_labels=NUM_LABELS, seed=100 + c,
+        )
+        db.extend(offset_graph(g, c * NUM_LABELS) for g in base)
+        qs = synthetic_query_set(
+            queries_per_cluster, avg_edges=14, density=0.3,
+            num_labels=NUM_LABELS, seed=500 + c,
+        )
+        per_cluster_queries.append(
+            [offset_graph(q, c * NUM_LABELS) for q in qs]
+        )
+    features = mine_frequent_subgraphs(db, min_support=0.12, max_edges=4)
+    space = FeatureSpace(features, len(db))
+    mapping = mapping_from_selection(space, variance_selection(space, 24))
+    blocks = [
+        np.arange(c * per_cluster, (c + 1) * per_cluster, dtype=np.int64)
+        for c in range(N_CLUSTERS)
+    ]
+    return db, per_cluster_queries, mapping, blocks
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return make_clustered()
+
+
+@pytest.fixture(scope="module")
+def random_setup():
+    db = synthetic_database(40, avg_edges=16, density=0.3, num_labels=5, seed=3)
+    queries = synthetic_query_set(
+        20, avg_edges=16, density=0.3, num_labels=5, seed=99
+    )
+    features = mine_frequent_subgraphs(db, min_support=0.2, max_edges=5)
+    space = FeatureSpace(features, len(db))
+    return queries, mapping_from_selection(space, variance_selection(space, 20))
+
+
+def _assert_identical(reference, batch):
+    assert len(reference) == len(batch)
+    for a, b in zip(reference, batch):
+        assert a.ranking == b.ranking
+        assert a.scores == b.scores
+
+
+class TestSearchPolicy:
+    def test_default_is_exact_with_pruning(self):
+        policy = SearchPolicy()
+        assert policy.mode == "exact"
+        assert policy.prune
+        assert not policy.is_full_scan
+        assert SearchPolicy(prune=False).is_full_scan
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError, match="unknown search mode"):
+            SearchPolicy(mode="fuzzy")
+
+    def test_approx_requires_nprobe(self):
+        with pytest.raises(QueryError, match="nprobe"):
+            SearchPolicy(mode="approx")
+        with pytest.raises(QueryError, match="nprobe"):
+            SearchPolicy(mode="approx", nprobe=0)
+
+    def test_nprobe_rejected_for_exact(self):
+        with pytest.raises(QueryError, match="only applies"):
+            SearchPolicy(mode="exact", nprobe=2)
+
+    def test_hashable_for_coalescing(self):
+        assert hash(SearchPolicy()) == hash(SearchPolicy())
+        groups = {SearchPolicy(): 1, SearchPolicy(mode="approx", nprobe=2): 2}
+        assert groups[SearchPolicy()] == 1
+
+
+class TestShardSummary:
+    def test_payload_round_trip(self, clustered):
+        _db, _queries, mapping, blocks = clustered
+        summary = ShardSummary.from_vectors(
+            mapping.database_vectors[blocks[0]]
+        )
+        restored = ShardSummary.from_payload(
+            json.loads(json.dumps(summary.to_payload())),
+            mapping.dimensionality,
+        )
+        assert restored.num_rows == summary.num_rows
+        assert restored.radius == summary.radius
+        assert np.array_equal(restored.centroid, summary.centroid)
+        assert np.array_equal(restored.dim_min, summary.dim_min)
+        assert np.array_equal(restored.dim_max, summary.dim_max)
+
+    def test_payload_dimension_mismatch_rejected(self, clustered):
+        _db, _queries, mapping, blocks = clustered
+        summary = ShardSummary.from_vectors(
+            mapping.database_vectors[blocks[0]]
+        )
+        with pytest.raises(QueryError, match="dimensionality"):
+            ShardSummary.from_payload(
+                summary.to_payload(), mapping.dimensionality + 1
+            )
+
+    def test_bounds_never_exceed_true_minimum(self, clustered):
+        """The load-bearing invariant, on real mined embeddings (the
+        hypothesis suite fuzzes it on adversarial vectors)."""
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        queries = [q for qs in per_cluster_queries for q in qs]
+        vectors = engine.embed_many(queries)
+        summaries = summaries_for_blocks(mapping, blocks)
+        bounds, _centroid_d = shard_lower_bounds(
+            vectors, summaries, mapping.dimensionality
+        )
+        distances = mapping.query_distances(vectors)
+        for qi in range(len(queries)):
+            for si, block in enumerate(blocks):
+                true_min = distances[qi, block].min()
+                assert bounds[qi, si] <= true_min + 1e-12
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 40])
+    def test_matches_engine_across_shard_counts(self, random_setup, n_shards):
+        queries, mapping = random_setup
+        reference = mapping.query_engine().batch_query(queries, 7)
+        with mapping.query_service(n_shards=n_shards) as service:
+            _assert_identical(
+                reference, service.batch_query(queries, 7, SearchPolicy())
+            )
+
+    def test_tie_heavy_identity(self, random_setup):
+        queries, mapping = random_setup
+        tie_mapping = mapping_from_selection(
+            mapping.space, variance_selection(mapping.space, 3)
+        )
+        reference = tie_mapping.query_engine().batch_query(queries, 9)
+        with tie_mapping.query_service(n_shards=4) as service:
+            _assert_identical(reference, service.batch_query(queries, 9))
+
+    def test_clustered_batches_skip_shards_and_stay_identical(
+        self, clustered
+    ):
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        with QueryService(engine, shards=blocks, n_workers=0) as service:
+            batches = 0
+            for cluster_queries in per_cluster_queries:
+                reference = engine.batch_query(cluster_queries, 5)
+                result, _gen, trace = service.batch_query_traced(
+                    cluster_queries, 5
+                )
+                _assert_identical(reference, result.results)
+                batches += 1
+            # Identity alone could hold with pruning broken-off; the
+            # counters prove shards really were skipped wholesale.
+            assert service.stats.shards_skipped > 0
+            assert service.stats.bound_checks > 0
+            assert (
+                service.stats.shard_tasks + service.stats.shards_skipped
+                == batches * len(blocks)
+            )
+
+    def test_prune_disabled_is_identical_and_computes_everything(
+        self, clustered
+    ):
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        queries = per_cluster_queries[0]
+        with QueryService(engine, shards=blocks, n_workers=0) as service:
+            pruned = service.batch_query(queries, 5)
+            full = service.batch_query(queries, 5, SearchPolicy(prune=False))
+            _assert_identical(pruned, full)
+            # The full-scan pass computed every block.
+            assert service.stats.shard_tasks >= len(blocks)
+
+    def test_identity_after_apply_update(self, clustered):
+        db, per_cluster_queries, _mapping, _blocks = clustered
+        # A private mapping: apply_update mutates supports in place.
+        _db2, queries2, mapping, blocks = make_clustered()
+        extra = [
+            offset_graph(g, 0)
+            for g in synthetic_query_set(
+                2, avg_edges=14, density=0.3, num_labels=NUM_LABELS, seed=900
+            )
+        ]
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            before = [
+                shard.summary for shard in service.shards
+            ]
+            service.apply_update(added=extra, removed=[0, 13])
+            # Untouched shards keep their summary object (maintained,
+            # not recomputed); mutated ones were rebuilt.
+            reused = sum(
+                1
+                for shard in service.shards
+                if any(shard.summary is s for s in before)
+            )
+            assert 0 < reused < len(service.shards)
+            reference = mapping.query_engine().batch_query(queries2[1], 5)
+            result, _gen, trace = service.batch_query_traced(queries2[1], 5)
+            _assert_identical(reference, result.results)
+            assert int(trace.skipped.sum()) > 0
+
+    def test_parallel_shard_pool_path_identical(self, clustered):
+        """The hybrid seed-then-parallel path (multi-core hosts): the
+        most promising shard seeds the thresholds sequentially, the
+        rest run on the shard pool off one-shot skip decisions — still
+        bit-identical, and every shard still accounted for."""
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        service = QueryService(
+            engine, shards=blocks, n_workers=2, embed_mode="serial"
+        )
+        service._parallel_shards = True  # force past the 1-CPU gate
+        try:
+            for cluster_queries in per_cluster_queries:
+                reference = engine.batch_query(cluster_queries, 5)
+                result, _gen, trace = service.batch_query_traced(
+                    cluster_queries, 5
+                )
+                _assert_identical(reference, result.results)
+                assert (
+                    (trace.visited + trace.skipped) == len(blocks)
+                ).all()
+            approx = service.batch_query(
+                per_cluster_queries[0], 5,
+                SearchPolicy(mode="approx", nprobe=len(blocks)),
+            )
+            _assert_identical(
+                engine.batch_query(per_cluster_queries[0], 5),
+                approx.results,
+            )
+        finally:
+            service.close()
+
+    def test_parallel_seedless_feasibility_path_identical(
+        self, random_setup
+    ):
+        """On data where no bound could ever prune, the parallel path
+        skips the serialized threshold seed entirely (the feasibility
+        precheck) and still answers bit-identically."""
+        queries, mapping = random_setup
+        engine = mapping.query_engine()
+        reference = engine.batch_query(queries, 7)
+        service = QueryService(
+            engine, n_shards=4, n_workers=2, embed_mode="serial"
+        )
+        service._parallel_shards = True  # force past the 1-CPU gate
+        try:
+            result, _gen, trace = service.batch_query_traced(queries, 7)
+            _assert_identical(reference, result.results)
+            assert (
+                (trace.visited + trace.skipped) == len(service.shards)
+            ).all()
+        finally:
+            service.close()
+
+    def test_trace_accounts_for_every_shard(self, clustered):
+        _db, per_cluster_queries, mapping, blocks = clustered
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            _result, _gen, trace = service.batch_query_traced(
+                per_cluster_queries[1], 5
+            )
+            per_query = trace.visited + trace.skipped
+            assert (per_query == len(blocks)).all()
+            assert (trace.bound_checks == len(blocks)).all()
+
+    def test_empty_batch_trace(self, random_setup):
+        _queries, mapping = random_setup
+        with mapping.query_service(n_shards=3) as service:
+            result, _gen, trace = service.batch_query_traced([], 5)
+            assert len(result) == 0
+            assert trace.totals()["shards_visited"] == 0
+
+
+class TestApproxMode:
+    def test_nprobe_all_shards_equals_exact(self, random_setup):
+        queries, mapping = random_setup
+        reference = mapping.query_engine().batch_query(queries, 6)
+        with mapping.query_service(n_shards=4) as service:
+            result = service.batch_query(
+                queries, 6, SearchPolicy(mode="approx", nprobe=4)
+            )
+            _assert_identical(reference, result.results)
+
+    def test_nprobe_bounds_visits_and_keeps_recall(self, clustered):
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        k = 5
+        overlaps = []
+        with QueryService(engine, shards=blocks, n_workers=0) as service:
+            for cluster_queries in per_cluster_queries:
+                reference = engine.batch_query(cluster_queries, k)
+                result, _gen, trace = service.batch_query_traced(
+                    cluster_queries, k, SearchPolicy(mode="approx", nprobe=1)
+                )
+                assert (trace.visited <= 1).all()
+                assert trace.nprobe == 1
+                overlaps.extend(
+                    len(set(a.ranking) & set(b.ranking)) / k
+                    for a, b in zip(reference, result.results)
+                )
+        # Label-disjoint clusters: the routed shard holds the answers.
+        assert np.mean(overlaps) >= 0.9
+
+    def test_routing_extends_past_tiny_shards_to_fill_k(
+        self, random_setup
+    ):
+        """nprobe routed shards holding < k rows must not shorten the
+        answer: routing widens until k rows are covered."""
+        queries, mapping = random_setup
+        n = mapping.database_vectors.shape[0]
+        shards = [np.array([0]), np.array([1]), np.arange(2, n)]
+        with mapping.query_service(shards=shards) as service:
+            result, _gen, trace = service.batch_query_traced(
+                queries[:4], 5, SearchPolicy(mode="approx", nprobe=1)
+            )
+            for answer in result.results:
+                assert len(answer.ranking) == 5
+                assert len(answer.scores) == 5
+            # Coverage, not a blanket widening: at most the two tiny
+            # shards plus the big one are ever needed for 5 rows.
+            assert (trace.visited + trace.skipped == len(shards)).all()
+
+    def test_oversized_nprobe_is_clamped(self, random_setup):
+        queries, mapping = random_setup
+        reference = mapping.query_engine().batch_query(queries, 4)
+        with mapping.query_service(n_shards=3) as service:
+            result, _gen, trace = service.batch_query_traced(
+                queries, 4, SearchPolicy(mode="approx", nprobe=99)
+            )
+            _assert_identical(reference, result.results)
+            assert trace.nprobe == 3
+
+
+class TestDSPMapRouting:
+    def test_route_queries_points_home(self, clustered):
+        _db, per_cluster_queries, mapping, _blocks = clustered
+        db = _db
+        incidence = mapping.space.incidence.astype(float)
+
+        def hamming(i: int, j: int) -> float:
+            return float(np.abs(incidence[i] - incidence[j]).sum())
+
+        solver = DSPMap(10, partition_size=14, seed=0)
+        solver.fit(mapping.space, db, delta_fn=hamming)
+        assert len(solver.partitions_) > 1
+        engine = mapping.query_engine()
+        queries = [qs[0] for qs in per_cluster_queries]
+        vectors = engine.embed_many(queries)
+        routes = solver.route_queries(mapping, vectors, nprobe=2)
+        assert routes.shape == (len(queries), 2)
+        # Routing is deterministic and in-range.
+        assert np.array_equal(
+            routes, solver.route_queries(mapping, vectors, nprobe=2)
+        )
+        assert routes.min() >= 0
+        assert routes.max() < len(solver.partitions_)
+        # The routed partitions and the service's approx mode agree:
+        # serving over the same partitions with nprobe=1 stays inside
+        # each query's first-choice block.
+        with QueryService(
+            engine, shards=solver.partitions_, n_workers=0
+        ) as service:
+            result, _gen, _trace = service.batch_query_traced(
+                queries, 3, SearchPolicy(mode="approx", nprobe=1)
+            )
+            for qi, answer in enumerate(result.results):
+                block = {
+                    int(i) for i in solver.partitions_[int(routes[qi, 0])]
+                }
+                assert set(answer.ranking) <= block
+
+    def test_route_queries_requires_fit(self, clustered):
+        _db, _queries, mapping, _blocks = clustered
+        with pytest.raises(SelectionError, match="fit"):
+            DSPMap(5).route_queries(mapping, np.zeros((1, 4)), 1)
+
+    def test_route_queries_rejects_bad_nprobe(self, clustered):
+        db, _queries, mapping, _blocks = clustered
+        incidence = mapping.space.incidence.astype(float)
+        solver = DSPMap(10, partition_size=14, seed=0)
+        solver.fit(
+            mapping.space, db,
+            delta_fn=lambda i, j: float(
+                np.abs(incidence[i] - incidence[j]).sum()
+            ),
+        )
+        with pytest.raises(SelectionError, match="nprobe"):
+            solver.route_queries(mapping, np.zeros((1, 4)), 0)
+
+
+class TestArtifactSummaries:
+    def test_summaries_persist_and_cold_start_without_rebuilds(
+        self, tmp_path, clustered
+    ):
+        _db, per_cluster_queries, _mapping, _blocks = clustered
+        _db2, queries2, mapping, blocks = make_clustered()
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            reference = service.batch_query(queries2[0], 5)
+        path = tmp_path / "index.json"
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        assert manifest["shard_summaries"]["seq"] == 0
+        assert len(manifest["shard_summaries"]["layouts"]) >= 1
+
+        loaded = load_index(path)
+        builds_before = ShardSummary.builds
+        with QueryService(
+            loaded.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            # Cold start pays zero summary recomputation ...
+            assert ShardSummary.builds == builds_before
+            # ... and serves the same bits.
+            _assert_identical(
+                reference, service.batch_query(queries2[0], 5)
+            )
+
+    def test_pre_summary_artifacts_load_and_backfill_on_save(
+        self, tmp_path
+    ):
+        """A v3 manifest written before this PR has no summaries: it
+        must load, compute lazily once, and persist on the next save."""
+        _db, queries, mapping, blocks = make_clustered()
+        path = tmp_path / "index.json"
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        manifest.pop("shard_summaries", None)
+        path.write_text(json.dumps(manifest))
+
+        loaded = load_index(path)
+        assert loaded.shard_summary_cache == {}
+        builds_before = ShardSummary.builds
+        with QueryService(
+            loaded.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            service.batch_query(queries[0], 5)
+        assert ShardSummary.builds > builds_before  # computed lazily once
+        save_index(loaded, path)  # no mutations: a pure delta-path save
+        manifest = json.loads(path.read_text())
+        assert "shard_summaries" in manifest
+
+        reloaded = load_index(path)
+        builds_before = ShardSummary.builds
+        with QueryService(
+            reloaded.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            assert ShardSummary.builds == builds_before
+
+    def test_summaries_follow_updates_through_the_journal(self, tmp_path):
+        _db, queries, mapping, blocks = make_clustered()
+        path = tmp_path / "index.json"
+        service = QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        )
+        try:
+            save_index(mapping, path)
+            extra = [
+                offset_graph(g, NUM_LABELS)
+                for g in synthetic_query_set(
+                    2, avg_edges=14, density=0.3,
+                    num_labels=NUM_LABELS, seed=901,
+                )
+            ]
+            service.apply_update(added=extra, removed=[1])
+            reference = service.batch_query(queries[1], 5)
+            save_index(mapping, path)  # delta append + summary refresh
+            manifest = json.loads(path.read_text())
+            assert manifest["shard_summaries"]["seq"] == 2  # add + remove
+        finally:
+            service.close()
+
+        loaded = load_index(path)
+        layout = next(iter(loaded.shard_summary_cache))
+        builds_before = ShardSummary.builds
+        with QueryService(
+            loaded.query_engine(),
+            shards=[np.asarray(block) for block in layout],
+            n_workers=0,
+        ) as fresh:
+            assert ShardSummary.builds == builds_before
+            _assert_identical(reference, fresh.batch_query(queries[1], 5))
+
+    def test_stale_summary_seq_is_dropped_silently(self, tmp_path):
+        """An *intact* section whose seq names a different journal
+        position (a writer that appended deltas without syncing the
+        manifest) is dropped, not trusted and not fatal."""
+        from repro.index.artifact import _entry_digest
+
+        _db, queries, mapping, blocks = make_clustered()
+        path = tmp_path / "index.json"
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ):
+            pass
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        section = manifest["shard_summaries"]
+        section["seq"] = 7  # a journal that never was ...
+        del section["sha256"]
+        section["sha256"] = _entry_digest(section)  # ... but intact
+        path.write_text(json.dumps(manifest))
+        loaded = load_index(path)
+        assert loaded.shard_summary_cache == {}
+
+    def test_tampered_summary_geometry_fails_the_checksum(self, tmp_path):
+        """A shrunken radius would make exact mode silently mis-prune;
+        the section checksum turns that into a loud load failure."""
+        from repro.utils.errors import ChecksumError
+
+        _db, _queries, mapping, blocks = make_clustered()
+        path = tmp_path / "index.json"
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ):
+            pass
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        layout = manifest["shard_summaries"]["layouts"][0]
+        layout["summaries"][0]["radius"] *= 0.1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ChecksumError):
+            load_index(path)
+
+    def test_corrupt_summary_section_fails_loudly(self, tmp_path):
+        from repro.index.artifact import _entry_digest
+
+        _db, _queries, mapping, blocks = make_clustered()
+        path = tmp_path / "index.json"
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ):
+            pass
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        section = manifest["shard_summaries"]
+        section["layouts"][0]["blocks"] = [[0, 1]]  # not a partition
+        del section["sha256"]
+        section["sha256"] = _entry_digest(section)  # checksum-valid junk
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactCorruptError):
+            load_index(path)
+
+
+class TestProtocol:
+    def test_search_field_parsed(self):
+        request = protocol.parse_request(
+            json.dumps({
+                "op": "query", "id": 1, "k": 3,
+                "graph": {"vertices": ["0"], "edges": []},
+                "search": {"mode": "approx", "nprobe": 2},
+            })
+        )
+        policy = protocol.search_policy_from_request(request)
+        assert policy == SearchPolicy(mode="approx", nprobe=2)
+
+    def test_missing_search_means_none(self):
+        assert protocol.search_policy_from_request({"op": "query"}) is None
+
+    def test_non_object_search_rejected(self):
+        with pytest.raises(ProtocolError, match="'search'"):
+            protocol.parse_request(
+                json.dumps({
+                    "op": "query", "id": 1, "k": 3,
+                    "graph": {"vertices": ["0"], "edges": []},
+                    "search": "approx",
+                })
+            )
+
+    @pytest.mark.parametrize(
+        "section",
+        [
+            {"mode": "fuzzy"},
+            {"mode": "approx"},
+            {"mode": "approx", "nprobe": 0},
+            {"mode": "approx", "nprobe": True},
+            {"mode": "approx", "nprobe": "2"},
+            {"mode": "exact", "nprobe": 2},
+            {"prune": "no"},
+            {"mode": "exact", "turbo": True},
+        ],
+    )
+    def test_bad_search_sections_rejected(self, section):
+        with pytest.raises(ProtocolError):
+            protocol.search_policy_from_request({"search": section})
+
+
+class TestFrontendPolicies:
+    @pytest.fixture()
+    def materials(self, clustered):
+        _db, per_cluster_queries, mapping, blocks = clustered
+        service = QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        )
+        return per_cluster_queries, mapping, service
+
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(30)
+    async def test_per_response_pruning_stats(self, materials):
+        per_cluster_queries, mapping, service = materials
+        frontend = AsyncFrontend(service, own_service=True)
+        engine = mapping.query_engine()
+        try:
+            await frontend.start()
+            q = per_cluster_queries[0][0]
+            wire = protocol.graph_to_wire(q)
+            response = await frontend.handle_request({
+                "op": "query", "id": "p1", "k": 3, "graph": wire,
+            })
+            assert response["ok"]
+            truth = engine.query(q, 3)
+            assert response["ranking"] == truth.ranking
+            assert response["scores"] == truth.scores
+            pruning = response["pruning"]
+            assert pruning["mode"] == "exact"
+            assert (
+                pruning["shards_visited"] + pruning["shards_skipped"]
+                == len(service.shards)
+            )
+            approx = await frontend.handle_request({
+                "op": "query", "id": "p2", "k": 3, "graph": wire,
+                "search": {"mode": "approx", "nprobe": 1},
+            })
+            assert approx["ok"]
+            assert approx["pruning"]["mode"] == "approx"
+            assert approx["pruning"]["nprobe"] == 1
+            assert approx["pruning"]["shards_visited"] <= 1
+            bad = await frontend.handle_request({
+                "op": "query", "id": "p3", "k": 3, "graph": wire,
+                "search": {"mode": "warp"},
+            })
+            assert not bad["ok"]
+            assert bad["error"] == "bad_request"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(30)
+    async def test_mixed_policies_coalesce_separately(self, materials):
+        per_cluster_queries, mapping, service = materials
+        frontend = AsyncFrontend(
+            service,
+            FrontendConfig(batch_size=8, batch_window=0.05),
+            own_service=True,
+        )
+        engine = mapping.query_engine()
+        queries = [qs[0] for qs in per_cluster_queries]
+        try:
+            await frontend.start()
+            import asyncio
+
+            exact_tasks = [
+                asyncio.ensure_future(frontend.submit_traced([q], 4))
+                for q in queries
+            ]
+            approx_tasks = [
+                asyncio.ensure_future(
+                    frontend.submit_traced(
+                        [q], 4,
+                        policy=SearchPolicy(mode="approx", nprobe=1),
+                    )
+                )
+                for q in queries
+            ]
+            done = await asyncio.gather(*exact_tasks, *approx_tasks)
+            for (results, _gen, pruning), q in zip(
+                done[: len(queries)], queries
+            ):
+                truth = engine.query(q, 4)
+                assert results[0].ranking == truth.ranking
+                assert results[0].scores == truth.scores
+                assert pruning["mode"] == "exact"
+            for (_results, _gen, pruning), _q in zip(
+                done[len(queries):], queries
+            ):
+                assert pruning["mode"] == "approx"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(30)
+    async def test_config_default_policy_applies(self, materials):
+        per_cluster_queries, _mapping, service = materials
+        frontend = AsyncFrontend(
+            service,
+            FrontendConfig(
+                default_policy=SearchPolicy(mode="approx", nprobe=1)
+            ),
+            own_service=True,
+        )
+        try:
+            await frontend.start()
+            wire = protocol.graph_to_wire(per_cluster_queries[0][0])
+            response = await frontend.handle_request({
+                "op": "query", "id": 1, "k": 3, "graph": wire,
+            })
+            assert response["ok"]
+            assert response["pruning"]["mode"] == "approx"
+            # A request-level policy overrides the server default.
+            override = await frontend.handle_request({
+                "op": "query", "id": 2, "k": 3, "graph": wire,
+                "search": {"mode": "exact"},
+            })
+            assert override["ok"]
+            assert override["pruning"]["mode"] == "exact"
+        finally:
+            await frontend.aclose()
+
+    def test_stats_payload_carries_pruning_counters(self, materials):
+        _queries, _mapping, service = materials
+        frontend = AsyncFrontend(service, own_service=True)
+        payload = frontend.stats_payload()
+        assert "shards_skipped" in payload["service"]
+        assert "bound_checks" in payload["service"]
+        service.close()
+
+
+class TestPruningTrace:
+    def test_full_scan_trace_shape(self):
+        trace = PruningTrace.full_scan(3, 4)
+        assert trace.totals() == {
+            "mode": "exact",
+            "shards_visited": 12,
+            "shards_skipped": 0,
+            "bound_checks": 0,
+        }
+
+    def test_slice_payload_partitions_totals(self):
+        trace = PruningTrace(
+            mode="exact",
+            nprobe=None,
+            visited=np.array([1, 2, 3]),
+            skipped=np.array([3, 2, 1]),
+            bound_checks=np.array([4, 4, 4]),
+        )
+        first = trace.slice_payload(0, 1)
+        rest = trace.slice_payload(1, 3)
+        totals = trace.totals()
+        for key in ("shards_visited", "shards_skipped", "bound_checks"):
+            assert first[key] + rest[key] == totals[key]

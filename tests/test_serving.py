@@ -463,7 +463,11 @@ class TestLifecycle:
             assert service.stats.cache_misses == 8
             assert service.stats.cache_hits == 8
             assert service.stats.shard_seconds > 0
-            assert service.stats.shard_tasks == 6
+            # Computed + bound-skipped blocks account for every shard of
+            # both batches (skips depend on how the random data clusters).
+            assert (
+                service.stats.shard_tasks + service.stats.shards_skipped == 6
+            )
 
     def test_cache_disabled_counts_no_misses(self, setup, mapping):
         _db, queries, _space = setup
