@@ -1,0 +1,66 @@
+"""Bench: kernel backends head-to-head + mmap cold start.
+
+Shapes asserted:
+
+* every registered backend passes the parity gate inside the runner
+  (distance blocks bit-identical to numpy, bounds within the pruning
+  slack) and reports positive throughput;
+* the mmap cold start is the PR's acceptance criterion: on a paged
+  artifact whose payload is >= 100 MB, ``load_index(mmap=True)`` must
+  come up >= 10x faster than the eager load (both min-of-rounds), with
+  a query pass over both services asserted bit-identical inside the
+  runner — the speedup is structural (deferred payload I/O +
+  checksumming), not a different answer;
+* the JSON payload carries the shared provenance fields every bench
+  emits.
+"""
+
+from pathlib import Path
+
+from repro.kernels.bench import run_kernel_bench
+
+REPORT_NAME = "kernels_small.txt"
+ROUNDS = 3
+MIN_PAYLOAD_BYTES = 100 * 1024 * 1024
+MIN_COLD_START_SPEEDUP = 10.0
+
+
+def test_kernel_backends_and_cold_start(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_kernel_bench(
+            n_rows=4096, dims=128, query_count=64, batch_size=16,
+            n_shards=8, k=10, seed=0, rounds=ROUNDS, cold_rows=200_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- backend head-to-head: parity enforced, numbers positive -------
+    assert "numpy" in result["backends"]
+    assert result["active_backend"] in result["backends"]
+    for name, stats in result["backends"].items():
+        assert stats["distance_identical"] is True, name
+        assert stats["bounds_max_rel_diff"] <= 1e-9, name
+        assert stats["distance_mps"] > 0 and stats["bound_checks_per_sec"] > 0
+
+    # -- cold start: the acceptance criterion --------------------------
+    cold = result["cold_start"]
+    assert cold["layout"] == "paged"
+    assert cold["payload_bytes"] >= MIN_PAYLOAD_BYTES, (
+        f"cold-start artifact payload is only "
+        f"{cold['payload_bytes'] / (1 << 20):.1f} MiB — below the 100 MB "
+        f"floor the criterion is defined over"
+    )
+    assert cold["queries_identical"] is True
+    assert cold["speedup"] >= MIN_COLD_START_SPEEDUP, (
+        f"mmap cold start must be >= {MIN_COLD_START_SPEEDUP:.0f}x faster "
+        f"than the eager load, got {cold['speedup']:.1f}x "
+        f"(eager {cold['eager_seconds'] * 1e3:.0f} ms, "
+        f"mmap {cold['mmap_seconds'] * 1e3:.0f} ms)"
+    )
+
+    # -- provenance fields ride every --json payload -------------------
+    assert result["rounds"] == ROUNDS
+    assert isinstance(result["git_describe"], str) and result["git_describe"]
+    assert isinstance(result["index_format_version"], int)

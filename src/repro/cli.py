@@ -414,6 +414,96 @@ def _cmd_index_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    """Build a mapping from a dataset and save the v3 artifact, one shot."""
+    from pathlib import Path
+
+    from repro.core.mapping import build_mapping, mapping_from_selection
+    from repro.datasets import synthetic_database
+    from repro.features.binary_matrix import FeatureSpace
+    from repro.index import paged_payload_path, payload_path, save_index
+    from repro.mining import mine_frequent_subgraphs
+    from repro.query.bench import variance_selection
+    from repro.utils.errors import GraphDimensionError, SelectionError
+
+    try:
+        if args.graphs:
+            db = _load_graph_file(args.graphs, args.format)
+            source = args.graphs
+        else:
+            db = synthetic_database(args.db_size, seed=args.seed)
+            source = f"synthetic (n={args.db_size}, seed={args.seed})"
+        start = time.perf_counter()
+        if args.selection == "dspm":
+            mapping = build_mapping(
+                db,
+                num_features=args.num_features,
+                min_support=args.min_support,
+                max_pattern_edges=args.max_pattern_edges,
+            )
+        else:
+            features = mine_frequent_subgraphs(
+                db,
+                min_support=args.min_support,
+                max_edges=args.max_pattern_edges,
+            )
+            if not features:
+                raise SelectionError(
+                    "no frequent subgraphs at this support; "
+                    "lower --min-support"
+                )
+            space = FeatureSpace(features, len(db))
+            mapping = mapping_from_selection(
+                space, variance_selection(space, args.num_features)
+            )
+        build_seconds = time.perf_counter() - start
+        save_index(mapping, args.index, layout=args.layout)
+    except (ValueError, OSError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sidecar = (
+        paged_payload_path(args.index)
+        if args.layout == "paged"
+        else payload_path(args.index)
+    )
+    print(
+        f"built index from {source}: {mapping.space.n} graphs, "
+        f"{mapping.dimensionality} dimensions "
+        f"({args.selection} selection, {build_seconds:.1f}s)"
+    )
+    print(
+        f"saved {args.index} ({args.layout} layout): manifest "
+        f"{Path(args.index).stat().st_size / 1024:.1f} KiB, payload "
+        f"{sidecar.stat().st_size / 1024:.1f} KiB"
+        + ("  [mmap-loadable]" if args.layout == "paged" else "")
+    )
+    return 0
+
+
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    """Kernel backends head-to-head + eager-vs-mmap cold start."""
+    from repro.kernels.bench import run_kernel_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_kernel_bench(
+            n_rows=args.rows,
+            dims=args.dims,
+            query_count=args.queries,
+            batch_size=args.batch_size,
+            n_shards=args.shards,
+            k=args.k,
+            seed=args.seed,
+            rounds=args.rounds,
+            cold_rows=args.cold_rows,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def _cmd_bench_pruning(args: argparse.Namespace) -> int:
     """Full scan vs exact shard skipping vs approx routing, in q/s."""
     from repro.serving.pruning_bench import run_pruning_bench
@@ -650,6 +740,34 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("index", help="path to the index manifest")
     compact.set_defaults(func=_cmd_index_compact)
 
+    build = sub.add_parser(
+        "index-build",
+        help="mine + select + embed a dataset and save the v3 artifact",
+    )
+    build.add_argument("index", help="output path for the index manifest")
+    build.add_argument(
+        "--graphs", default=None,
+        help="graph file to index (default: generate a synthetic database)",
+    )
+    build.add_argument("--format", choices=("gspan", "json"), default="gspan")
+    build.add_argument("--db-size", type=int, default=60,
+                       help="synthetic database size (no --graphs)")
+    build.add_argument("--num-features", type=int, default=40)
+    build.add_argument("--min-support", type=float, default=0.1)
+    build.add_argument("--max-pattern-edges", type=int, default=6)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--selection", choices=("variance", "dspm"), default="variance",
+        help="feature selection: fast max-variance (default) or the "
+             "paper's full DSPM (needs the NP-hard dissimilarity matrix)",
+    )
+    build.add_argument(
+        "--layout", choices=("npz", "paged"), default="npz",
+        help="binary payload layout: npz (compressed) or paged "
+             "(mmap-loadable, per-page checksums)",
+    )
+    build.set_defaults(func=_cmd_index_build)
+
     pruning = sub.add_parser(
         "bench-pruning",
         help="measure shard skipping: full scan vs exact bounds vs "
@@ -695,6 +813,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report table",
     )
     inc.set_defaults(func=_cmd_bench_incremental)
+
+    kern = sub.add_parser(
+        "bench-kernels",
+        help="measure kernel backends head-to-head + eager-vs-mmap "
+             "cold start",
+    )
+    kern.add_argument("--rows", type=int, default=4096,
+                      help="database rows in the kernel arrays")
+    kern.add_argument("--dims", type=int, default=128)
+    kern.add_argument("--queries", type=int, default=64)
+    kern.add_argument("--batch-size", type=int, default=16)
+    kern.add_argument("--shards", type=int, default=8)
+    kern.add_argument("--k", type=int, default=10)
+    kern.add_argument("--seed", type=int, default=0)
+    kern.add_argument("--rounds", type=int, default=3,
+                      help="timing rounds (min-of-N)")
+    kern.add_argument(
+        "--cold-rows", type=int, default=2048,
+        help="rows in the temporary paged artifact of the cold-start "
+             "section (payload = rows x dims x 8 bytes)",
+    )
+    kern.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    kern.set_defaults(func=_cmd_bench_kernels)
     return parser
 
 

@@ -1,0 +1,55 @@
+"""Deferred array handles for memory-mapped index payloads.
+
+A :class:`LazyArray` stands in for an ndarray whose bytes have not been
+read (or verified) yet: it knows its shape and dtype up front — enough
+for the loader's manifest-vs-payload validation — and produces the real
+array on first :meth:`materialize` call.  The index artifact's mmap
+loader hands these to :class:`~repro.core.mapping.DSPreservedMapping`,
+whose ``database_vectors`` property swaps the handle for the
+materialized array on first touch, so a cold start pays O(manifest)
+instead of O(payload) and pages are checksummed when they are actually
+needed.
+
+This module has no dependencies beyond numpy on purpose: ``repro.core``
+must not import ``repro.index`` (the artifact layer already imports the
+core).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+class LazyArray:
+    """A deferred ndarray: known shape/dtype, bytes produced on demand."""
+
+    __slots__ = ("shape", "dtype", "_produce", "_value")
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        produce: Callable[[], np.ndarray],
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._produce = produce
+        self._value = None
+
+    def materialize(self) -> np.ndarray:
+        """The real array (produced once, then cached on the handle)."""
+        if self._value is None:
+            value = self._produce()
+            if tuple(value.shape) != self.shape:
+                raise ValueError(
+                    f"lazy array produced shape {value.shape}, "
+                    f"declared {self.shape}"
+                )
+            self._value = value
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "materialized" if self._value is not None else "pending"
+        return f"LazyArray(shape={self.shape}, dtype={self.dtype}, {state})"

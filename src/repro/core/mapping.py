@@ -30,6 +30,7 @@ from typing import (
 import numpy as np
 
 from repro.core.dspm import DSPM, DSPMResult
+from repro.core.lazy import LazyArray
 from repro.features.binary_matrix import (
     FeatureSpace,
     cross_normalized_euclidean_distances,
@@ -501,6 +502,29 @@ class DSPreservedMapping:
             shards=shards,
             **kwargs,
         )
+
+
+def _get_database_vectors(self) -> np.ndarray:
+    value = self.__dict__["_database_vectors_raw"]
+    if isinstance(value, LazyArray):
+        value = value.materialize()
+        self.__dict__["_database_vectors_raw"] = value
+    return value
+
+
+def _set_database_vectors(self, value) -> None:
+    self.__dict__["_database_vectors_raw"] = value
+
+
+# ``database_vectors`` stays a regular dataclass field for construction
+# and introspection, but reads go through a property attached *after*
+# @dataclass has generated ``__init__`` (whose plain assignment then
+# routes through the setter): a mapping loaded with ``mmap=True``
+# carries a LazyArray handle here, and the first actual vector access —
+# not the load — pays for reading and verifying the payload pages.
+DSPreservedMapping.database_vectors = property(
+    _get_database_vectors, _set_database_vectors
+)
 
 
 def build_mapping(

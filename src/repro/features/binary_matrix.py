@@ -47,15 +47,25 @@ class FeatureSpace:
 
         self.incidence = np.zeros((self.n, self.m), dtype=np.int8)
         for r, feat in enumerate(self.features):
-            for gid in feat.support:
-                if not 0 <= gid < self.n:
-                    raise SelectionError(
-                        f"feature {r} supported by graph {gid} outside database"
-                    )
-                self.incidence[gid, r] = 1
+            if not feat.support:
+                continue
+            ids = np.fromiter(
+                feat.support, dtype=np.int64, count=len(feat.support)
+            )
+            bad = ids[(ids < 0) | (ids >= self.n)]
+            if bad.size:
+                raise SelectionError(
+                    f"feature {r} supported by graph {int(bad[0])} "
+                    "outside database"
+                )
+            self.incidence[ids, r] = 1
 
-        # |sup(f_r)| per feature — the s_r of Theorem 5.1.
-        self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
+        # |sup(f_r)| per feature — the s_r of Theorem 5.1.  Support sets
+        # are the source the incidence was just built from, so their
+        # sizes ARE the column sums — no need to re-reduce the matrix.
+        self.support_counts = np.array(
+            [len(f.support) for f in self.features], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # database mutations
@@ -201,18 +211,20 @@ def cross_normalized_euclidean_distances(
     *right_sq_norms* — the precomputed per-row squared norms of *right* —
     lets a caller that queries a fixed database repeatedly (the online
     top-k path) skip recomputing them on every call.
+
+    The arithmetic runs on the active compute kernel backend
+    (:mod:`repro.kernels` — ``$REPRO_KERNEL`` / :func:`use_backend`);
+    validation stays here so every backend sees clean inputs.
     """
+    from repro.kernels import active_backend
+
     if left.shape[1] != right.shape[1]:
         raise ValueError("dimension mismatch between embeddings")
     p = left.shape[1]
-    if p == 0:
-        return np.zeros((left.shape[0], right.shape[0]))
-    sq_l = (left**2).sum(axis=1)
     if right_sq_norms is None:
         sq_r = (right**2).sum(axis=1)
     else:
         sq_r = np.asarray(right_sq_norms, dtype=float)
         if sq_r.shape != (right.shape[0],):
             raise ValueError("right_sq_norms shape does not match right")
-    d2 = np.maximum(sq_l[:, None] + sq_r[None, :] - 2 * left @ right.T, 0.0)
-    return np.sqrt(d2 / p)
+    return active_backend().distance_block(left, right, sq_r, p)

@@ -19,6 +19,7 @@ from repro.index.artifact import (
     compact_index,
     journal_path,
     load_index,
+    paged_payload_path,
     payload_path,
     save_index,
     save_index_v2,
@@ -31,6 +32,7 @@ __all__ = [
     "compact_index",
     "journal_path",
     "load_index",
+    "paged_payload_path",
     "payload_path",
     "save_index",
     "save_index_v2",

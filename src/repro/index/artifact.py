@@ -29,13 +29,20 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.lazy import LazyArray
 from repro.core.mapping import DSPreservedMapping
+from repro.index.paged import (
+    PAGED_LAYOUT,
+    PagedPayloadReader,
+    write_paged_payload,
+)
 from repro.core.persistence import (
     FORMAT_VERSION,
     LEGACY_FORMAT_VERSION,
@@ -74,6 +81,7 @@ __all__ = [
     "compact_index",
     "journal_path",
     "load_index",
+    "paged_payload_path",
     "payload_path",
     "save_index",
     "save_index_v2",
@@ -85,8 +93,28 @@ def _corrupt(detail: str) -> ArtifactCorruptError:
 
 
 def payload_path(path: PathLike) -> Path:
-    """The binary sidecar of a v3 manifest at *path*."""
+    """The default (npz) binary sidecar of a v3 manifest at *path*."""
     return Path(str(path) + ".npz")
+
+
+def paged_payload_path(path: PathLike) -> Path:
+    """The paged-layout binary sidecar of a v3 manifest at *path*."""
+    return Path(str(path) + ".pages")
+
+
+def _sidecar_path(path: Path, meta: Optional[Dict]) -> Path:
+    """The binary sidecar the manifest's payload section points at.
+
+    The ``file`` field names the sidecar (``.npz`` for the default
+    layout, ``.pages`` for the paged one); manifests from before the
+    field default to the npz sidecar.  The name is constrained to the
+    manifest's own directory — a manifest must not be able to point the
+    loader at an arbitrary filesystem path.
+    """
+    name = meta.get("file") if isinstance(meta, dict) else None
+    if isinstance(name, str) and name == Path(name).name:
+        return path.parent / name
+    return payload_path(path)
 
 
 def journal_path(path: PathLike) -> Path:
@@ -258,6 +286,11 @@ class IndexArtifact:
     payload: Dict
     arrays: Optional[Dict[str, np.ndarray]] = None
     journal: List[Dict] = field(default_factory=list)
+    #: Set for paged-layout payloads: the lazy page-verified reader.
+    #: When ``arrays`` is ``None`` alongside it, the artifact was opened
+    #: with ``mmap=True`` and hands out deferred handles instead of
+    #: materialized arrays.
+    reader: Optional[PagedPayloadReader] = None
 
     # ------------------------------------------------------------------
     # mapping -> artifact
@@ -413,7 +446,7 @@ class IndexArtifact:
         space = FeatureSpace(features, n)
 
         vectors, sq_norms = self._payload_arrays(version)
-        if vectors.shape != (n, p):
+        if tuple(vectors.shape) != (n, p):
             raise _corrupt("embedding shape mismatch")
         mapping = DSPreservedMapping(
             space=space,
@@ -421,11 +454,16 @@ class IndexArtifact:
             database_vectors=vectors,
         )
 
-        if sq_norms.shape != (n,):
-            raise _corrupt("squared-norm shape mismatch")
-        if not np.array_equal(sq_norms, (vectors**2).sum(axis=1)):
-            raise _corrupt("squared norms disagree with vectors")
-        mapping.database_sq_norms = sq_norms
+        if sq_norms is not None:
+            if sq_norms.shape != (n,):
+                raise _corrupt("squared-norm shape mismatch")
+            if not np.array_equal(sq_norms, (vectors**2).sum(axis=1)):
+                raise _corrupt("squared norms disagree with vectors")
+            mapping.database_sq_norms = sq_norms
+        # mmap mode: sq_norms stay deferred — the mapping's cached
+        # property derives them from the (lazily verified) vectors on
+        # first distance call, which is also when the vectors-vs-norms
+        # cross-check would first matter.
 
         mapping._build_engine(
             lattice=self._restore_lattice(p),
@@ -458,10 +496,17 @@ class IndexArtifact:
             mapping.stale = True
         return mapping
 
-    def _payload_arrays(self, version: int) -> Tuple[np.ndarray, np.ndarray]:
-        """The (vectors, sq_norms) pair from binary (v3) or JSON (v2)."""
+    def _payload_arrays(self, version: int):
+        """The (vectors, sq_norms) pair from binary (v3) or JSON (v2).
+
+        For an artifact opened with ``mmap=True`` the vectors come back
+        as a :class:`~repro.core.lazy.LazyArray` handle and the norms as
+        ``None`` (derived lazily from the vectors on first use).
+        """
         if version == FORMAT_VERSION:
             if self.arrays is None:
+                if self.reader is not None:
+                    return self.reader.lazy("database_vectors"), None
                 raise PayloadMissingError(
                     "v3 artifact has no binary payload attached"
                 )
@@ -523,50 +568,79 @@ class IndexArtifact:
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> None:
+    def save(self, path: PathLike, layout: str = "npz") -> None:
         """Write a full v3 base: manifest + binary payload, fresh journal.
 
-        The payload's SHA-256 goes into the manifest *after* the bytes
-        are written, and any existing delta journal is removed — a full
-        write starts a new mutation history.
+        *layout* picks the sidecar format: ``"npz"`` (default — one
+        compressed file, one whole-file SHA-256, always verified
+        eagerly) or ``"paged"`` (raw page-chunked bytes with per-page
+        checksums, the layout :func:`load_index` can memory-map).  The
+        checksums go into the manifest *after* the bytes are written,
+        any existing delta journal is removed — a full write starts a
+        new mutation history — and a sidecar left behind by the other
+        layout is cleaned up so the manifest never has two competing
+        payloads next to it.
         """
         if self.arrays is None:
             raise PayloadMissingError(
                 "cannot save an artifact without its binary payload"
             )
+        if layout not in ("npz", PAGED_LAYOUT):
+            raise ValueError(f"unknown payload layout {layout!r}")
         path = Path(path)
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **self.arrays)
-        data = buffer.getvalue()
-        payload_path(path).write_bytes(data)
         manifest = dict(self.payload)
-        manifest["payload"] = {
-            "file": payload_path(path).name,
-            "sha256": _sha256_bytes(data),
-            "bytes": len(data),
-            "arrays": {
-                name: {
-                    "shape": list(array.shape),
-                    "dtype": str(array.dtype),
-                }
-                for name, array in self.arrays.items()
-            },
-        }
+        if layout == PAGED_LAYOUT:
+            manifest["payload"] = write_paged_payload(
+                paged_payload_path(path), self.arrays
+            )
+            stale_sidecar = payload_path(path)
+        else:
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **self.arrays)
+            data = buffer.getvalue()
+            payload_path(path).write_bytes(data)
+            manifest["payload"] = {
+                "file": payload_path(path).name,
+                "sha256": _sha256_bytes(data),
+                "bytes": len(data),
+                "arrays": {
+                    name: {
+                        "shape": list(array.shape),
+                        "dtype": str(array.dtype),
+                    }
+                    for name, array in self.arrays.items()
+                },
+            }
+            stale_sidecar = paged_payload_path(path)
         path.write_text(json.dumps(manifest))
         journal = journal_path(path)
         if journal.exists():
             journal.unlink()
+        if stale_sidecar.exists():
+            stale_sidecar.unlink()
 
     @classmethod
-    def load(cls, path: PathLike) -> "IndexArtifact":
+    def load(cls, path: PathLike, mmap: bool = False) -> "IndexArtifact":
         """Read a v2 or v3 artifact, verifying every v3 checksum."""
         path = Path(path)
-        return cls.from_payload(json.loads(_read_manifest(path)), path)
+        return cls.from_payload(
+            json.loads(_read_manifest(path)), path, mmap=mmap
+        )
 
     @classmethod
-    def from_payload(cls, payload: Dict, path: Path) -> "IndexArtifact":
+    def from_payload(
+        cls, payload: Dict, path: Path, mmap: bool = False
+    ) -> "IndexArtifact":
         """Build from an already-parsed manifest (*path* locates the v3
-        sidecars) — lets :func:`load_index` parse the JSON exactly once."""
+        sidecars) — lets :func:`load_index` parse the JSON exactly once.
+
+        With ``mmap=True`` a paged-layout payload is opened without
+        reading it: the artifact carries a lazy reader whose pages are
+        verified on first touch instead of materialized arrays.  Npz
+        payloads have a single whole-file checksum and no random-access
+        layout, so ``mmap=True`` on them quietly degrades to the eager
+        read — the flag is a capability request, not a format assertion.
+        """
         version = payload.get("format_version")
         if version == V2_FORMAT_VERSION:
             return cls(payload)
@@ -579,11 +653,31 @@ class IndexArtifact:
             meta.get("arrays"), dict
         ):
             raise _corrupt("missing binary payload metadata")
-        binary = payload_path(path)
+        binary = _sidecar_path(path, meta)
         if not binary.exists():
             raise PayloadMissingError(
                 f"binary payload {binary.name!r} is missing next to the "
                 "manifest"
+            )
+        if meta.get("layout") == PAGED_LAYOUT:
+            reader = PagedPayloadReader(binary, meta)
+            journal = _read_journal(
+                journal_path(path), payload.get("artifact_id")
+            )
+            missing = [
+                k for k in PAYLOAD_ARRAYS if k not in reader.arrays_meta
+            ]
+            if missing:
+                raise _corrupt(f"payload arrays missing: {missing}")
+            if mmap:
+                return cls(
+                    payload, arrays=None, journal=journal, reader=reader
+                )
+            return cls(
+                payload,
+                arrays=reader.load_all(),
+                journal=journal,
+                reader=reader,
             )
         data = binary.read_bytes()
         if _sha256_bytes(data) != meta.get("sha256"):
@@ -638,6 +732,7 @@ def save_index(
     path: PathLike,
     compact: bool = False,
     auto_compact_ratio: Optional[float] = None,
+    layout: Optional[str] = None,
 ) -> None:
     """Persist *mapping* as format v3 — deltas when possible.
 
@@ -657,6 +752,13 @@ def save_index(
     (exactly :func:`compact_index`, minus the reload).  Pass
     :data:`DEFAULT_AUTO_COMPACT_RATIO` for the recommended setting;
     the default ``None`` never compacts behind the caller's back.
+
+    *layout* selects the binary payload layout for a full write:
+    ``"npz"`` (compressed, eagerly verified) or ``"paged"`` (raw
+    page-chunked bytes :func:`load_index` can memory-map).  The default
+    ``None`` preserves whatever layout is already on disk at *path*
+    (npz for fresh paths).  Delta appends never rewrite the payload, so
+    the flag only matters on the full-write path.
     """
     path = Path(path)
     if auto_compact_ratio is not None and auto_compact_ratio <= 0:
@@ -682,7 +784,7 @@ def save_index(
                 # Pre-"bytes" v3 manifest: the intact check above had
                 # to hash the whole payload.  Record its size now so
                 # every future append pays a stat, not a re-hash.
-                meta["bytes"] = payload_path(path).stat().st_size
+                meta["bytes"] = _sidecar_path(path, meta).stat().st_size
                 path.write_text(json.dumps(manifest))
             try:
                 existing = _read_journal(
@@ -694,12 +796,13 @@ def save_index(
                 _append_deltas(path, mapping)
                 _sync_manifest_summaries(path, manifest, mapping)
                 if auto_compact_ratio is not None and _journal_oversized(
-                    path, auto_compact_ratio
+                    path, manifest, auto_compact_ratio
                 ):
                     save_index(mapping, path, compact=True)
                 return
+    resolved_layout = _resolve_layout(path, layout)
     artifact = IndexArtifact.from_mapping(mapping)
-    artifact.save(path)
+    artifact.save(path, layout=resolved_layout)
     mapping.artifact_ref = artifact.payload["artifact_id"]
     mapping.journal_seq = 0
     mapping.mutation_log.clear()
@@ -721,8 +824,9 @@ def _payload_intact(path: Path, manifest: Dict) -> bool:
     meta = manifest.get("payload")
     if not isinstance(meta, dict):
         return False
+    sidecar = _sidecar_path(path, meta)
     try:
-        size = payload_path(path).stat().st_size
+        size = sidecar.stat().st_size
     except OSError:
         return False
     recorded = meta.get("bytes")
@@ -732,22 +836,46 @@ def _payload_intact(path: Path, manifest: Dict) -> bool:
         except (TypeError, ValueError):
             return False  # junk manifest field: repair with a full write
     try:
-        data = payload_path(path).read_bytes()
+        data = sidecar.read_bytes()
     except OSError:
         return False
     return _sha256_bytes(data) == meta.get("sha256")
 
 
-def _journal_oversized(path: Path, ratio: float) -> bool:
+def _journal_oversized(path: Path, manifest: Dict, ratio: float) -> bool:
     """True when the delta journal outgrew *ratio* × the base payload."""
     journal = journal_path(path)
     if not journal.exists():
         return False
     try:
-        base_bytes = payload_path(path).stat().st_size
+        base_bytes = _sidecar_path(path, manifest.get("payload")).stat().st_size
     except OSError:
         return False
     return journal.stat().st_size > ratio * base_bytes
+
+
+def _resolve_layout(path: Path, layout: Optional[str]) -> str:
+    """The payload layout a full write at *path* should use.
+
+    An explicit *layout* wins; ``None`` preserves the layout of the v3
+    manifest already at *path* (so re-saves, auto-compaction, and
+    :func:`compact_index` never silently flip a paged artifact back to
+    npz), defaulting to ``"npz"`` for fresh paths.
+    """
+    if layout is not None:
+        return layout
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return "npz"
+    if (
+        isinstance(manifest, dict)
+        and manifest.get("format_version") == FORMAT_VERSION
+    ):
+        meta = manifest.get("payload")
+        if isinstance(meta, dict) and meta.get("layout") == PAGED_LAYOUT:
+            return PAGED_LAYOUT
+    return "npz"
 
 
 def _append_deltas(path: Path, mapping: DSPreservedMapping) -> None:
@@ -810,7 +938,7 @@ def _sync_manifest_summaries(
     path.write_text(json.dumps(manifest))
 
 
-def load_index(path: PathLike) -> DSPreservedMapping:
+def load_index(path: PathLike, mmap: bool = False) -> DSPreservedMapping:
     """Reload an index artifact into a warm mapping (v1/v2/v3).
 
     * v3 — binary payload verified against its checksum, engine
@@ -819,20 +947,42 @@ def load_index(path: PathLike) -> DSPreservedMapping:
       pre-binary fallback).
     * v1 — mapping data only; the engine rebuilds its lattice on first
       use and labels come back as strings (the documented legacy caveat).
+
+    With ``mmap=True`` a paged-layout v3 payload is memory-mapped
+    instead of read: the load costs O(manifest) and the database vectors
+    are materialized (page checksums verified, zero-copy float64 views)
+    on the first query that needs them.  Services built over the same
+    mapping share the one OS page cache.  Non-paged artifacts quietly
+    load eagerly.  The mapping records the wall-clock cost and mode in
+    ``load_seconds`` / ``load_mode`` (``"eager"`` or ``"mmap"``) for the
+    serving tier's cold-start accounting.
     """
+    start = time.perf_counter()
     path = Path(path)
     payload = json.loads(_read_manifest(path))
     if payload.get("format_version") == LEGACY_FORMAT_VERSION:
-        return _load_v1(payload)
-    return IndexArtifact.from_payload(payload, path).to_mapping()
+        mapping = _load_v1(payload)
+        mode = "eager"
+    else:
+        artifact = IndexArtifact.from_payload(payload, path, mmap=mmap)
+        mapping = artifact.to_mapping()
+        mode = (
+            "mmap"
+            if artifact.arrays is None and artifact.reader is not None
+            else "eager"
+        )
+    mapping.load_seconds = time.perf_counter() - start
+    mapping.load_mode = mode
+    return mapping
 
 
 def compact_index(path: PathLike) -> DSPreservedMapping:
     """Fold the delta journal at *path* into a fresh v3 base.
 
     Loads the artifact (replaying every delta), rewrites the full binary
-    payload, and truncates the journal.  Returns the compacted mapping,
-    ready to serve or mutate further.
+    payload — preserving the on-disk payload layout — and truncates the
+    journal.  Returns the compacted mapping, ready to serve or mutate
+    further.
     """
     mapping = load_index(path)
     save_index(mapping, path, compact=True)

@@ -1,0 +1,192 @@
+"""Page-chunked binary payloads: the mmap-able v3 sidecar layout.
+
+The default v3 payload is a compressed ``.npz`` whose single whole-file
+SHA-256 forces an eager read of every byte before the first query.  The
+*paged* layout trades compression for random access: arrays are written
+back to back (64-byte aligned) into one raw ``.pages`` file, and the
+manifest records a SHA-256 **per fixed-size page** instead of one for
+the file.  Opening the payload is then O(1) — a size check plus an
+``np.memmap`` — and each page is verified lazily on the first read that
+touches it, so a cold start costs O(manifest) while retaining exactly
+the corruption guarantees of the eager path: a bit-flipped or truncated
+payload still raises :class:`~repro.utils.errors.ChecksumError`, just
+at first touch instead of at open.
+
+Arrays are stored in their *serving* dtype (float64), so a materialized
+view is handed to the query path as-is — zero conversion, zero copy,
+and one OS page cache shared by every service/shard mapping the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.lazy import LazyArray
+from repro.utils.errors import ArtifactCorruptError, ChecksumError
+
+#: Fixed page size of the paged layout (1 MiB): large enough that the
+#: manifest's hash list stays small (64 hex chars per MiB of payload),
+#: small enough that touching one array corner does not verify the
+#: whole file.
+PAGE_SIZE = 1 << 20
+
+#: Array start alignment inside the pages file, so float64 views onto
+#: the uint8 mapping are always aligned.
+ARRAY_ALIGN = 64
+
+PAGED_LAYOUT = "paged"
+
+
+def write_paged_payload(path: Path, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Write *arrays* as one raw paged file; return its manifest metadata.
+
+    Arrays are converted to their serving dtype (float64) and laid out
+    back to back at :data:`ARRAY_ALIGN` boundaries.  The returned dict
+    is the manifest's ``payload`` section: file name, layout, page size,
+    per-page SHA-256 list, total byte count, and per-array
+    shape/dtype/offset/nbytes.
+    """
+    chunks: List[bytes] = []
+    arrays_meta: Dict[str, Dict] = {}
+    offset = 0
+    for name, array in arrays.items():
+        served = np.ascontiguousarray(array, dtype=np.float64)
+        pad = (-offset) % ARRAY_ALIGN
+        if pad:
+            chunks.append(b"\0" * pad)
+            offset += pad
+        data = served.tobytes()
+        arrays_meta[name] = {
+            "shape": list(served.shape),
+            "dtype": str(served.dtype),
+            "offset": offset,
+            "nbytes": len(data),
+        }
+        chunks.append(data)
+        offset += len(data)
+    blob = b"".join(chunks)
+    path.write_bytes(blob)
+    pages = [
+        hashlib.sha256(blob[lo : lo + PAGE_SIZE]).hexdigest()
+        for lo in range(0, len(blob), PAGE_SIZE)
+    ]
+    return {
+        "file": path.name,
+        "layout": PAGED_LAYOUT,
+        "page_size": PAGE_SIZE,
+        "bytes": len(blob),
+        "pages": pages,
+        "arrays": arrays_meta,
+    }
+
+
+class PagedPayloadReader:
+    """Lazy, checksum-on-first-touch view over a paged payload file.
+
+    Opening is O(1): the file size is checked against the manifest (a
+    short read catches truncation immediately) and the bytes are
+    memory-mapped read-only.  :meth:`lazy` returns a
+    :class:`~repro.core.lazy.LazyArray` whose materialization verifies
+    exactly the pages covering that array (memoized — each page is
+    hashed at most once per reader) and then returns a dtype view onto
+    the shared mapping, copying nothing.
+    """
+
+    def __init__(self, path: Path, meta: Dict) -> None:
+        self.path = Path(path)
+        try:
+            self.page_size = int(meta["page_size"])
+            self.total_bytes = int(meta["bytes"])
+            self.pages = list(meta["pages"])
+            self.arrays_meta = dict(meta["arrays"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorruptError(
+                f"corrupt mapping file: malformed paged payload "
+                f"metadata: {exc}"
+            ) from exc
+        if self.page_size < 1:
+            raise ArtifactCorruptError(
+                "corrupt mapping file: non-positive payload page size"
+            )
+        expected_pages = -(-self.total_bytes // self.page_size)
+        if len(self.pages) != expected_pages:
+            raise ArtifactCorruptError(
+                "corrupt mapping file: payload page count does not "
+                "match its byte count"
+            )
+        try:
+            size = self.path.stat().st_size
+        except OSError as exc:
+            raise ChecksumError(
+                f"paged payload {self.path.name!r} is unreadable: {exc}"
+            ) from exc
+        if size != self.total_bytes:
+            raise ChecksumError(
+                f"paged payload {self.path.name!r} is "
+                f"{size} bytes, manifest records {self.total_bytes} — "
+                "truncated or corrupted"
+            )
+        self._mm = (
+            np.memmap(self.path, dtype=np.uint8, mode="r")
+            if self.total_bytes
+            else np.zeros(0, dtype=np.uint8)
+        )
+        self._verified = [False] * len(self.pages)
+
+    def _verify_span(self, offset: int, nbytes: int) -> None:
+        """Checksum every not-yet-verified page covering the byte span."""
+        if nbytes == 0:
+            return
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        for page in range(first, last + 1):
+            if self._verified[page]:
+                continue
+            lo = page * self.page_size
+            hi = min(lo + self.page_size, self.total_bytes)
+            digest = hashlib.sha256(self._mm[lo:hi]).hexdigest()
+            if digest != self.pages[page]:
+                raise ChecksumError(
+                    f"paged payload {self.path.name!r} page {page} fails "
+                    "its checksum — truncated or corrupted"
+                )
+            self._verified[page] = True
+
+    def materialize(self, name: str) -> np.ndarray:
+        """Verify the pages of array *name*; return a zero-copy view."""
+        spec = self.arrays_meta[name]
+        offset = int(spec["offset"])
+        nbytes = int(spec["nbytes"])
+        shape = tuple(int(s) for s in spec["shape"])
+        dtype = np.dtype(spec["dtype"])
+        if offset < 0 or offset + nbytes > self.total_bytes:
+            raise ArtifactCorruptError(
+                f"corrupt mapping file: payload array {name!r} extends "
+                "past the payload"
+            )
+        expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if nbytes != expected:
+            raise ArtifactCorruptError(
+                f"corrupt mapping file: payload array {name!r} byte "
+                "count does not match its shape/dtype"
+            )
+        self._verify_span(offset, nbytes)
+        view = self._mm[offset : offset + nbytes].view(dtype).reshape(shape)
+        return view
+
+    def lazy(self, name: str) -> LazyArray:
+        """A deferred handle for array *name* (shape/dtype known now)."""
+        spec = self.arrays_meta[name]
+        return LazyArray(
+            tuple(int(s) for s in spec["shape"]),
+            np.dtype(spec["dtype"]),
+            lambda: self.materialize(name),
+        )
+
+    def load_all(self) -> Dict[str, np.ndarray]:
+        """Materialize every array (the eager path over a paged file)."""
+        return {name: self.materialize(name) for name in self.arrays_meta}

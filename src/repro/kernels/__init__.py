@@ -1,0 +1,273 @@
+"""Pluggable compute kernels for the online hot path.
+
+Every numeric inner loop of the serving stack — shard distance blocks,
+envelope/triangle bound checks, and the VF2 candidate pre-filter — runs
+behind the narrow backend interface defined here, so the same engine /
+service / pruning code can execute on the numpy baseline, a JIT backend
+(numba, when installed), or a future native extension, selected at run
+time without touching any call site.
+
+A backend is any object exposing four functions:
+
+* ``distance_block(queries, vectors, sq_norms, dimensionality,
+  offsets=None)`` — normalised-Euclidean distance rectangle, the shard
+  scan inner loop (``offsets`` folds shard-constant columns back in);
+* ``bound_block(vectors, centroids, centroid_sq_norms, radii, lows,
+  highs, dimensionality)`` — per-(query, shard) lower bounds plus the
+  centroid distances the approx router reuses;
+* ``bound_check(bounds, thresholds, slack_rel, slack_abs)`` — the
+  elementwise "provably prunable" test;
+* ``vf2_candidate_filter(...)`` — the vectorised size/histogram/degree
+  dominance pre-check over every pattern at once (arrays prepared by
+  :class:`PatternFilterStats`).
+
+Selection order: an explicit name passed to :func:`resolve_backend`, the
+:func:`use_backend` context override, the ``REPRO_KERNEL`` environment
+variable, then the numpy baseline.  Unknown names warn and fall back to
+numpy rather than failing — a missing optional dependency must never
+take serving down.
+
+Exactness contract: on the binary embedding vectors this project serves,
+every distance term is a small integer, exactly representable in
+float64, so differently-associated accumulations (loops vs BLAS) produce
+**bit-identical** distances — the kernel-parity test tier enforces this
+for every registered backend.  Bound computations involve non-integer
+centroids; backends may differ there by ulps, which the pruning slack
+margin absorbs (answers stay exact; the parity tier asserts it).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "KERNEL_ENV_VAR",
+    "KernelConfig",
+    "PatternFilterStats",
+    "active_backend",
+    "available_backends",
+    "backend_name",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+DEFAULT_BACKEND = "numpy"
+
+_BACKENDS: Dict[str, object] = {}
+_OVERRIDE: List[str] = []  # use_backend() stack; innermost wins
+
+
+def register_backend(name: str, backend: object) -> None:
+    """Register *backend* under *name* (import-time, idempotent)."""
+    for fn in (
+        "distance_block",
+        "bound_block",
+        "bound_check",
+        "vf2_candidate_filter",
+    ):
+        if not callable(getattr(backend, fn, None)):
+            raise TypeError(f"backend {name!r} is missing kernel {fn!r}")
+    _BACKENDS[name] = backend
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, numpy baseline first."""
+    names = sorted(_BACKENDS)
+    if DEFAULT_BACKEND in names:
+        names.remove(DEFAULT_BACKEND)
+        names.insert(0, DEFAULT_BACKEND)
+    return names
+
+
+def resolve_backend(name: Optional[str] = None) -> object:
+    """The backend object for *name* (or the ambient selection).
+
+    ``None`` resolves the ambient selection: the innermost
+    :func:`use_backend` override if any, else ``$REPRO_KERNEL``, else
+    the numpy baseline.  An unregistered name — a typo, or ``"numba"``
+    without numba installed — warns and falls back to numpy instead of
+    raising, so a stale environment variable cannot take serving down.
+    """
+    if name is None:
+        name = _OVERRIDE[-1] if _OVERRIDE else os.environ.get(
+            KERNEL_ENV_VAR, DEFAULT_BACKEND
+        )
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        warnings.warn(
+            f"unknown or unavailable kernel backend {name!r}; "
+            f"falling back to {DEFAULT_BACKEND!r} "
+            f"(available: {', '.join(available_backends())})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        backend = _BACKENDS[DEFAULT_BACKEND]
+    return backend
+
+
+def active_backend() -> object:
+    """The currently-selected backend object."""
+    return resolve_backend(None)
+
+
+def backend_name(backend: object) -> str:
+    """The registry name of *backend* (``"?"`` if unregistered)."""
+    for name, candidate in _BACKENDS.items():
+        if candidate is backend:
+            return name
+    return "?"
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[object]:
+    """Scoped backend override (stronger than ``$REPRO_KERNEL``).
+
+    Engines and services resolve their backend at construction, so the
+    override must wrap *construction*, not just the query calls.
+    """
+    _OVERRIDE.append(name)
+    try:
+        yield resolve_backend(name)
+    finally:
+        _OVERRIDE.pop()
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Declarative kernel selection for constructors.
+
+    ``backend=None`` defers to the ambient selection
+    (:func:`use_backend` override / ``$REPRO_KERNEL`` / numpy).
+    """
+
+    backend: Optional[str] = None
+
+    def resolve(self) -> object:
+        return resolve_backend(self.backend)
+
+
+class PatternFilterStats:
+    """Pattern-side arrays for the vectorised VF2 candidate filter.
+
+    Encodes every pattern's size, label histograms (over the union
+    vocabulary of the pattern set), and descending degree sequence
+    (padded with ``-1``) as flat integer matrices, built once per
+    engine.  Per query, :meth:`candidate_mask` encodes the target the
+    same way and asks the kernel backend which patterns survive the
+    size/histogram/degree dominance pre-check — exactly the conditions
+    VF2 itself tests first, so a ``False`` entry is a proven non-match.
+    """
+
+    __slots__ = (
+        "count",
+        "nv",
+        "ne",
+        "vlabel_index",
+        "elabel_index",
+        "vcounts",
+        "ecounts",
+        "degrees",
+        "max_nv",
+    )
+
+    def __init__(self, profiles: Sequence[object]) -> None:
+        n = len(profiles)
+        self.count = n
+        self.nv = np.array(
+            [prof.num_vertices for prof in profiles], dtype=np.int64
+        )
+        self.ne = np.array(
+            [prof.num_edges for prof in profiles], dtype=np.int64
+        )
+        vlabels: Dict[object, int] = {}
+        elabels: Dict[object, int] = {}
+        for prof in profiles:
+            for lab in prof.vertex_label_counts:
+                vlabels.setdefault(lab, len(vlabels))
+            for lab in prof.edge_label_counts:
+                elabels.setdefault(lab, len(elabels))
+        self.vlabel_index = vlabels
+        self.elabel_index = elabels
+        self.vcounts = np.zeros((n, len(vlabels)), dtype=np.int64)
+        self.ecounts = np.zeros((n, len(elabels)), dtype=np.int64)
+        self.max_nv = int(self.nv.max()) if n else 0
+        self.degrees = np.full((n, self.max_nv), -1, dtype=np.int64)
+        for r, prof in enumerate(profiles):
+            for lab, c in prof.vertex_label_counts.items():
+                self.vcounts[r, vlabels[lab]] = c
+            for lab, c in prof.edge_label_counts.items():
+                self.ecounts[r, elabels[lab]] = c
+            ds = prof.degrees_desc
+            self.degrees[r, : len(ds)] = ds
+
+    def encode_target(
+        self, profile: object
+    ) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten a :class:`TargetProfile` onto the pattern vocabulary.
+
+        Target labels outside the vocabulary are irrelevant (no pattern
+        needs them); target degrees are truncated/padded to the longest
+        pattern (positions past the target's own size read ``-1``,
+        which only ever compares against pattern padding or against
+        patterns that already failed the size check).
+        """
+        tvc = np.zeros(len(self.vlabel_index), dtype=np.int64)
+        for lab, c in profile.vertex_label_counts.items():
+            idx = self.vlabel_index.get(lab)
+            if idx is not None:
+                tvc[idx] = c
+        tec = np.zeros(len(self.elabel_index), dtype=np.int64)
+        for lab, c in profile.edge_label_counts.items():
+            idx = self.elabel_index.get(lab)
+            if idx is not None:
+                tec[idx] = c
+        tdeg = np.full(self.max_nv, -1, dtype=np.int64)
+        ds = profile.degrees_desc[: self.max_nv]
+        tdeg[: len(ds)] = ds
+        return (
+            int(profile.num_vertices),
+            int(profile.num_edges),
+            tvc,
+            tec,
+            tdeg,
+        )
+
+    def candidate_mask(
+        self, target_profile: object, backend: Optional[object] = None
+    ) -> np.ndarray:
+        """Boolean mask over patterns: ``False`` entries cannot match."""
+        if backend is None:
+            backend = active_backend()
+        tnv, tne, tvc, tec, tdeg = self.encode_target(target_profile)
+        return np.asarray(
+            backend.vf2_candidate_filter(
+                self.nv, self.ne, self.vcounts, self.ecounts, self.degrees,
+                tnv, tne, tvc, tec, tdeg,
+            ),
+            dtype=bool,
+        )
+
+
+# Backend registration: numpy and the pure-loop reference are always
+# present; numba only when the optional dependency imports.
+from repro.kernels import numpy_backend as _numpy_backend  # noqa: E402
+
+register_backend("numpy", _numpy_backend)
+
+from repro.kernels import reference_backend as _reference_backend  # noqa: E402
+
+register_backend("reference", _reference_backend)
+
+from repro.kernels import numba_backend as _numba_backend  # noqa: E402
+
+if _numba_backend.AVAILABLE:  # pragma: no cover - requires numba
+    register_backend("numba", _numba_backend)

@@ -1,0 +1,331 @@
+"""Kernel-backend benchmark: compute backends head-to-head + cold start.
+
+Shared by the ``repro-graphdim bench-kernels`` CLI command and
+``benchmarks/test_bench_kernels.py``, so the number the perf trajectory
+tracks is the number an operator can reproduce.
+
+Two measurements on the same synthetic binary workload:
+
+* **backend head-to-head** — every registered kernel backend runs the
+  two hot-path entry points (the batched distance block and the
+  shard-bound block) over identical arrays, timed min-of-*rounds*.
+  Before any number is reported each backend passes the parity gate:
+  distance blocks **bit-identical** to the numpy baseline (binary
+  embeddings make every accumulation order land on the same float64),
+  bound blocks within 1e-9 relative (centroids are means, so ulp-level
+  reassociation differences are possible — and absorbed downstream by
+  the pruning slack).
+
+* **cold start, eager vs mmap** — the same vectors are saved as a
+  paged-layout v3 artifact and loaded back both ways, min-of-*rounds*.
+  Eager pays payload I/O plus full checksumming before the first query;
+  ``mmap=True`` pays O(manifest) and defers page-verified
+  materialization to first touch.  A query pass over both services is
+  asserted bit-identical, so the speedup is never bought with a
+  different answer.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.kernels import (
+    active_backend,
+    available_backends,
+    backend_name,
+    resolve_backend,
+)
+from repro.utils.benchmeta import attach_bench_metadata
+
+#: Relative tolerance of the bound-block parity gate; matches the
+#: exact-mode pruning slack (PRUNE_SLACK_REL), which is what makes
+#: ulp-level bound differences answer-neutral in the first place.
+BOUND_PARITY_RTOL = 1e-9
+
+
+def _clustered_arrays(
+    n_rows: int, dims: int, n_shards: int, query_count: int, seed: int
+):
+    """Clustered binary vectors + queries + per-shard row blocks.
+
+    The same block structure the pruning bench uses (each shard owns a
+    dimension range its rows fill densely), so the bound kernel sees
+    realistic geometry: tight shards, queries near one cluster.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = (rng.random((n_rows, dims)) < 0.02).astype(float)
+    queries = (rng.random((query_count, dims)) < 0.02).astype(float)
+    per_shard = n_rows // n_shards
+    dims_per = max(dims // n_shards, 1)
+    for s in range(n_shards):
+        rows = slice(s * per_shard, (s + 1) * per_shard)
+        cols = slice(s * dims_per, min((s + 1) * dims_per, dims))
+        vectors[rows, cols] = (
+            rng.random((per_shard, cols.stop - cols.start)) < 0.85
+        ).astype(float)
+    for qi in range(query_count):
+        s = qi % n_shards
+        cols = slice(s * dims_per, min((s + 1) * dims_per, dims))
+        queries[qi, cols] = (
+            rng.random(cols.stop - cols.start) < 0.85
+        ).astype(float)
+    blocks = [
+        np.arange(s * per_shard, (s + 1) * per_shard, dtype=np.int64)
+        for s in range(n_shards)
+    ]
+    return vectors, queries, blocks
+
+
+def _measure_backend(
+    backend,
+    baseline: Dict,
+    queries: np.ndarray,
+    vectors: np.ndarray,
+    sq_norms: np.ndarray,
+    stack,
+    dims: int,
+    batch_size: int,
+    rounds: int,
+) -> Dict:
+    """Time one backend's distance/bound blocks; gate parity vs numpy."""
+    batches = [
+        queries[lo : lo + batch_size]
+        for lo in range(0, len(queries), batch_size)
+    ]
+    distance_best = float("inf")
+    distance_out: List[np.ndarray] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        out = [
+            backend.distance_block(batch, vectors, sq_norms, dims)
+            for batch in batches
+        ]
+        distance_best = min(distance_best, time.perf_counter() - start)
+        distance_out = out
+    distances = np.vstack(distance_out)
+
+    bound_best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bounds, centroid_d = backend.bound_block(
+            queries,
+            stack.centroids,
+            stack.centroid_sq_norms,
+            stack.radii,
+            stack.lows,
+            stack.highs,
+            dims,
+        )
+        bound_best = min(bound_best, time.perf_counter() - start)
+
+    distance_identical = bool(
+        np.array_equal(distances, baseline["distances"])
+    )
+    bounds_max_rel = float(
+        np.max(
+            np.abs(bounds - baseline["bounds"])
+            / np.maximum(np.abs(baseline["bounds"]), 1e-300)
+        )
+    ) if bounds.size else 0.0
+    if not distance_identical:
+        raise AssertionError(
+            "kernel backend diverged from numpy on the distance block"
+        )
+    if not np.allclose(
+        bounds, baseline["bounds"], rtol=BOUND_PARITY_RTOL, atol=1e-12
+    ) or not np.allclose(
+        centroid_d, baseline["centroid_d"], rtol=BOUND_PARITY_RTOL,
+        atol=1e-12,
+    ):
+        raise AssertionError(
+            "kernel backend diverged from numpy on the bound block"
+        )
+    n_distances = distances.size
+    return {
+        "distance_seconds": distance_best,
+        "distance_mps": n_distances / distance_best / 1e6,
+        "bound_seconds": bound_best,
+        "bound_checks_per_sec": bounds.size / bound_best,
+        "distance_identical": distance_identical,
+        "bounds_max_rel_diff": bounds_max_rel,
+    }
+
+
+def _measure_cold_start(
+    cold_rows: int, dims: int, n_shards: int, seed: int, rounds: int, k: int
+) -> Dict:
+    """Paged save + eager/mmap reload timing with a bit-identity gate."""
+    from repro.index import load_index, paged_payload_path, save_index
+    from repro.serving.pruning_bench import (
+        clustered_query_vectors,
+        clustered_vector_index,
+    )
+
+    # Sparse fill keeps the manifest (feature-support lists, JSON) small
+    # relative to the binary payload — the measurement isolates what the
+    # paged layout changes (payload I/O + checksumming), not JSON
+    # parsing, which both load modes pay identically.
+    dims_per_cluster = max(dims // n_shards, 1)
+    mapping, blocks = clustered_vector_index(
+        n_shards,
+        max(cold_rows // n_shards, 1),
+        dims_per_cluster,
+        fill=0.01,
+        noise=0.001,
+        seed=seed,
+    )
+    queries = clustered_query_vectors(
+        16, n_shards, dims_per_cluster, fill=0.01, noise=0.001,
+        seed=seed + 1,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-index"
+        save_index(mapping, path, layout="paged")
+        payload_bytes = paged_payload_path(path).stat().st_size
+
+        eager_best, mmap_best = float("inf"), float("inf")
+        eager = lazy = None
+        for _ in range(rounds):
+            eager = load_index(path)
+            eager_best = min(eager_best, eager.load_seconds)
+            lazy = load_index(path, mmap=True)
+            mmap_best = min(mmap_best, lazy.load_seconds)
+
+        with eager.query_service(shards=blocks, cache_size=0) as se, \
+                lazy.query_service(shards=blocks, cache_size=0) as sl:
+            eager_answers = se.batch_query_vectors(queries, k)
+            lazy_answers = sl.batch_query_vectors(queries, k)
+        for a, b in zip(eager_answers, lazy_answers):
+            if a.ranking != b.ranking or a.scores != b.scores:
+                raise AssertionError(
+                    "mmap-loaded index diverged from the eager load"
+                )
+    return {
+        "layout": "paged",
+        "rows": mapping.space.n,
+        "payload_bytes": payload_bytes,
+        "eager_seconds": eager_best,
+        "mmap_seconds": mmap_best,
+        "speedup": eager_best / mmap_best,
+        "queries_identical": True,
+    }
+
+
+def run_kernel_bench(
+    n_rows: int = 4096,
+    dims: int = 128,
+    query_count: int = 64,
+    batch_size: int = 16,
+    n_shards: int = 8,
+    k: int = 10,
+    seed: int = 0,
+    rounds: int = 3,
+    cold_rows: int = 2048,
+) -> Dict:
+    """Measure every registered backend + eager-vs-mmap cold start.
+
+    *n_rows*/*dims* size the kernel head-to-head arrays; *cold_rows*
+    sizes the temporary paged artifact the cold-start section saves and
+    reloads (its payload is ``cold_rows × dims`` float64 — pick it
+    large to make the eager/mmap gap visible over manifest parsing).
+    """
+    if n_rows < n_shards or cold_rows < n_shards:
+        raise ValueError("n_rows and cold_rows must be >= n_shards")
+    if query_count < 1 or batch_size < 1 or rounds < 1:
+        raise ValueError("query_count, batch_size and rounds must be >= 1")
+    from repro.query.pruning import ShardSummary, stack_summaries
+
+    vectors, queries, blocks = _clustered_arrays(
+        n_rows, dims, n_shards, query_count, seed
+    )
+    sq_norms = (vectors**2).sum(axis=1)
+    stack = stack_summaries(
+        [ShardSummary.from_vectors(vectors[block]) for block in blocks]
+    )
+
+    numpy_backend = resolve_backend("numpy")
+    baseline_bounds, baseline_centroid_d = numpy_backend.bound_block(
+        queries,
+        stack.centroids,
+        stack.centroid_sq_norms,
+        stack.radii,
+        stack.lows,
+        stack.highs,
+        dims,
+    )
+    baseline = {
+        "distances": np.vstack(
+            [
+                numpy_backend.distance_block(
+                    queries[lo : lo + batch_size], vectors, sq_norms, dims
+                )
+                for lo in range(0, len(queries), batch_size)
+            ]
+        ),
+        "bounds": baseline_bounds,
+        "centroid_d": baseline_centroid_d,
+    }
+
+    backends = {}
+    for name in available_backends():
+        backends[name] = _measure_backend(
+            resolve_backend(name),
+            baseline,
+            queries,
+            vectors,
+            sq_norms,
+            stack,
+            dims,
+            batch_size,
+            rounds,
+        )
+
+    result = {
+        "n_rows": n_rows,
+        "dims": dims,
+        "query_count": query_count,
+        "batch_size": batch_size,
+        "n_shards": n_shards,
+        "rounds": rounds,
+        "active_backend": backend_name(active_backend()),
+        "backends": backends,
+        "cold_start": _measure_cold_start(
+            cold_rows, dims, n_shards, seed + 7, rounds, k
+        ),
+    }
+    attach_bench_metadata(result)
+
+    cold = result["cold_start"]
+    lines = [
+        f"kernel backends — {n_rows} rows x {dims} dims, "
+        f"{query_count} queries (batch {batch_size}, "
+        f"min of {rounds} rounds)",
+        "",
+        f"{'backend':<12}{'distances M/s':>15}{'bound checks/s':>16}"
+        f"{'parity':>22}",
+    ]
+    for name, stats in backends.items():
+        parity = (
+            "bit-identical"
+            if stats["bounds_max_rel_diff"] == 0.0
+            else f"rel diff {stats['bounds_max_rel_diff']:.1e}"
+        )
+        lines.append(
+            f"{name:<12}{stats['distance_mps']:>15.1f}"
+            f"{stats['bound_checks_per_sec']:>16.0f}{parity:>22}"
+        )
+    lines += [
+        "",
+        f"cold start ({cold['rows']} rows, "
+        f"{cold['payload_bytes'] / (1 << 20):.1f} MiB paged payload): "
+        f"eager {cold['eager_seconds'] * 1e3:.1f} ms, "
+        f"mmap {cold['mmap_seconds'] * 1e3:.1f} ms "
+        f"({cold['speedup']:.1f}x, answers bit-identical)",
+    ]
+    result["report"] = "\n".join(lines) + "\n"
+    return result

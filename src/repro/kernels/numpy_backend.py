@@ -1,0 +1,124 @@
+"""The numpy baseline kernel backend — the reference semantics.
+
+These are the exact vectorised formulas the hot path ran inline before
+the kernel interface existed (BLAS matmul for the cross term, clamped at
+zero, normalised by the mapping dimensionality).  Every other backend is
+tested bit-identical to this one on binary embedding data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def distance_block(
+    queries: np.ndarray,
+    vectors: np.ndarray,
+    sq_norms: np.ndarray,
+    dimensionality: int,
+    offsets: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Normalised-Euclidean distance rectangle ``queries × vectors``.
+
+    ``sq_norms`` are the precomputed row norms of *vectors*; *offsets*
+    (when given) are per-query squared gaps over columns not present in
+    *queries*/*vectors* (the service's shard-constant folding), added to
+    the squared distances before normalisation.  ``dimensionality`` is
+    the full mapping width ``p`` — with ``p == 0`` every distance is
+    zero by convention.
+    """
+    sq_q = (queries**2).sum(axis=1)
+    d2 = np.maximum(
+        sq_q[:, None] + sq_norms[None, :] - 2.0 * queries @ vectors.T,
+        0.0,
+    )
+    if offsets is not None:
+        d2 = d2 + offsets[:, None]
+    if dimensionality:
+        return np.sqrt(d2 / dimensionality)
+    return np.zeros_like(d2)
+
+
+def bound_block(
+    vectors: np.ndarray,
+    centroids: np.ndarray,
+    centroid_sq_norms: np.ndarray,
+    radii: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    dimensionality: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-(query, shard) lower bounds plus raw centroid distances.
+
+    The triangle term ``max(‖q − c‖ − radius, 0)²`` and the envelope
+    term (coordinate gaps below ``lows`` / above ``highs``) are both
+    valid lower bounds on the squared distance to any row of the shard;
+    the max of the two is returned, normalised like the distances it
+    will be compared against.
+    """
+    sq = (
+        (vectors**2).sum(axis=1)[:, None]
+        + centroid_sq_norms[None, :]
+        - 2.0 * vectors @ centroids.T
+    )
+    centroid_d = np.sqrt(np.maximum(sq, 0.0))
+    tri_sq = np.maximum(centroid_d - radii[None, :], 0.0) ** 2
+    # Envelope term, one shard at a time: at most one of below/above is
+    # nonzero per coordinate, so the squared gap splits exactly — and
+    # peak memory stays at (nq, p) instead of an (nq, ns, p) cube.
+    box_sq = np.empty_like(centroid_d)
+    for si in range(len(radii)):
+        below = np.maximum(lows[si] - vectors, 0.0)
+        above = np.maximum(vectors - highs[si], 0.0)
+        box_sq[:, si] = (below**2).sum(axis=1) + (above**2).sum(axis=1)
+    best = np.maximum(tri_sq, box_sq)
+    if dimensionality:
+        bounds = np.sqrt(best / dimensionality)
+    else:
+        # p == 0: every distance is zero, so no bound may exceed it.
+        bounds = np.zeros_like(best)
+    return bounds, centroid_d
+
+
+def bound_check(
+    bounds: np.ndarray,
+    thresholds: np.ndarray,
+    slack_rel: float,
+    slack_abs: float,
+) -> np.ndarray:
+    """Elementwise: does each bound provably clear its k-th-best?"""
+    return np.asarray(bounds) > (
+        np.asarray(thresholds) * (1.0 + slack_rel) + slack_abs
+    )
+
+
+def vf2_candidate_filter(
+    pat_nv: np.ndarray,
+    pat_ne: np.ndarray,
+    pat_vcounts: np.ndarray,
+    pat_ecounts: np.ndarray,
+    pat_degrees: np.ndarray,
+    tgt_nv: int,
+    tgt_ne: int,
+    tgt_vcounts: np.ndarray,
+    tgt_ecounts: np.ndarray,
+    tgt_degrees: np.ndarray,
+) -> np.ndarray:
+    """Which patterns survive the size/histogram/degree dominance check.
+
+    Vectorised form of VF2's global pre-check (`_label_counts_ok`): a
+    pattern can only match if the target dominates its vertex/edge
+    counts, both label histograms, and its descending degree sequence
+    position by position.  Pattern degree padding is ``-1``, which no
+    target entry (real degrees, or ``-1`` padding) falls below.
+    """
+    ok = (pat_nv <= tgt_nv) & (pat_ne <= tgt_ne)
+    if pat_vcounts.shape[1]:
+        ok &= (pat_vcounts <= tgt_vcounts[None, :]).all(axis=1)
+    if pat_ecounts.shape[1]:
+        ok &= (pat_ecounts <= tgt_ecounts[None, :]).all(axis=1)
+    if pat_degrees.shape[1]:
+        ok &= (tgt_degrees[None, :] >= pat_degrees).all(axis=1)
+    return ok

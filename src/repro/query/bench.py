@@ -27,6 +27,7 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.mining import mine_frequent_subgraphs
 from repro.query.topk import MappedTopKEngine
 from repro.utils.benchmeta import attach_bench_metadata
+from repro.utils.latency import latency_summary
 
 
 def variance_selection(space: FeatureSpace, p: int) -> List[int]:
@@ -57,12 +58,17 @@ def _measure_mapping(
     naive_seconds = time.perf_counter() - start
 
     engine_seconds: Dict[int, float] = {}
+    engine_latency: Dict[int, Dict] = {}
     for bs in batch_sizes:
         start = time.perf_counter()
         engine_results: List = []
+        batch_seconds: List[float] = []
         for lo in range(0, len(queries), bs):
+            batch_start = time.perf_counter()
             engine_results.extend(engine.batch_query(queries[lo : lo + bs], k))
+            batch_seconds.append(time.perf_counter() - batch_start)
         engine_seconds[bs] = time.perf_counter() - start
+        engine_latency[bs] = latency_summary(batch_seconds)
         for a, b in zip(naive_results, engine_results):
             if a.ranking != b.ranking or a.scores != b.scores:
                 raise AssertionError(
@@ -74,6 +80,7 @@ def _measure_mapping(
         "dimensionality": mapping.dimensionality,
         "naive_qps": n_q / naive_seconds,
         "engine_qps": {bs: n_q / s for bs, s in engine_seconds.items()},
+        "engine_latency": engine_latency,
         "speedup": {
             bs: naive_seconds / s for bs, s in engine_seconds.items()
         },
@@ -167,6 +174,11 @@ def run_query_engine_bench(
         lines.append(
             f"  vf2 calls/query: {stats['vf2_calls_per_query']:.1f}, "
             f"lattice-pruned/query: {stats['features_pruned_per_query']:.1f}"
+        )
+        tail = stats["engine_latency"][max(batch_sizes)]
+        lines.append(
+            f"  batch latency (bs={max(batch_sizes)}): "
+            f"p50 {tail['p50_ms']:.2f} ms, p99 {tail['p99_ms']:.2f} ms"
         )
     if "pruned_service" in result:
         svc = result["pruned_service"]

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.mapping import DSPreservedMapping
 from repro.graph.labeled_graph import LabeledGraph
 from repro.isomorphism.vf2 import PatternProfile, TargetProfile, is_subgraph
+from repro.kernels import PatternFilterStats, resolve_backend
 from repro.query.topk import TopKResult, _check_k, rank_with_ties
 
 
@@ -198,11 +199,17 @@ class FeatureLattice:
 
 @dataclass
 class EngineStats:
-    """Cumulative online-path counters of one :class:`QueryEngine`."""
+    """Cumulative online-path counters of one :class:`QueryEngine`.
+
+    ``filter_rejected`` counts positions decided by the vectorised
+    candidate pre-filter (size/histogram/degree dominance) without a
+    VF2 call — work the lattice alone would have paid for.
+    """
 
     queries: int = 0
     vf2_calls: int = 0
     features_pruned: int = 0
+    filter_rejected: int = 0
 
 
 @dataclass
@@ -267,6 +274,7 @@ class QueryEngine:
         lattice: Optional[FeatureLattice] = None,
         use_pivots: bool = False,
         pattern_profiles: Optional[Sequence[PatternProfile]] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.mapping = mapping
         selected_patterns: List[LabeledGraph] = [
@@ -321,6 +329,11 @@ class QueryEngine:
             tuple(d for d in self.lattice.descendants[r] if d < p)
             for r in range(len(self.patterns))
         ]
+        # Compute-kernel backend (resolved once — wrap *construction* in
+        # use_backend() to override) and the pattern-side arrays of the
+        # vectorised VF2 candidate filter it evaluates per query.
+        self._kernel = resolve_backend(kernel)
+        self._filter_stats = PatternFilterStats(self._pattern_profiles)
         self.stats = EngineStats()
 
     def selected_offline_products(
@@ -364,8 +377,14 @@ class QueryEngine:
         state = np.full(total, -1, dtype=np.int8)
         lattice = self.lattice
         selected_descendants = self._selected_descendants
+        # One vectorised pass of VF2's size/histogram/degree pre-check
+        # over every pattern: a False entry is a proven non-match (VF2
+        # would fail the same conditions first thing), so the walk takes
+        # the non-match branch without paying the call.
+        candidates = self._filter_stats.candidate_mask(profile, self._kernel)
         vf2_calls = 0
         selected_calls = 0
+        filter_rejected = 0
         for r in lattice.order:
             if state[r] != -1:
                 continue
@@ -373,6 +392,12 @@ class QueryEngine:
                 state[d] == -1 for d in selected_descendants[r]
             ):
                 continue  # pivot with nothing left to prune
+            if not candidates[r]:
+                filter_rejected += 1
+                state[r] = 0
+                for d in lattice.descendants[r]:
+                    state[d] = 0
+                continue
             vf2_calls += 1
             if r < p:
                 selected_calls += 1
@@ -389,6 +414,7 @@ class QueryEngine:
         self.stats.queries += 1
         self.stats.vf2_calls += vf2_calls
         self.stats.features_pruned += p - selected_calls
+        self.stats.filter_rejected += filter_rejected
         return state[:p].astype(float)
 
     def embed_many(self, queries: Sequence[LabeledGraph]) -> np.ndarray:

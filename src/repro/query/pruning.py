@@ -284,6 +284,7 @@ def shard_lower_bounds(
     vectors: np.ndarray,
     summaries: Union[SummaryStack, Sequence[ShardSummary]],
     dimensionality: int,
+    backend: Optional[object] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Lower bounds on the *normalised* distance per (query, shard).
 
@@ -292,31 +293,34 @@ def shard_lower_bounds(
     approx router's signal, so both are computed in one pass.
     ``bounds[i, j] <= min over rows x of shard j of d(q_i, x)`` always
     holds mathematically (the metamorphic suite enforces it).
+
+    The arithmetic runs on *backend* (a :mod:`repro.kernels` backend;
+    ``None`` resolves the ambient selection).  Every registered backend
+    computes a mathematically valid lower bound; backends may differ in
+    the last ulp, which the slack margin in :func:`prunable_mask`
+    absorbs — exact answers never change.
     """
+    from repro.kernels import active_backend
+
     vectors = np.asarray(vectors, dtype=float)
     stack = _as_stack(summaries)
-    centroid_d = shard_centroid_distances(vectors, stack)
-    tri_sq = np.maximum(centroid_d - stack.radii[None, :], 0.0) ** 2
-    # Envelope term, one shard at a time: at most one of below/above is
-    # nonzero per coordinate, so the squared gap splits exactly — and
-    # peak memory stays at (nq, p) instead of an (nq, ns, p) cube.
-    box_sq = np.empty_like(centroid_d)
-    for si in range(len(stack.radii)):
-        below = np.maximum(stack.lows[si] - vectors, 0.0)
-        above = np.maximum(vectors - stack.highs[si], 0.0)
-        box_sq[:, si] = (below**2).sum(axis=1) + (above**2).sum(axis=1)
-    best = np.maximum(tri_sq, box_sq)
-    if dimensionality:
-        bounds = np.sqrt(best / dimensionality)
-    else:
-        # p == 0 mirrors cross_normalized_euclidean_distances: every
-        # distance is zero, so no bound can ever exceed it.
-        bounds = np.zeros_like(best)
-    return bounds, centroid_d
+    if backend is None:
+        backend = active_backend()
+    return backend.bound_block(
+        vectors,
+        stack.centroids,
+        stack.centroid_sq_norms,
+        stack.radii,
+        stack.lows,
+        stack.highs,
+        dimensionality,
+    )
 
 
 def prunable_mask(
-    bounds: np.ndarray, thresholds: np.ndarray
+    bounds: np.ndarray,
+    thresholds: np.ndarray,
+    backend: Optional[object] = None,
 ) -> np.ndarray:
     """Elementwise: does each bound provably clear its k-th-best?
 
@@ -329,8 +333,18 @@ def prunable_mask(
     threshold never prunes, because a row at that distance could still
     win on the ascending-index tie-break.
     """
-    return np.asarray(bounds) > (
-        np.asarray(thresholds) * (1.0 + PRUNE_SLACK_REL) + PRUNE_SLACK_ABS
+    from repro.kernels import active_backend
+
+    if backend is None:
+        backend = active_backend()
+    return np.asarray(
+        backend.bound_check(
+            np.asarray(bounds),
+            np.asarray(thresholds),
+            PRUNE_SLACK_REL,
+            PRUNE_SLACK_ABS,
+        ),
+        dtype=bool,
     )
 
 

@@ -62,6 +62,7 @@ import numpy as np
 
 from repro.core.mapping import DSPreservedMapping
 from repro.graph.labeled_graph import LabeledGraph
+from repro.kernels import resolve_backend
 from repro.query.engine import BatchQueryResult, QueryEngine
 from repro.query.pruning import (
     EXACT_POLICY,
@@ -176,6 +177,13 @@ class ServiceStats:
     #: sent a query their way) and (query, shard) bound evaluations.
     shards_skipped: int = 0
     bound_checks: int = 0
+    #: Cold-start provenance, copied from the mapping when it was
+    #: produced by :func:`repro.index.artifact.load_index`: how long the
+    #: artifact took to open and whether the payload was read eagerly
+    #: (``"eager"``) or memory-mapped (``"mmap"``).  ``None``/``0.0``
+    #: for mappings built in process.
+    index_load_seconds: float = 0.0
+    index_load_mode: Optional[str] = None
 
 
 class QueryService:
@@ -212,6 +220,7 @@ class QueryService:
         shards: Optional[Sequence[np.ndarray]] = None,
         cache_size: int = 1024,
         embed_mode: str = "auto",
+        kernel: Optional[str] = None,
     ) -> None:
         # Pool/cache handles first: close() must be safe on an instance
         # whose constructor failed part-way (e.g. a bad shard layout) or
@@ -223,6 +232,9 @@ class QueryService:
         )
         self._cache_size = int(cache_size)
         self._swap_lock = threading.Lock()
+        # Compute-kernel backend, resolved once per service (wrap
+        # *construction* in kernels.use_backend() to override).
+        self._kernel = resolve_backend(kernel)
         self.stats = ServiceStats()
         #: Monotonic database generation: 0 at construction, +1 per
         #: applied update.  Snapshotted together with the shard list, so
@@ -235,6 +247,13 @@ class QueryService:
             engine = engine_or_mapping
         self.engine = engine
         self.mapping = engine.mapping
+        # Cold-start provenance travels with the mapping (stamped by
+        # load_index); copy it so operators see it next to the serving
+        # counters.
+        self.stats.index_load_seconds = float(
+            getattr(self.mapping, "load_seconds", 0.0) or 0.0
+        )
+        self.stats.index_load_mode = getattr(self.mapping, "load_mode", None)
         self._selection_snapshot = tuple(self.mapping.selected)
         vectors = self.mapping.database_vectors
         n = vectors.shape[0]
@@ -655,22 +674,18 @@ class QueryService:
         Exact: folding the shard-constant columns into a per-query
         offset re-associates an integer sum, which float64 represents
         exactly, so every distance equals the full-row computation bit
-        for bit.
+        for bit — on any kernel backend (the parity tier enforces it).
         """
         p = vectors.shape[1]
         left = vectors[:, shard.varying]
-        sq_l = (left**2).sum(axis=1)
-        d2 = np.maximum(
-            sq_l[:, None] + shard.sq_norms[None, :] - 2 * left @ shard.vectors.T,
-            0.0,
-        )
+        offsets = None
         if len(shard.constant):
-            offsets = ((vectors[:, shard.constant] - shard.constant_values) ** 2).sum(
-                axis=1
-            )
-            d2 = d2 + offsets[:, None]
-        # p == 0 mirrors cross_normalized_euclidean_distances: all zero.
-        distances = np.sqrt(d2 / p) if p else d2
+            offsets = (
+                (vectors[:, shard.constant] - shard.constant_values) ** 2
+            ).sum(axis=1)
+        distances = self._kernel.distance_block(
+            left, shard.vectors, shard.sq_norms, p, offsets
+        )
         local_k = min(k, shard.num_rows)
         out = []
         for row in distances:
@@ -791,7 +806,9 @@ class QueryService:
         """
         nq, p = vectors.shape
         ns = len(shards)
-        bounds, centroid_d = shard_lower_bounds(vectors, stack, p)
+        bounds, centroid_d = shard_lower_bounds(
+            vectors, stack, p, backend=self._kernel
+        )
         eligible = np.ones((nq, ns), dtype=bool)
         nprobe = None
         if policy.mode == "approx":
@@ -831,7 +848,7 @@ class QueryService:
             if policy.prune:
                 checks[:] += elig
                 pruned_away = elig & prunable_mask(
-                    bounds[:, si], thresholds
+                    bounds[:, si], thresholds, backend=self._kernel
                 )
                 active_mask = elig & ~pruned_away
             else:
@@ -878,7 +895,8 @@ class QueryService:
             cap_pos = np.argmax(covered, axis=1)
             caps = upper[np.arange(nq), by_upper[np.arange(nq), cap_pos]]
             seedless = not (
-                eligible & prunable_mask(bounds, caps[:, None])
+                eligible
+                & prunable_mask(bounds, caps[:, None], backend=self._kernel)
             ).any()
         prefix = (order[:1] if not seedless else []) if parallel else order
         for si in prefix:

@@ -1,0 +1,38 @@
+"""Latency percentiles for the bench suite's ``--json`` payloads.
+
+Throughput (queries/sec) hides tail behaviour: a bench can report the
+same q/s whether every batch takes 4 ms or most take 2 ms and a few
+take 40.  Every serving-path bench therefore records per-batch
+wall-clock samples and stamps the same percentile summary through
+:func:`latency_summary`, so CI artifacts expose p50/p99 alongside the
+throughput headline under a stable schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+__all__ = ["latency_summary"]
+
+
+def latency_summary(batch_seconds: Iterable[float]) -> Dict:
+    """p50/p99/mean/max latency (milliseconds) over wall-clock samples.
+
+    *batch_seconds* are per-batch (or per-query) elapsed seconds.  With
+    fewer samples than a percentile strictly needs, numpy interpolates
+    toward the max — small smoke runs still emit every field, they are
+    just less sharp.  At least one sample is required: an empty summary
+    would silently publish a bench that measured nothing.
+    """
+    ms = np.asarray(list(batch_seconds), dtype=float) * 1e3
+    if ms.size == 0:
+        raise ValueError("latency_summary needs at least one sample")
+    return {
+        "samples": int(ms.size),
+        "p50_ms": float(np.percentile(ms, 50)),
+        "p99_ms": float(np.percentile(ms, 99)),
+        "mean_ms": float(ms.mean()),
+        "max_ms": float(ms.max()),
+    }

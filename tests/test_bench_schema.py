@@ -1,0 +1,119 @@
+"""Schema regression tests for the benches' ``--json`` payloads.
+
+Downstream dashboards key on these field names (the perf trajectory is
+diffed run-over-run), so renaming or dropping a latency/cold-start
+field is a breaking change this file is meant to catch.  Every bench
+runs at its smallest sensible configuration — the point is the shape of
+the payload, not the numbers in it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernels.bench import run_kernel_bench
+from repro.query.bench import run_query_engine_bench
+from repro.serving.bench import run_serving_bench
+from repro.serving.pruning_bench import run_pruning_bench
+from repro.utils.latency import latency_summary
+
+LATENCY_KEYS = {"samples", "p50_ms", "p99_ms", "mean_ms", "max_ms"}
+
+
+def assert_latency_summary(payload):
+    assert LATENCY_KEYS <= set(payload)
+    assert payload["samples"] >= 1
+    assert 0.0 <= payload["p50_ms"] <= payload["p99_ms"] <= payload["max_ms"]
+
+
+def assert_json_clean(result):
+    """The payload (minus the human report) must survive json round-trip."""
+    clean = {k: v for k, v in result.items() if k != "report"}
+    assert json.loads(json.dumps(clean)) == clean
+
+
+class TestLatencySummary:
+    def test_fields_and_ordering(self):
+        s = latency_summary([0.001, 0.002, 0.004, 0.010])
+        assert set(s) == LATENCY_KEYS
+        assert s["samples"] == 4
+        assert s["p50_ms"] <= s["p99_ms"] <= s["max_ms"] == 10.0
+
+    def test_single_sample_still_emits_every_field(self):
+        s = latency_summary([0.005])
+        assert set(s) == LATENCY_KEYS
+        assert s["p50_ms"] == s["p99_ms"] == s["max_ms"] == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            latency_summary([])
+
+
+class TestBenchPayloads:
+    def test_query_bench_carries_engine_latency(self):
+        result = run_query_engine_bench(
+            db_size=20, query_count=8, num_features=8, k=3,
+            batch_sizes=(1, 4), avg_edges=10.0,
+        )
+        for mapping_key in ("selected", "original"):
+            per_batch = result[mapping_key]["engine_latency"]
+            assert set(per_batch) == {1, 4}
+            for summary in per_batch.values():
+                assert_latency_summary(summary)
+        assert "git_describe" in result and "report" in result
+
+    def test_serving_bench_carries_latency_and_cold_start(self):
+        result = run_serving_bench(
+            db_size=20, pool_size=6, stream_length=12, num_features=10,
+            k=3, batch_size=4, n_shards=2, n_workers=0, avg_edges=10.0,
+        )
+        assert_latency_summary(result["engine_latency"])
+        assert_latency_summary(result["service_latency"])
+        # Satellite: cold-start visibility.  The bench index was built
+        # in memory (never loaded from disk), so load mode reports that
+        # honestly; the cold_start section measures a real round-trip.
+        assert result["index_load_mode"] is None
+        assert result["index_load_seconds"] == 0.0
+        cold = result["cold_start"]
+        assert cold["layout"] == "paged"
+        assert cold["eager_seconds"] > 0 and cold["mmap_seconds"] > 0
+        assert cold["speedup"] == pytest.approx(
+            cold["eager_seconds"] / cold["mmap_seconds"]
+        )
+        assert cold["payload_bytes"] > 0
+        assert_json_clean(result)
+
+    def test_pruning_bench_carries_per_policy_latency(self):
+        result = run_pruning_bench(
+            n_clusters=2, per_cluster=30, dims_per_cluster=8,
+            query_count=8, batch_size=4, k=3, rounds=1,
+        )
+        for policy in ("full_scan", "exact", "approx"):
+            assert_latency_summary(result[policy]["latency"])
+        assert_json_clean(result)
+
+    def test_kernel_bench_payload_shape(self):
+        result = run_kernel_bench(
+            n_rows=256, dims=32, query_count=8, batch_size=4,
+            n_shards=4, k=3, rounds=1, cold_rows=256,
+        )
+        assert result["active_backend"] in result["backends"]
+        assert "numpy" in result["backends"]
+        for stats in result["backends"].values():
+            assert stats["distance_identical"] is True
+            assert stats["distance_mps"] > 0
+            assert stats["bound_checks_per_sec"] > 0
+            assert stats["bounds_max_rel_diff"] <= 1e-9
+        cold = result["cold_start"]
+        assert cold["queries_identical"] is True
+        assert cold["payload_bytes"] > 0
+        assert "git_describe" in result
+        assert "index_format_version" in result
+        assert_json_clean(result)
+
+    def test_kernel_bench_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            run_kernel_bench(n_rows=4, n_shards=8)
+        with pytest.raises(ValueError):
+            run_kernel_bench(rounds=0)

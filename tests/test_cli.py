@@ -297,3 +297,82 @@ class TestAutoCompactOption:
         ]) == 0
         assert not journal_path(idx).exists()  # folded into a fresh base
         assert load_index(idx).space.n == 16
+
+
+class TestKernelAndBuildVerbs:
+    def test_bench_kernels_parser_defaults(self):
+        args = build_parser().parse_args(["bench-kernels"])
+        assert args.command == "bench-kernels"
+        assert args.rows == 4096 and args.dims == 128
+        assert args.cold_rows == 2048 and args.rounds == 3
+        assert args.json is False
+
+    def test_bench_kernels_json_output(self, capsys):
+        assert main([
+            "bench-kernels", "--json", "--rows", "256", "--dims", "32",
+            "--queries", "8", "--batch-size", "4", "--shards", "4",
+            "--k", "3", "--rounds", "1", "--cold-rows", "256",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "numpy" in payload["backends"] and "report" not in payload
+        assert payload["cold_start"]["queries_identical"] is True
+
+    def test_bench_kernels_invalid_args_fail(self, capsys):
+        assert main(["bench-kernels", "--rounds", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_index_build_parser_defaults(self):
+        args = build_parser().parse_args(["index-build", "idx.json"])
+        assert args.index == "idx.json"
+        assert args.selection == "variance" and args.layout == "npz"
+        assert args.graphs is None
+
+    def test_index_build_synthetic_paged_round_trip(self, tmp_path, capsys):
+        from repro.index import load_index, paged_payload_path
+
+        idx = tmp_path / "built.json"
+        assert main([
+            "index-build", str(idx), "--db-size", "14",
+            "--num-features", "6", "--min-support", "0.3",
+            "--max-pattern-edges", "2", "--layout", "paged",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "built index from synthetic" in out
+        assert "paged layout" in out and "[mmap-loadable]" in out
+        assert paged_payload_path(idx).exists()
+        eager = load_index(idx)
+        lazy = load_index(idx, mmap=True)
+        assert lazy.load_mode == "mmap" and eager.load_mode == "eager"
+        assert (lazy.database_vectors == eager.database_vectors).all()
+
+    def test_index_build_from_graph_file(self, tmp_path, capsys):
+        from repro.datasets import chemical_database
+        from repro.graph.io import save_gspan
+        from repro.index import load_index
+
+        graph_file = tmp_path / "db.gspan"
+        save_gspan(chemical_database(12, seed=1), graph_file)
+        idx = tmp_path / "built.json"
+        assert main([
+            "index-build", str(idx), "--graphs", str(graph_file),
+            "--num-features", "5", "--min-support", "0.3",
+            "--max-pattern-edges", "2",
+        ]) == 0
+        assert "12 graphs" in capsys.readouterr().out
+        assert load_index(idx).space.n == 12
+
+    def test_index_build_missing_graphs_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "index-build", str(tmp_path / "idx.json"),
+            "--graphs", str(tmp_path / "nope.gspan"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_index_build_impossible_support_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "index-build", str(tmp_path / "idx.json"), "--db-size", "8",
+            "--min-support", "1.1",
+        ]) == 2
+        assert "error" in capsys.readouterr().err

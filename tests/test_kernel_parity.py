@@ -1,0 +1,201 @@
+"""Kernel-parity correctness tier: every backend answers like numpy.
+
+The pluggable-kernel refactor is only sound if a backend swap is
+unobservable from outside: on the binary embedding vectors this project
+serves, every distance term is a small integer (exact in float64), so
+all backends must produce **bit-identical** distance blocks, rankings,
+and scores — not merely close ones.  Bounds involve non-integer
+centroids, so those are allowed to differ by ulps (within the pruning
+slack that makes such differences answer-neutral); everything a caller
+can see stays exact.
+
+Each test parametrizes over every backend registered on this host, so
+installing numba automatically widens the tier to cover it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import build_mapping
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.kernels import available_backends, resolve_backend, use_backend
+from repro.query.engine import QueryEngine
+from repro.query.pruning import SearchPolicy
+from repro.query.topk import MappedTopKEngine
+from repro.serving.pruning_bench import (
+    clustered_query_vectors,
+    clustered_vector_index,
+)
+
+BACKENDS = available_backends()
+K = 5
+
+
+@pytest.fixture(scope="module")
+def graph_setup():
+    db = synthetic_database(30, avg_edges=12, density=0.3, num_labels=4, seed=5)
+    mapping = build_mapping(db, num_features=12, min_support=0.2)
+    queries = synthetic_query_set(
+        8, avg_edges=12, density=0.3, num_labels=4, seed=77
+    )
+    return mapping, queries
+
+
+@pytest.fixture(scope="module")
+def vector_setup():
+    # Tight, well-separated clusters with session-like batches (each
+    # batch stays in one cluster) — the regime where exact pruning
+    # skips whole shard blocks, so the skip counters are exercised.
+    mapping, blocks = clustered_vector_index(
+        4, 60, 16, fill=0.95, noise=0.002, seed=2
+    )
+    queries = clustered_query_vectors(
+        24, 4, 16, fill=0.95, noise=0.002, seed=3, block_size=6
+    )
+    batches = [queries[lo : lo + 6] for lo in range(0, 24, 6)]
+    return mapping, blocks, queries, batches
+
+
+@pytest.fixture(scope="module")
+def raw_arrays():
+    rng = np.random.default_rng(17)
+    vectors = (rng.random((300, 40)) < 0.3).astype(float)
+    queries = (rng.random((16, 40)) < 0.3).astype(float)
+    return vectors, queries
+
+
+class TestRawKernels:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_distance_block_bit_identical(self, name, raw_arrays):
+        vectors, queries = raw_arrays
+        sq = (vectors**2).sum(axis=1)
+        baseline = resolve_backend("numpy").distance_block(
+            queries, vectors, sq, vectors.shape[1]
+        )
+        out = resolve_backend(name).distance_block(
+            queries, vectors, sq, vectors.shape[1]
+        )
+        assert np.array_equal(np.asarray(out), baseline)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_distance_block_with_offsets_bit_identical(self, name, raw_arrays):
+        vectors, queries = raw_arrays
+        sq = (vectors**2).sum(axis=1)
+        offsets = np.linspace(0.0, 0.5, queries.shape[0])
+        baseline = resolve_backend("numpy").distance_block(
+            queries, vectors, sq, vectors.shape[1], offsets=offsets
+        )
+        out = resolve_backend(name).distance_block(
+            queries, vectors, sq, vectors.shape[1], offsets=offsets
+        )
+        assert np.array_equal(np.asarray(out), baseline)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_bound_block_within_pruning_slack(self, name, vector_setup):
+        from repro.query.pruning import ShardSummary, stack_summaries
+
+        mapping, blocks, queries, _batches = vector_setup
+        vectors = mapping.database_vectors
+        stack = stack_summaries(
+            [ShardSummary.from_vectors(vectors[b]) for b in blocks]
+        )
+        p = vectors.shape[1]
+        args = (
+            queries,
+            stack.centroids,
+            stack.centroid_sq_norms,
+            stack.radii,
+            stack.lows,
+            stack.highs,
+            p,
+        )
+        base_bounds, base_cd = resolve_backend("numpy").bound_block(*args)
+        bounds, cd = resolve_backend(name).bound_block(*args)
+        assert np.allclose(bounds, base_bounds, rtol=1e-9, atol=1e-12)
+        assert np.allclose(cd, base_cd, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_bound_check_same_mask(self, name, raw_arrays):
+        vectors, _ = raw_arrays
+        rng = np.random.default_rng(23)
+        bounds = rng.random((8, 6))
+        thresholds = rng.random(8)
+        baseline = resolve_backend("numpy").bound_check(
+            bounds, thresholds[:, None], 1e-9, 1e-12
+        )
+        out = resolve_backend(name).bound_check(
+            bounds, thresholds[:, None], 1e-9, 1e-12
+        )
+        assert np.array_equal(np.asarray(out), np.asarray(baseline))
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_graph_queries_bit_identical(self, name, graph_setup):
+        mapping, queries = graph_setup
+        # Engines resolve their backend at construction, so the scoped
+        # override must wrap construction — this is the documented usage.
+        with use_backend("numpy"):
+            baseline = QueryEngine(mapping)
+        with use_backend(name):
+            engine = QueryEngine(mapping)
+        for q in queries:
+            a = baseline.query(q, K)
+            b = engine.query(q, K)
+            assert a.ranking == b.ranking
+            assert a.scores == b.scores
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_filter_short_circuit_matches_naive(self, name, graph_setup):
+        mapping, queries = graph_setup
+        naive = MappedTopKEngine(mapping)
+        with use_backend(name):
+            engine = QueryEngine(mapping)
+        for q in queries:
+            a = naive.query(q, K)
+            b = engine.query(q, K)
+            assert a.ranking == b.ranking
+            assert a.scores == b.scores
+        # The candidate filter must have decided at least some positions
+        # on this workload, or the short-circuit path went untested.
+        assert engine.stats.filter_rejected > 0
+
+
+class TestServiceParity:
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize(
+        "policy",
+        [SearchPolicy(prune=False), SearchPolicy()],
+        ids=["full-scan", "exact-pruned"],
+    )
+    def test_vector_answers_bit_identical(self, name, policy, vector_setup):
+        mapping, blocks, _queries, batches = vector_setup
+        with use_backend("numpy"):
+            with mapping.query_service(shards=blocks, cache_size=0) as svc:
+                baseline = [
+                    r
+                    for batch in batches
+                    for r in svc.batch_query_vectors(batch, K, policy)
+                ]
+        with use_backend(name):
+            with mapping.query_service(shards=blocks, cache_size=0) as svc:
+                answers = [
+                    r
+                    for batch in batches
+                    for r in svc.batch_query_vectors(batch, K, policy)
+                ]
+        for a, b in zip(baseline, answers):
+            assert a.ranking == b.ranking
+            assert a.scores == b.scores
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_exact_pruning_actually_skips_on_every_backend(
+        self, name, vector_setup
+    ):
+        # Parity must not be achieved by silently disabling pruning.
+        mapping, blocks, _queries, batches = vector_setup
+        with use_backend(name):
+            with mapping.query_service(shards=blocks, cache_size=0) as svc:
+                for batch in batches:
+                    svc.batch_query_vectors(batch, K, SearchPolicy())
+                assert svc.stats.shards_skipped > 0
