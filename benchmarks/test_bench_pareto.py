@@ -1,0 +1,78 @@
+"""Bench: the recall/latency Pareto frontier across search modes.
+
+Shapes asserted:
+
+* at the matched recall target (0.9) the graph beam reaches the target
+  **and** pays strictly fewer distance evaluations than the cheapest
+  ``nprobe`` operating point that also reaches it — the sublinear-tier
+  claim, on the clustered workload the partition tier was built for;
+* every graph operating point costs less distance work than the full
+  scan, and recall is monotone along the swept ``ef`` ladder;
+* the churn cycle (live ``apply_update`` removals + appends) leaves the
+  incrementally maintained proximity graph bit-identical to a
+  from-scratch rebuild — neighbor tables and query answers — with zero
+  full KNN rebuilds;
+* timings are min-of-rounds and the JSON payload carries the shared
+  provenance fields every bench emits.
+"""
+
+from pathlib import Path
+
+from repro.serving.pareto_bench import run_pareto_bench
+
+REPORT_NAME = "pareto_small.txt"
+ROUNDS = 3
+RECALL_TARGET = 0.9
+
+
+def test_recall_latency_pareto(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_pareto_bench(
+            n_clusters=8, per_cluster=250, dims_per_cluster=16,
+            query_count=64, batch_size=16, k=10, seed=0, rounds=ROUNDS,
+            recall_target=RECALL_TARGET,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- matched recall: the beam does the same job with less work -----
+    matched = result["matched"]
+    assert matched["nprobe"] is not None, "no nprobe point reached 0.9"
+    assert matched["graph"] is not None, (
+        f"no graph point reached recall {RECALL_TARGET}: "
+        f"{[(p['ef'], p['recall']) for p in result['graph_points']]}"
+    )
+    assert matched["graph"]["recall"] >= RECALL_TARGET
+    assert matched["graph_fewer_evals"] is True, (
+        f"graph paid {matched['graph']['distance_evaluations']} "
+        f"evaluations vs nprobe's "
+        f"{matched['nprobe']['distance_evaluations']}"
+    )
+
+    # -- the frontier is sane ------------------------------------------
+    full_evals = result["full_scan_distance_evaluations"]
+    assert full_evals == (
+        result["query_count"] * result["db_size"]
+    )
+    for point in result["graph_points"]:
+        assert 0 < point["distance_evaluations"] < full_evals
+    graph_recalls = [p["recall"] for p in result["graph_points"]]
+    assert graph_recalls == sorted(graph_recalls), (
+        f"recall not monotone along the ef ladder: {graph_recalls}"
+    )
+    assert result["exact"]["recall"] == 1.0  # bit-identity gate inside
+
+    # -- churn: maintained graph == scratch rebuild, no full rebuild ---
+    churn = result["churn"]
+    assert churn["full_rebuilds"] == 0
+    assert churn["tables_identical"] is True
+    assert churn["answers_identical"] is True
+    assert churn["consistent"] is True
+    assert churn["added"] > 0 and churn["removed"] > 0
+
+    # -- provenance fields ride every --json payload -------------------
+    assert result["rounds"] == ROUNDS
+    assert isinstance(result["git_describe"], str) and result["git_describe"]
+    assert isinstance(result["index_format_version"], int)

@@ -124,6 +124,7 @@ def _cmd_bench_queries(args: argparse.Namespace) -> int:
             batch_sizes=tuple(args.batch_sizes),
             search_mode=args.search_mode,
             nprobe=args.nprobe,
+            ef=args.ef,
         )
     except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -142,6 +143,10 @@ def _check_bench_search_flags(args: argparse.Namespace) -> bool:
     """
     if args.nprobe is not None and args.search_mode != "approx":
         print("error: --nprobe requires --search-mode approx",
+              file=sys.stderr)
+        return False
+    if args.ef is not None and args.search_mode != "graph":
+        print("error: --ef requires --search-mode graph",
               file=sys.stderr)
         return False
     return True
@@ -168,6 +173,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             search_mode=args.search_mode or "exact",
             nprobe=args.nprobe,
+            ef=args.ef,
         )
     except (ValueError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -215,9 +221,17 @@ def _parse_search_policy(args: argparse.Namespace):
     if args.search_mode == "approx":
         if args.nprobe is None:
             raise ValueError("--search-mode approx requires --nprobe")
+        if args.ef is not None:
+            raise ValueError("--ef requires --search-mode graph")
         return SearchPolicy(mode="approx", nprobe=args.nprobe)
+    if args.search_mode == "graph":
+        if args.nprobe is not None:
+            raise ValueError("--nprobe requires --search-mode approx")
+        return SearchPolicy(mode="graph", ef=args.ef)
     if args.nprobe is not None:
         raise ValueError("--nprobe requires --search-mode approx")
+    if args.ef is not None:
+        raise ValueError("--ef requires --search-mode graph")
     return None
 
 
@@ -528,6 +542,32 @@ def _cmd_bench_pruning(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pareto(args: argparse.Namespace) -> int:
+    """Recall/latency Pareto frontier: exact vs nprobe vs graph beam."""
+    from repro.serving.pareto_bench import run_pareto_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_pareto_bench(
+            n_clusters=args.clusters,
+            per_cluster=args.per_cluster,
+            dims_per_cluster=args.dims_per_cluster,
+            query_count=args.queries,
+            batch_size=args.batch_size,
+            k=args.k,
+            seed=args.seed,
+            rounds=args.rounds,
+            nprobes=tuple(args.nprobes) if args.nprobes else None,
+            efs=tuple(args.efs) if args.efs else None,
+            recall_target=args.recall_target,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def _cmd_bench_incremental(args: argparse.Namespace) -> int:
     """Incremental add/remove vs full offline rebuild, in seconds."""
     from repro.index.bench import run_incremental_bench
@@ -552,16 +592,21 @@ def _cmd_bench_incremental(args: argparse.Namespace) -> int:
 
 
 def _add_search_flags(parser: argparse.ArgumentParser) -> None:
-    """The shared --search-mode/--nprobe pair (serve + bench verbs)."""
+    """The shared --search-mode/--nprobe/--ef trio (serve + bench verbs)."""
     parser.add_argument(
-        "--search-mode", choices=("exact", "approx"), default=None,
+        "--search-mode", choices=("exact", "approx", "graph"), default=None,
         help="shard-search policy: exact (bit-identical, skips only "
-             "provably irrelevant shards) or approx (route each query "
-             "to its --nprobe closest shards only)",
+             "provably irrelevant shards), approx (route each query "
+             "to its --nprobe closest shards only), or graph "
+             "(best-first beam over the navigable proximity graph)",
     )
     parser.add_argument(
         "--nprobe", type=int, default=None,
         help="shards each query visits in approx mode",
+    )
+    parser.add_argument(
+        "--ef", type=int, default=None,
+        help="beam width in graph mode (default: max(4k, 32))",
     )
 
 
@@ -794,6 +839,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report table",
     )
     pruning.set_defaults(func=_cmd_bench_pruning)
+
+    pareto = sub.add_parser(
+        "bench-pareto",
+        help="recall/latency Pareto frontier: exact scan vs approx "
+             "nprobe routing vs graph beam search at matched recall",
+    )
+    pareto.add_argument("--clusters", type=int, default=8,
+                        help="similarity clusters (= shards)")
+    pareto.add_argument("--per-cluster", type=int, default=250,
+                        help="database rows per cluster")
+    pareto.add_argument("--dims-per-cluster", type=int, default=16,
+                        help="embedding dimensions owned by each cluster")
+    pareto.add_argument("--queries", type=int, default=64)
+    pareto.add_argument("--batch-size", type=int, default=16)
+    pareto.add_argument("--k", type=int, default=10)
+    pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument("--rounds", type=int, default=3,
+                        help="throughput rounds (min-of-N timing)")
+    pareto.add_argument(
+        "--nprobes", type=int, nargs="+", default=None,
+        help="approx operating points to sweep "
+             "(default: 1, 2, ceil(clusters/2))",
+    )
+    pareto.add_argument(
+        "--efs", type=int, nargs="+", default=None,
+        help="graph-beam operating points to sweep (default: 16 32 64)",
+    )
+    pareto.add_argument(
+        "--recall-target", type=float, default=0.9,
+        help="matched-recall threshold for the graph-vs-nprobe comparison",
+    )
+    pareto.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    pareto.set_defaults(func=_cmd_bench_pareto)
 
     inc = sub.add_parser(
         "bench-incremental",

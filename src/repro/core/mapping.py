@@ -155,6 +155,21 @@ class DSPreservedMapping:
     shard_summary_cache: Dict[Tuple, List["ShardSummary"]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    #: Lazily built navigable proximity graph (the graph-ANN search
+    #: tier).  Maintained incrementally by the mutation appliers and
+    #: persisted in the v3 manifest; ``None`` until the first graph-mode
+    #: query (or restore) asks for it.
+    _proximity_graph: Optional["ProximityGraph"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: A restored-but-not-yet-attached graph section (neighbor ids from
+    #: the artifact).  Kept separate from the built graph so an mmap
+    #: load stays O(manifest): attaching needs the vectors, so it is
+    #: deferred to the first :meth:`proximity_graph` call.  Dropped by
+    #: any mutation (it describes pre-mutation row numbering).
+    _proximity_payload: Optional[Dict] = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _support_baseline: np.ndarray = field(
         init=False, repr=False, compare=False, default=None
     )
@@ -254,6 +269,8 @@ class DSPreservedMapping:
         self._engine = None
         self.__dict__.pop("database_sq_norms", None)
         self.shard_summary_cache.clear()
+        self._proximity_graph = None
+        self._proximity_payload = None
 
     # ------------------------------------------------------------------
     # shard-summary cache (the pruning tier's cold-start store)
@@ -274,6 +291,53 @@ class DSPreservedMapping:
             self.shard_summary_cache.pop(
                 next(iter(self.shard_summary_cache))
             )
+
+    # ------------------------------------------------------------------
+    # proximity graph (the graph-ANN tier's cold-start store)
+    # ------------------------------------------------------------------
+    def peek_proximity_graph(self) -> Optional["ProximityGraph"]:
+        """The built graph if one exists — never triggers a build."""
+        return self._proximity_graph
+
+    def proximity_graph(self, backend=None) -> "ProximityGraph":
+        """The navigable proximity graph over ``database_vectors``.
+
+        Attached from a restored artifact section when one is pending
+        (one paired-distance pass, no KNN rebuild), else built lazily —
+        which is also how pre-graph artifacts backfill: the first
+        graph-mode query builds it, the next save persists it.
+        """
+        from repro.query.proximity import ProximityGraph
+
+        if self._proximity_graph is not None:
+            return self._proximity_graph
+        if self._proximity_payload is not None:
+            graph = ProximityGraph.from_payload(
+                self._proximity_payload, self.database_vectors,
+                backend=backend,
+            )
+            self._proximity_payload = None
+        else:
+            graph = ProximityGraph.build(
+                self.database_vectors, backend=backend
+            )
+        self._proximity_graph = graph
+        return graph
+
+    def store_proximity_payload(self, payload: Dict) -> None:
+        """Stash a restored (validated) graph section for lazy attach."""
+        self._proximity_payload = payload
+
+    def proximity_payload(self) -> Optional[Dict]:
+        """The persistable neighbor table, or ``None`` if none exists.
+
+        A still-pending restored section round-trips unchanged (no
+        mutation happened, or it would have been dropped), so saving a
+        loaded-but-never-queried index keeps its graph.
+        """
+        if self._proximity_graph is not None:
+            return self._proximity_graph.to_payload()
+        return self._proximity_payload
 
     # ------------------------------------------------------------------
     # the write path: incremental database mutations
@@ -361,12 +425,19 @@ class DSPreservedMapping:
         """
         engine = self._engine
         norms = self.__dict__.get("database_sq_norms")
+        graph = self._proximity_graph
         self.invalidate_caches()
         if engine is not None:
             lattice, profiles = engine.selected_offline_products()
             self._build_engine(lattice=lattice, pattern_profiles=profiles)
         if norms is not None:
             self.database_sq_norms = norms
+        if graph is not None:
+            # The appliers already maintained the graph incrementally
+            # against the mutated vectors, so it is re-seeded like the
+            # norms (a re-selection hook still drops it: _post_mutation
+            # calls invalidate_caches again after this refresh).
+            self._proximity_graph = graph
 
     def _apply_add_vectors(self, rows: np.ndarray) -> None:
         """Pure state update for an add: no gate, no engine refresh.
@@ -389,6 +460,14 @@ class DSPreservedMapping:
                 [self.__dict__["database_sq_norms"], (rows**2).sum(axis=1)]
             )
         self.database_vectors = np.vstack([self.database_vectors, rows])
+        # A restored-but-unattached graph section describes the old row
+        # numbering — drop it; a *built* graph is maintained exactly
+        # (equal to a scratch rebuild, no O(n^2) pass).
+        self._proximity_payload = None
+        if self._proximity_graph is not None:
+            self._proximity_graph = self._proximity_graph.with_appended(
+                self.database_vectors
+            )
 
     def _apply_remove(self, removed: List[int]) -> None:
         """Pure state update for a removal (shared with journal replay)."""
@@ -403,6 +482,11 @@ class DSPreservedMapping:
                 "database_sq_norms"
             ][keep]
         self.database_vectors = self.database_vectors[keep]
+        self._proximity_payload = None
+        if self._proximity_graph is not None:
+            self._proximity_graph = self._proximity_graph.with_removed(
+                sorted(removed_set), self.database_vectors
+            )
 
     def add_graphs(self, graphs: Sequence[LabeledGraph]) -> np.ndarray:
         """Add database graphs without rebuilding the index.

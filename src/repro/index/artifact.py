@@ -271,6 +271,83 @@ def _restore_summaries(
         )
 
 
+def _graph_payload(mapping: DSPreservedMapping, seq: int) -> Optional[Dict]:
+    """Serialise the mapping's proximity graph (``None`` when absent).
+
+    Like the shard summaries: *seq* pins the journal position the
+    neighbor table describes, and the section carries its own checksum
+    — a corrupted table would silently degrade (or bias) every
+    graph-mode answer, so it must fail the load loudly instead.  Only
+    neighbor ids are stored; distances are re-derived from the vectors
+    on first use and the tree backbone is implicit in the row count.
+    """
+    table = mapping.proximity_payload()
+    if table is None:
+        return None
+    section = {
+        "seq": int(seq),
+        "max_degree": int(table["max_degree"]),
+        "neighbors": table["neighbors"],
+    }
+    section["sha256"] = _entry_digest(section)
+    return section
+
+
+def _restore_graph(
+    mapping: DSPreservedMapping, payload: Dict, journal_len: int
+) -> None:
+    """Stash a persisted proximity graph on a freshly loaded mapping.
+
+    The section is validated structurally here (checksum, shape, id
+    range, no self-links/duplicates) but *attached* lazily — deriving
+    the neighbor distances needs the vectors, and touching those would
+    break the O(manifest) mmap cold start.  A ``seq`` that does not
+    match the replayed journal means the table describes a different
+    database state: silently dropped, and the graph tier lazily
+    rebuilds (then re-persists) exactly like pre-graph artifacts
+    backfill.
+    """
+    section = payload.get("proximity_graph")
+    if section is None:
+        return
+    if not isinstance(section, dict) or not isinstance(
+        section.get("neighbors"), list
+    ):
+        raise _corrupt("malformed proximity_graph section")
+    if section.get("sha256") != _entry_digest(section):
+        raise ChecksumError(
+            "proximity_graph section fails its checksum — a corrupted "
+            "neighbor table would silently skew graph-mode answers"
+        )
+    if section.get("seq") != journal_len:
+        return
+    n = mapping.space.n
+    max_degree = section.get("max_degree")
+    neighbors = section["neighbors"]
+    if not isinstance(max_degree, int) or max_degree < 1:
+        raise _corrupt("proximity_graph: bad max_degree")
+    m = min(max_degree, max(n - 1, 0))
+    try:
+        table = np.asarray(neighbors, dtype=np.int64)
+    except (TypeError, ValueError) as exc:
+        raise _corrupt(f"proximity_graph: unreadable neighbors: {exc}")
+    if table.shape != (n, m):
+        raise _corrupt(
+            f"proximity_graph: neighbor table is {table.shape}, "
+            f"expected {(n, m)}"
+        )
+    if m:
+        if table.min() < 0 or table.max() >= n:
+            raise _corrupt("proximity_graph: neighbor id out of range")
+        if (table == np.arange(n, dtype=np.int64)[:, None]).any():
+            raise _corrupt("proximity_graph: self-link")
+        if m > 1 and any(np.unique(row).size != m for row in table):
+            raise _corrupt("proximity_graph: duplicate neighbor")
+    mapping.store_proximity_payload(
+        {"max_degree": max_degree, "neighbors": neighbors}
+    )
+
+
 @dataclass
 class IndexArtifact:
     """A parsed index artifact: manifest + binary arrays + journal.
@@ -371,16 +448,19 @@ class IndexArtifact:
         }
         # A deterministic content identity (independent of npz
         # compression bytes): the manifest core plus the raw array data.
-        # Derived sections — the payload metadata and the shard-summary
-        # cache — stay out of the digest, so the same index state keeps
-        # the same identity whether or not a service warmed summaries.
+        # Derived sections — the payload metadata, the shard-summary
+        # cache, and the proximity graph — stay out of the digest, so
+        # the same index state keeps the same identity whether or not a
+        # service warmed them.
         digest = hashlib.sha256()
         digest.update(
             json.dumps(
                 {
                     k: v
                     for k, v in payload.items()
-                    if k not in ("payload", "shard_summaries")
+                    if k not in (
+                        "payload", "shard_summaries", "proximity_graph"
+                    )
                 },
                 sort_keys=True,
                 separators=(",", ":"),
@@ -392,6 +472,9 @@ class IndexArtifact:
         summaries = _summaries_payload(mapping, seq=0)
         if summaries is not None:
             payload["shard_summaries"] = summaries
+        graph = _graph_payload(mapping, seq=0)
+        if graph is not None:
+            payload["proximity_graph"] = graph
         return cls(payload, arrays=arrays)
 
     # ------------------------------------------------------------------
@@ -490,6 +573,9 @@ class IndexArtifact:
         # exact database state, so the serving tier cold-starts with
         # zero summary recomputation.
         _restore_summaries(mapping, payload, len(self.journal))
+        # Same deal for the proximity graph — restored seq-gated, but
+        # attached lazily so mmap loads stay O(manifest).
+        _restore_graph(mapping, payload, len(self.journal))
         # A load must always succeed; drift past the (default) policy
         # threshold is reported through the flag, never raised.
         if mapping.support_drift > mapping.staleness_policy.max_drift:
@@ -794,7 +880,7 @@ def save_index(
                 existing = None  # damaged journal: fall through and repair
             if existing is not None and len(existing) == mapping.journal_seq:
                 _append_deltas(path, mapping)
-                _sync_manifest_summaries(path, manifest, mapping)
+                _sync_manifest_derived(path, manifest, mapping)
                 if auto_compact_ratio is not None and _journal_oversized(
                     path, manifest, auto_compact_ratio
                 ):
@@ -897,24 +983,36 @@ def _append_deltas(path: Path, mapping: DSPreservedMapping) -> None:
     mapping.mutation_log.clear()
 
 
-def _sync_manifest_summaries(
+def _sync_manifest_derived(
     path: Path, manifest: Dict, mapping: DSPreservedMapping
 ) -> None:
-    """Bring the manifest's ``shard_summaries`` up to the mapping's.
+    """Bring the manifest's derived sections up to the mapping's state.
 
     Runs on every delta-path save (the manifest is small JSON — the
     whole point of the delta path is not rewriting the *binary*
-    payload), so summaries maintained through
-    :meth:`QueryService.apply_update
+    payload), so shard summaries and the proximity graph maintained
+    through :meth:`QueryService.apply_update
     <repro.serving.service.QueryService.apply_update>` — or computed
-    lazily after loading a pre-summary artifact — are persisted with
+    lazily after loading a pre-section artifact — are persisted with
     their ``seq`` at the current journal head, and a mapping whose
-    summaries were invalidated drops the stale section.  No-op when
-    nothing changed — detected from ``seq`` + the layout keys alone
+    caches were invalidated drops the stale sections.  The manifest is
+    written at most once, and not at all when nothing changed — for
+    summaries that is detected from ``seq`` + the layout keys alone
     (summaries are a pure function of database state and layout, and
     ``seq`` pins the database state), so the up-to-date case never
-    re-serialises the float payload.
+    re-serialises the float payload; for the graph, from ``seq`` plus
+    whether a table exists at all (same pure-function argument).
     """
+    changed = _sync_summaries_section(manifest, mapping)
+    changed = _sync_graph_section(manifest, mapping) or changed
+    if changed:
+        path.write_text(json.dumps(manifest))
+
+
+def _sync_summaries_section(
+    manifest: Dict, mapping: DSPreservedMapping
+) -> bool:
+    """Update ``manifest["shard_summaries"]`` in place; True if changed."""
     existing = manifest.get("shard_summaries")
     items = _persisted_layout_items(mapping)
     if (
@@ -927,15 +1025,41 @@ def _sync_manifest_summaries(
             for key, _summaries in items
         ]
     ):
-        return
+        return False
     summaries = _summaries_payload(mapping, seq=mapping.journal_seq)
     if summaries is not None:
         manifest["shard_summaries"] = summaries
-    elif "shard_summaries" not in manifest:
-        return
-    else:
-        manifest.pop("shard_summaries", None)
-    path.write_text(json.dumps(manifest))
+        return True
+    if "shard_summaries" not in manifest:
+        return False
+    manifest.pop("shard_summaries", None)
+    return True
+
+
+def _sync_graph_section(manifest: Dict, mapping: DSPreservedMapping) -> bool:
+    """Update ``manifest["proximity_graph"]`` in place; True if changed."""
+    existing = manifest.get("proximity_graph")
+    has_table = (
+        mapping.peek_proximity_graph() is not None
+        or mapping._proximity_payload is not None
+    )
+    if (
+        isinstance(existing, dict)
+        and existing.get("seq") == mapping.journal_seq
+        and has_table
+    ):
+        # Same database state (seq) and a table exists on both sides —
+        # the canonical graph is a pure function of that state, so the
+        # stored section is already exact.
+        return False
+    section = _graph_payload(mapping, seq=mapping.journal_seq)
+    if section is not None:
+        manifest["proximity_graph"] = section
+        return True
+    if "proximity_graph" not in manifest:
+        return False
+    manifest.pop("proximity_graph", None)
+    return True
 
 
 def load_index(path: PathLike, mmap: bool = False) -> DSPreservedMapping:
@@ -999,7 +1123,9 @@ def save_index_v2(mapping: DSPreservedMapping, path: PathLike) -> None:
     payload = {
         k: v
         for k, v in artifact.payload.items()
-        if k not in ("payload", "artifact_id", "shard_summaries")
+        if k not in (
+            "payload", "artifact_id", "shard_summaries", "proximity_graph"
+        )
     }
     payload["format_version"] = V2_FORMAT_VERSION
     payload["database_vectors"] = (

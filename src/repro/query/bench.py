@@ -105,16 +105,18 @@ def run_query_engine_bench(
     max_pattern_edges: int = 6,
     search_mode: Optional[str] = None,
     nprobe: Optional[int] = None,
+    ef: Optional[int] = None,
     n_shards: int = 4,
 ) -> Dict:
     """Measure naive vs engine queries/sec; returns metrics + report text.
 
-    When *search_mode* is given (``"exact"`` or ``"approx"``), a third
-    path is measured on the selected mapping: a sharded
-    :class:`~repro.serving.service.QueryService` running that
+    When *search_mode* is given (``"exact"``, ``"approx"`` or
+    ``"graph"``), a third path is measured on the selected mapping: a
+    sharded :class:`~repro.serving.service.QueryService` running that
     :class:`~repro.query.pruning.SearchPolicy` over *n_shards*
     contiguous shards — exact mode additionally asserts bit-identity
-    with the engine, approx mode reports its recall instead.
+    with the engine; approx and graph modes report their recall
+    instead.
     """
     if db_size < 1 or query_count < 1:
         raise ValueError("db_size and query_count must be >= 1")
@@ -150,7 +152,7 @@ def run_query_engine_bench(
     if search_mode is not None:
         result["pruned_service"] = _measure_policy_service(
             selected, queries, k, max(batch_sizes), search_mode, nprobe,
-            n_shards,
+            ef, n_shards,
         )
     attach_bench_metadata(result)
 
@@ -190,6 +192,7 @@ def run_query_engine_bench(
         lines.append(
             f"pruned service ({svc['search_mode']}"
             + (f", nprobe={svc['nprobe']}" if svc["nprobe"] else "")
+            + (f", ef={svc['ef']}" if svc.get("ef") else "")
             + f", {svc['n_shards']} shards): {svc['service_qps']:.0f} q/s, "
             f"{svc['shards_skipped']} shard blocks skipped "
             f"({svc['bound_checks']} bound checks), {recall}"
@@ -205,13 +208,14 @@ def _measure_policy_service(
     batch_size: int,
     search_mode: str,
     nprobe: Optional[int],
+    ef: Optional[int],
     n_shards: int,
 ) -> Dict:
     """One policy-driven :class:`QueryService` pass over *queries*.
 
     Exact mode is asserted bit-identical to the engine before any
-    number is reported; approx mode reports mean top-k recall against
-    the engine's answers instead.
+    number is reported; approx and graph modes report mean top-k
+    recall against the engine's answers instead.
     """
     from repro.query.pruning import SearchPolicy, default_nprobe, topk_recall
 
@@ -222,6 +226,7 @@ def _measure_policy_service(
     policy = SearchPolicy(
         mode=search_mode,
         nprobe=nprobe if search_mode == "approx" else None,
+        ef=ef if search_mode == "graph" else None,
     )
     with mapping.query_service(n_shards=n_shards, cache_size=0) as service:
         start = time.perf_counter()
@@ -244,6 +249,7 @@ def _measure_policy_service(
         return {
             "search_mode": search_mode,
             "nprobe": nprobe if search_mode == "approx" else None,
+            "ef": ef if search_mode == "graph" else None,
             "n_shards": len(service.shards),
             "service_qps": len(queries) / seconds,
             "recall": float(np.mean(overlaps)) if overlaps else 1.0,

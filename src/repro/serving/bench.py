@@ -50,13 +50,15 @@ def run_serving_bench(
     max_pattern_edges: int = 6,
     search_mode: str = "exact",
     nprobe: Optional[int] = None,
+    ef: Optional[int] = None,
 ) -> Dict:
     """Measure engine vs service queries/sec on a repeat-heavy stream.
 
-    *search_mode*/*nprobe* pick the service pass's
+    *search_mode*/*nprobe*/*ef* pick the service pass's
     :class:`~repro.query.pruning.SearchPolicy`.  Exact mode (the
-    default) keeps the bit-identity gate; approx mode reports the mean
-    top-k recall against the engine instead of asserting identity.
+    default) keeps the bit-identity gate; approx and graph modes
+    report the mean top-k recall against the engine instead of
+    asserting identity.
     """
     if db_size < 1 or pool_size < 1 or stream_length < 1:
         raise ValueError("db_size, pool_size and stream_length must be >= 1")
@@ -67,6 +69,7 @@ def run_serving_bench(
     policy = SearchPolicy(
         mode=search_mode,
         nprobe=nprobe if search_mode == "approx" else None,
+        ef=ef if search_mode == "graph" else None,
     )
     db = synthetic_database(
         db_size, avg_edges=avg_edges, density=density,
@@ -144,9 +147,11 @@ def run_serving_bench(
         result = {
             "search_mode": search_mode,
             "nprobe": nprobe if search_mode == "approx" else None,
+            "ef": ef if search_mode == "graph" else None,
             "recall": float(np.mean(overlaps)) if overlaps else 1.0,
             "shards_skipped": stats.shards_skipped,
             "bound_checks": stats.bound_checks,
+            "distance_evaluations": stats.distance_evaluations,
             "db_size": db_size,
             "pool_size": pool_size,
             "stream_length": stream_length,
@@ -205,10 +210,12 @@ def run_serving_bench(
         f"{result['bound_checks']} bound checks)",
         f"search policy: {search_mode}"
         + (f" (nprobe={nprobe})" if search_mode == "approx" else "")
+        + (f" (ef={ef if ef is not None else 'default'})"
+           if search_mode == "graph" else "")
         + (
-            f", recall {result['recall']:.3f}"
-            if search_mode == "approx"
-            else " (bit-identical, asserted)"
+            " (bit-identical, asserted)"
+            if search_mode == "exact"
+            else f", recall {result['recall']:.3f}"
         ),
         f"shard sizes: {result['shard_sizes']}, varying columns per shard: "
         f"{result['varying_columns']}",

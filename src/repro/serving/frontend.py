@@ -641,7 +641,9 @@ class AsyncFrontend:
             request = protocol.parse_request(line)
         except ProtocolError as exc:
             self.stats.bad_requests += 1
-            return protocol.error_response(None, "bad_request", str(exc))
+            return protocol.error_response(
+                None, "bad_request", str(exc), detail=exc.detail
+            )
         return await self.handle_request(request)
 
     async def handle_request(self, request: Dict) -> Dict:
@@ -706,7 +708,9 @@ class AsyncFrontend:
                 return protocol.ok_response(request_id, draining=True)
         except ProtocolError as exc:
             self.stats.bad_requests += 1
-            return protocol.error_response(request_id, "bad_request", str(exc))
+            return protocol.error_response(
+                request_id, "bad_request", str(exc), detail=exc.detail
+            )
         except AdmissionError as exc:
             return protocol.error_response(
                 request_id, exc.code, str(exc), retry_after=exc.retry_after

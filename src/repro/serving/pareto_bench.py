@@ -1,0 +1,386 @@
+"""Recall/latency Pareto benchmark: exact vs nprobe routing vs graph beam.
+
+Shared by the ``repro-graphdim bench-pareto`` CLI command and
+``benchmarks/test_bench_pareto.py``, so the number the perf trajectory
+tracks is the number an operator can reproduce.
+
+``bench-pruning`` answers "how much does pruning save at one operating
+point"; this bench maps the **frontier**: for each approximate policy it
+sweeps the knob that trades accuracy for work — ``nprobe`` for partition
+routing, ``ef`` for the proximity-graph beam — and reports every
+operating point as (recall, queries/sec, distance evaluations, latency).
+The interesting comparison is at *matched recall*: pick a recall target,
+take the cheapest operating point of each mode that reaches it, and
+compare how many (query, row) distance evaluations each one paid.
+Partition routing's cost is ``nprobe × rows-per-shard`` regardless of
+how quickly the answer stabilises; the beam's cost is only the rows it
+actually walks past, so on clustered data it reaches the same recall
+with a fraction of the evaluations — that gap is the headline number.
+
+The workload is ``bench-pruning``'s clustered synthetic index (tight,
+well-separated clusters, session-like query blocks), timed
+min-of-*rounds* with p50/p99 batch latency per point.
+
+The bench ends with a **churn cycle**: a live ``apply_update`` (removals
++ appends) against the served index, after which the incrementally
+maintained proximity graph is compared — neighbour tables *and* query
+answers — against a from-scratch rebuild over the post-churn database.
+The canonical-graph design makes those bit-identical, and the payload
+records it (``churn.consistent``) along with proof that no full rebuild
+ran (``churn.full_rebuilds == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.proximity import ProximityGraph
+from repro.query.pruning import SearchPolicy, default_nprobe, topk_recall
+from repro.serving.pruning_bench import (
+    _timed_pass,
+    clustered_query_vectors,
+    clustered_vector_index,
+)
+from repro.serving.service import QueryService
+from repro.utils.benchmeta import attach_bench_metadata
+
+
+def _row_graph(row: np.ndarray, graph_id: str) -> LabeledGraph:
+    """A database graph whose embedding is exactly *row*.
+
+    The clustered index's features are single-vertex ``dim{j}``
+    patterns, so a graph containing vertex label ``dim{j}`` sets
+    dimension ``j`` and nothing else.  All-zero rows get dimension 0
+    forced on — a vertexless graph would be rejected, and a one-bit
+    perturbation keeps the churn workload in-distribution.
+    """
+    dims = np.flatnonzero(row)
+    if dims.size == 0:
+        dims = np.array([0])
+    return LabeledGraph([f"dim{int(j)}" for j in dims], graph_id=graph_id)
+
+
+def _recall_point(
+    mode: str,
+    knob: Optional[int],
+    seconds: float,
+    answers: List,
+    truth: List,
+    stats: Dict,
+    query_count: int,
+) -> Dict:
+    """One operating point of the frontier, as a payload dict."""
+    recalls = [topk_recall(a, b) for a, b in zip(truth, answers)]
+    point = {
+        "mode": mode,
+        "qps": query_count / seconds,
+        "recall": float(np.mean(recalls)) if recalls else 1.0,
+        "distance_evaluations": int(stats["distance_evaluations"]),
+        "latency": stats["latency"],
+    }
+    if mode == "approx":
+        point["nprobe"] = int(knob)
+    elif mode == "graph":
+        point["ef"] = int(knob)
+    return point
+
+
+def _cheapest_at_target(points: List[Dict], target: float) -> Optional[Dict]:
+    """The fewest-evaluations point with recall >= *target* (else None)."""
+    hits = [p for p in points if p["recall"] >= target]
+    if not hits:
+        return None
+    return min(hits, key=lambda p: p["distance_evaluations"])
+
+
+def _churn_cycle(
+    service: QueryService,
+    queries: np.ndarray,
+    k: int,
+    ef: int,
+    seed: int,
+) -> Dict:
+    """A live update, then maintained-vs-scratch graph consistency.
+
+    Removes a spread of rows and appends fresh cluster-shaped ones
+    through :meth:`QueryService.apply_update`, then checks that the
+    incrementally repaired proximity graph is **bit-identical** to one
+    built from scratch over the post-churn database — neighbour ids,
+    neighbour distances, and the answers of every probe query — and
+    that zero full KNN builds ran during the update.
+    """
+    mapping = service.mapping
+    rng = np.random.default_rng(seed + 77_000)
+    n_before = mapping.database_vectors.shape[0]
+    churn = max(4, n_before // 100)
+    removed = sorted(
+        int(i) for i in rng.choice(n_before, size=churn, replace=False)
+    )
+    template_rows = mapping.database_vectors[
+        rng.choice(n_before, size=churn, replace=False)
+    ]
+    added = [
+        _row_graph(row, graph_id=f"churn{i}")
+        for i, row in enumerate(template_rows)
+    ]
+
+    policy = SearchPolicy(mode="graph", ef=ef)
+    # Force the graph to exist before the update so the update path
+    # exercises incremental maintenance, not a lazy post-churn build.
+    service.batch_query_vectors(queries[:1], k, policy)
+
+    builds_before = ProximityGraph.builds
+    service.apply_update(added=added, removed=removed)
+    full_rebuilds = ProximityGraph.builds - builds_before
+
+    maintained = mapping.peek_proximity_graph()
+    scratch = ProximityGraph.build(
+        mapping.database_vectors, max_degree=maintained.max_degree
+    )
+    tables_equal = bool(
+        np.array_equal(maintained.knn_ids, scratch.knn_ids)
+        and np.array_equal(maintained.knn_dists, scratch.knn_dists)
+    )
+
+    answers = service.batch_query_vectors(queries, k, policy)
+    answers_equal = True
+    for qi in range(queries.shape[0]):
+        ranking, scores, _hops, _evals = scratch.search(queries[qi], k, ef)
+        got = answers[qi]
+        if list(got.ranking) != list(ranking) or list(got.scores) != list(
+            scores
+        ):
+            answers_equal = False
+            break
+
+    return {
+        "added": len(added),
+        "removed": len(removed),
+        "full_rebuilds": int(full_rebuilds),
+        "tables_identical": tables_equal,
+        "answers_identical": answers_equal,
+        "consistent": bool(
+            tables_equal and answers_equal and full_rebuilds == 0
+        ),
+        "answers_checked": int(queries.shape[0]),
+    }
+
+
+def run_pareto_bench(
+    n_clusters: int = 8,
+    per_cluster: int = 250,
+    dims_per_cluster: int = 16,
+    fill: float = 0.95,
+    noise: float = 0.002,
+    query_count: int = 64,
+    batch_size: int = 16,
+    k: int = 10,
+    seed: int = 0,
+    rounds: int = 3,
+    nprobes: Optional[Tuple[int, ...]] = None,
+    efs: Optional[Tuple[int, ...]] = None,
+    recall_target: float = 0.9,
+) -> Dict:
+    """Map the recall/latency frontier of every search mode.
+
+    Returns the full sweep (one payload dict per operating point), the
+    matched-recall comparison at *recall_target*, and the churn-cycle
+    consistency record.  The full scan is the ground truth every recall
+    is measured against; the exact-pruned pass is additionally asserted
+    bit-identical to it before any number is reported.
+    """
+    if query_count < 1 or batch_size < 1 or k < 1:
+        raise ValueError("query_count, batch_size and k must be >= 1")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if not 0.0 < recall_target <= 1.0:
+        raise ValueError("recall_target must be in (0, 1]")
+    if nprobes is None:
+        nprobes = (1, 2, default_nprobe(n_clusters))
+    nprobes = tuple(sorted({int(x) for x in nprobes}))
+    if any(x < 1 or x > n_clusters for x in nprobes):
+        raise ValueError("every nprobe must be in [1, n_clusters]")
+    if efs is None:
+        efs = (16, 32, 64)
+    efs = tuple(sorted({int(x) for x in efs}))
+    if any(x < 1 for x in efs):
+        raise ValueError("every ef must be >= 1")
+
+    mapping, blocks = clustered_vector_index(
+        n_clusters, per_cluster, dims_per_cluster,
+        fill=fill, noise=noise, seed=seed,
+    )
+    queries = clustered_query_vectors(
+        query_count, n_clusters, dims_per_cluster,
+        fill=fill, noise=noise, seed=seed + 10_000,
+        block_size=batch_size,
+    )
+    batches = [
+        queries[lo : lo + batch_size]
+        for lo in range(0, query_count, batch_size)
+    ]
+
+    service = QueryService(
+        mapping.query_engine(), shards=blocks, n_workers=0, cache_size=0
+    )
+    try:
+        full_seconds, full_answers, full_stats = _timed_pass(
+            service, batches, k, SearchPolicy(prune=False), rounds
+        )
+        exact_seconds, exact_answers, exact_stats = _timed_pass(
+            service, batches, k, SearchPolicy(), rounds
+        )
+        for a, b in zip(full_answers, exact_answers):
+            if a.ranking != b.ranking or a.scores != b.scores:
+                raise AssertionError(
+                    "exact-mode pruning diverged from the full scan"
+                )
+        exact_point = _recall_point(
+            "exact", None, exact_seconds, exact_answers, full_answers,
+            exact_stats, query_count,
+        )
+
+        nprobe_points = []
+        for nprobe in nprobes:
+            seconds, answers, stats = _timed_pass(
+                service, batches, k,
+                SearchPolicy(mode="approx", nprobe=nprobe), rounds,
+            )
+            nprobe_points.append(
+                _recall_point(
+                    "approx", nprobe, seconds, answers, full_answers,
+                    stats, query_count,
+                )
+            )
+
+        # Pay the one-time graph construction before any timed graph
+        # pass — the frontier compares steady-state query cost.
+        service.batch_query_vectors(
+            queries[:1], k, SearchPolicy(mode="graph", ef=efs[0])
+        )
+        graph_points = []
+        for ef in efs:
+            seconds, answers, stats = _timed_pass(
+                service, batches, k,
+                SearchPolicy(mode="graph", ef=ef), rounds,
+            )
+            graph_points.append(
+                _recall_point(
+                    "graph", ef, seconds, answers, full_answers,
+                    stats, query_count,
+                )
+            )
+
+        matched_nprobe = _cheapest_at_target(nprobe_points, recall_target)
+        matched_graph = _cheapest_at_target(graph_points, recall_target)
+        matched = {
+            "recall_target": recall_target,
+            "nprobe": matched_nprobe,
+            "graph": matched_graph,
+            "graph_fewer_evals": (
+                matched_graph["distance_evaluations"]
+                < matched_nprobe["distance_evaluations"]
+                if matched_graph is not None and matched_nprobe is not None
+                else None
+            ),
+        }
+
+        churn = _churn_cycle(
+            service, queries[: min(query_count, 16)], k,
+            ef=max(efs), seed=seed,
+        )
+    finally:
+        service.close()
+
+    n = n_clusters * per_cluster
+    p = n_clusters * dims_per_cluster
+    result = {
+        "n_clusters": n_clusters,
+        "per_cluster": per_cluster,
+        "db_size": n,
+        "dimensionality": p,
+        "query_count": query_count,
+        "batch_size": batch_size,
+        "k": k,
+        "rounds": rounds,
+        "recall_target": recall_target,
+        "nprobes": list(nprobes),
+        "efs": list(efs),
+        "full_scan_qps": query_count / full_seconds,
+        "full_scan_distance_evaluations": int(
+            full_stats["distance_evaluations"]
+        ),
+        "exact": exact_point,
+        "nprobe_points": nprobe_points,
+        "graph_points": graph_points,
+        "matched": matched,
+        "churn": churn,
+    }
+    attach_bench_metadata(result)
+
+    def _fmt(point: Dict) -> str:
+        knob = (
+            f"nprobe={point['nprobe']}" if point["mode"] == "approx"
+            else f"ef={point['ef']}" if point["mode"] == "graph"
+            else "bounds"
+        )
+        return (
+            f"{point['mode'] + ' (' + knob + ')':<22}"
+            f"{point['qps']:>9.0f}"
+            f"{point['recall']:>8.3f}"
+            f"{point['distance_evaluations']:>12,}"
+            f"{point['latency']['p50_ms']:>9.2f}"
+            f"{point['latency']['p99_ms']:>9.2f}"
+        )
+
+    lines = [
+        f"recall/latency Pareto — {n_clusters} cluster shards x "
+        f"{per_cluster} rows, p={p}, {query_count} queries "
+        f"(batch {batch_size}, k={k}, min of {rounds} rounds)",
+        "",
+        f"{'operating point':<22}{'q/s':>9}{'recall':>8}{'dist evals':>12}"
+        f"{'p50 ms':>9}{'p99 ms':>9}",
+        _fmt(exact_point),
+        *[_fmt(pt) for pt in nprobe_points],
+        *[_fmt(pt) for pt in graph_points],
+        "",
+        f"full scan: {result['full_scan_qps']:.0f} q/s, "
+        f"{result['full_scan_distance_evaluations']:,} distance "
+        f"evaluations (ground truth)",
+    ]
+    if matched_nprobe is not None and matched_graph is not None:
+        ratio = (
+            matched_nprobe["distance_evaluations"]
+            / max(matched_graph["distance_evaluations"], 1)
+        )
+        lines.append(
+            f"matched recall >= {recall_target}: graph "
+            f"(ef={matched_graph['ef']}) pays "
+            f"{matched_graph['distance_evaluations']:,} evaluations vs "
+            f"nprobe={matched_nprobe['nprobe']}'s "
+            f"{matched_nprobe['distance_evaluations']:,} — "
+            f"{ratio:.1f}x fewer"
+        )
+    else:
+        lines.append(
+            f"matched recall >= {recall_target}: "
+            f"{'no nprobe point' if matched_nprobe is None else ''}"
+            f"{' and ' if matched_nprobe is None and matched_graph is None else ''}"
+            f"{'no graph point' if matched_graph is None else ''} "
+            "reached the target"
+        )
+    lines.append(
+        f"churn cycle: -{churn['removed']}/+{churn['added']} rows, "
+        f"{churn['full_rebuilds']} full rebuilds, maintained graph "
+        + (
+            "bit-identical to scratch rebuild "
+            f"({churn['answers_checked']} probe queries)"
+            if churn["consistent"]
+            else "DIVERGED from scratch rebuild"
+        )
+    )
+    result["report"] = "\n".join(lines) + "\n"
+    return result

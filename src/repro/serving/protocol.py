@@ -12,11 +12,16 @@ Requests
     An optional ``"search"`` object picks the shard-search policy:
     ``{"mode": "exact"}`` (the default — bit-exact answers, shards
     skipped only when provably irrelevant), ``{"mode": "exact",
-    "prune": false}`` (force the full scan), or ``{"mode": "approx",
+    "prune": false}`` (force the full scan), ``{"mode": "approx",
     "nprobe": 2}`` (visit each query's 2 closest shards only — DSPMap
     partition routing when the server shards by partition; routing
     extends past ``nprobe`` if those shards hold fewer than ``k`` rows,
-    so answers stay full-length).
+    so answers stay full-length), or ``{"mode": "graph", "ef": 32}``
+    (best-first beam over the navigable proximity graph — sublinear:
+    only the rows the beam walks past are evaluated; ``ef`` is the
+    beam width, omit it for the server default).  Unknown modes are
+    rejected with a ``bad_request`` whose ``detail.allowed_modes``
+    lists every accepted mode.
 ``{"op": "batch", "id": 2, "tenant": "alice", "k": 5, "graphs": [G...]}``
     Top-k for a client-side batch (admitted as one unit); accepts the
     same optional ``"search"`` policy.
@@ -40,7 +45,8 @@ Responses
 "shards_skipped": 2, "bound_checks": 4}}`` on success (``generation``
 counts applied updates — it names the exact database state the answer
 was computed on; ``pruning`` reports this request's own share of the
-shard-skipping work), or
+shard-skipping work — for graph-mode requests it is ``{"mode":
+"graph", "ef": 32, "hops": 14, "distance_evaluations": 96}``), or
 ``{"id": 1, "ok": false, "error": "quota_exceeded", "message": "...",
 "retry_after": 0.25}`` on a structured rejection.  ``error`` is one of
 ``bad_request``, ``quota_exceeded``, ``overloaded``, ``shutting_down``
@@ -170,25 +176,33 @@ def search_policy_from_request(request: Dict) -> Optional[SearchPolicy]:
         return None
     mode = section.get("mode", "exact")
     if mode not in SEARCH_MODES:
+        # Structured rejection: the response's "detail" names every
+        # accepted mode so clients can adapt without parsing prose.
         raise ProtocolError(
             f"unknown search mode {mode!r} "
-            f"(expected one of {', '.join(SEARCH_MODES)})"
+            f"(expected one of {', '.join(SEARCH_MODES)})",
+            detail={"allowed_modes": list(SEARCH_MODES)},
         )
     nprobe = section.get("nprobe")
     if nprobe is not None and (
         isinstance(nprobe, bool) or not isinstance(nprobe, int)
     ):
         raise ProtocolError("'nprobe' must be an integer")
+    ef = section.get("ef")
+    if ef is not None and (
+        isinstance(ef, bool) or not isinstance(ef, int)
+    ):
+        raise ProtocolError("'ef' must be an integer")
     prune = section.get("prune", True)
     if not isinstance(prune, bool):
         raise ProtocolError("'prune' must be a boolean")
-    unknown = set(section) - {"mode", "nprobe", "prune"}
+    unknown = set(section) - {"mode", "nprobe", "prune", "ef"}
     if unknown:
         raise ProtocolError(
             f"unknown 'search' fields: {', '.join(sorted(unknown))}"
         )
     try:
-        return SearchPolicy(mode=mode, nprobe=nprobe, prune=prune)
+        return SearchPolicy(mode=mode, nprobe=nprobe, prune=prune, ef=ef)
     except QueryError as exc:
         raise ProtocolError(str(exc)) from exc
 
@@ -204,11 +218,14 @@ def error_response(
     code: str,
     message: str,
     retry_after: Optional[float] = None,
+    detail=None,
 ) -> Dict:
     assert code in ERROR_CODES, code
     response = {"id": request_id, "ok": False, "error": code, "message": message}
     if retry_after is not None:
         response["retry_after"] = round(float(retry_after), 6)
+    if detail is not None:
+        response["detail"] = detail
     return response
 
 

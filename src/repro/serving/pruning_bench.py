@@ -157,6 +157,7 @@ def _timed_pass(
             "shard_tasks": service.stats.shard_tasks,
             "shards_skipped": service.stats.shards_skipped,
             "bound_checks": service.stats.bound_checks,
+            "distance_evaluations": service.stats.distance_evaluations,
         }
     stats["latency"] = latency_summary(best_batch_seconds)
     return best, answers, stats

@@ -70,6 +70,7 @@ from repro.query.pruning import (
     SearchPolicy,
     ShardSummary,
     SummaryStack,
+    default_ef,
     prunable_mask,
     shard_lower_bounds,
     stack_summaries,
@@ -177,6 +178,12 @@ class ServiceStats:
     #: sent a query their way) and (query, shard) bound evaluations.
     shards_skipped: int = 0
     bound_checks: int = 0
+    #: Scored (query, row) pairs across every search mode — the
+    #: mode-independent work measure the recall/latency Pareto bench
+    #: compares operating points on.  Full scans and non-skipped shard
+    #: blocks count every row they score; graph mode counts the rows
+    #: its beams actually evaluated.
+    distance_evaluations: int = 0
     #: Cold-start provenance, copied from the mapping when it was
     #: produced by :func:`repro.index.artifact.load_index`: how long the
     #: artifact took to open and whether the payload was read eagerly
@@ -240,6 +247,12 @@ class QueryService:
         #: applied update.  Snapshotted together with the shard list, so
         #: a tagged batch names exactly the database state it ran on.
         self.generation = 0
+        #: Graph-mode snapshot: the proximity graph the beam searches.
+        #: ``None`` until the first graph-mode query (lazy build /
+        #: artifact attach); refreshed under the swap lock by
+        #: apply_update, so graph answers track the same generation the
+        #: shard list serves.
+        self._graph = None
 
         if isinstance(engine_or_mapping, DSPreservedMapping):
             engine = engine_or_mapping.query_engine()
@@ -480,6 +493,12 @@ class QueryService:
             self._summary_stack = new_stack
             self.engine = engine
             self.generation += 1
+            # The mutation appliers maintained the mapping's proximity
+            # graph incrementally (or dropped it on re-selection);
+            # adopt that snapshot so graph-mode answers swap to the new
+            # generation atomically with the shard list.  Stays None if
+            # no graph-mode query ever forced a build.
+            self._graph = mapping.peek_proximity_graph()
             if selection_changed:
                 self._selection_snapshot = selection
                 if self._cache is not None:
@@ -744,11 +763,58 @@ class QueryService:
         vectors = np.asarray(vectors, dtype=float)
         if vectors.shape[0] == 0:
             return [], PruningTrace.full_scan(0, len(shards))
+        if policy.mode == "graph":
+            return self._query_vectors_graph(vectors, k, policy)
         if policy.is_full_scan:
             return self._query_vectors_full(vectors, k, shards)
         if stack is None:
             stack = stack_summaries([shard.summary for shard in shards])
         return self._query_vectors_pruned(vectors, k, shards, policy, stack)
+
+    def _ensure_graph(self):
+        """The graph-mode snapshot, built lazily on first use.
+
+        The build (or artifact attach) runs outside the swap lock — it
+        can cost an O(n²/chunk) kernel pass — and the assignment
+        re-checks under the lock so a concurrent first-query race keeps
+        exactly one snapshot.
+        """
+        with self._swap_lock:
+            graph = self._graph
+        if graph is not None:
+            return graph
+        built = self.mapping.proximity_graph(backend=self._kernel)
+        with self._swap_lock:
+            if self._graph is None:
+                self._graph = built
+            return self._graph
+
+    def _query_vectors_graph(
+        self, vectors: np.ndarray, k: int, policy: SearchPolicy
+    ) -> Tuple[List[TopKResult], PruningTrace]:
+        """Beam search over the proximity graph — no shards touched.
+
+        Approximate like ``nprobe`` routing, but sublinear: each query
+        evaluates only the rows its beam walks past.  Per-query hops
+        and distance evaluations go into the trace (the protocol's
+        ``pruning`` section) and the cumulative counter the Pareto
+        bench reads.
+        """
+        graph = self._ensure_graph()
+        nq = vectors.shape[0]
+        ef = policy.ef if policy.ef is not None else default_ef(k)
+        results: List[TopKResult] = []
+        hops = np.zeros(nq, dtype=np.int64)
+        evals = np.zeros(nq, dtype=np.int64)
+        for qi in range(nq):
+            ranking, scores, q_hops, q_evals = graph.search(
+                vectors[qi], k, ef, backend=self._kernel
+            )
+            results.append(TopKResult(ranking, scores))
+            hops[qi] = q_hops
+            evals[qi] = q_evals
+        self.stats.distance_evaluations += int(evals.sum())
+        return results, PruningTrace.graph_search(ef, hops, evals)
 
     def _query_vectors_full(
         self, vectors: np.ndarray, k: int, shards: List[Shard]
@@ -769,6 +835,9 @@ class QueryService:
         parts = [out for out, _seconds in timed]
         self.stats.shard_seconds += sum(seconds for _out, seconds in timed)
         self.stats.shard_tasks += len(shards)
+        self.stats.distance_evaluations += vectors.shape[0] * sum(
+            shard.num_rows for shard in shards
+        )
         results = []
         for qi in range(vectors.shape[0]):
             ranking, scores = self._merge([part[qi] for part in parts], k)
@@ -859,10 +928,13 @@ class QueryService:
                 shards_skipped += 1
             return elig, active
 
-        def absorb(active: np.ndarray, out, seconds: float) -> None:
+        def absorb(
+            active: np.ndarray, out, seconds: float, num_rows: int
+        ) -> None:
             nonlocal shard_tasks
             shard_tasks += 1
             self.stats.shard_seconds += seconds
+            self.stats.distance_evaluations += active.size * num_rows
             for pos, qi in enumerate(active):
                 qi = int(qi)
                 ids, scores = out[pos]
@@ -905,7 +977,7 @@ class QueryService:
                 out, seconds = self._timed_shard_topk(
                     shards[si], vectors[active], k
                 )
-                absorb(active, out, seconds)
+                absorb(active, out, seconds, shards[si].num_rows)
         if parallel:
             pending = []
             pool = self._ensure_shard_pool()
@@ -914,6 +986,7 @@ class QueryService:
                 if active.size:
                     pending.append((
                         active,
+                        shards[si].num_rows,
                         pool.submit(
                             self._timed_shard_topk,
                             shards[si],
@@ -921,9 +994,9 @@ class QueryService:
                             k,
                         ),
                     ))
-            for active, future in pending:
+            for active, num_rows, future in pending:
                 out, seconds = future.result()
-                absorb(active, out, seconds)
+                absorb(active, out, seconds, num_rows)
         self.stats.shard_tasks += shard_tasks
         self.stats.shards_skipped += shards_skipped
         self.stats.bound_checks += int(checks.sum())

@@ -107,4 +107,14 @@ class AdmissionError(ServingError):
 
 
 class ProtocolError(ServingError):
-    """A malformed NDJSON request (bad JSON, unknown op, bad graph)."""
+    """A malformed NDJSON request (bad JSON, unknown op, bad graph).
+
+    ``detail`` optionally carries a JSON-safe structured payload the
+    front-end attaches to the ``bad_request`` response (e.g.
+    ``{"allowed_modes": [...]}`` for an unknown search mode), so
+    clients can react programmatically instead of parsing the message.
+    """
+
+    def __init__(self, message: str, detail=None) -> None:
+        super().__init__(message)
+        self.detail = detail

@@ -15,6 +15,7 @@ import pytest
 from repro.kernels.bench import run_kernel_bench
 from repro.query.bench import run_query_engine_bench
 from repro.serving.bench import run_serving_bench
+from repro.serving.pareto_bench import run_pareto_bench
 from repro.serving.pruning_bench import run_pruning_bench
 from repro.utils.latency import latency_summary
 
@@ -91,6 +92,40 @@ class TestBenchPayloads:
         )
         for policy in ("full_scan", "exact", "approx"):
             assert_latency_summary(result[policy]["latency"])
+        assert_json_clean(result)
+
+    def test_pareto_bench_payload_shape(self):
+        result = run_pareto_bench(
+            n_clusters=2, per_cluster=30, dims_per_cluster=8,
+            query_count=8, batch_size=4, k=3, rounds=1,
+            nprobes=(1, 2), efs=(4, 8),
+        )
+        # one operating-point dict per swept knob value, each with the
+        # full (recall, work, latency) tuple the dashboard plots
+        assert [p["nprobe"] for p in result["nprobe_points"]] == [1, 2]
+        assert [p["ef"] for p in result["graph_points"]] == [4, 8]
+        for point in (
+            result["exact"], *result["nprobe_points"], *result["graph_points"]
+        ):
+            assert point["mode"] in ("exact", "approx", "graph")
+            assert 0.0 <= point["recall"] <= 1.0
+            assert point["distance_evaluations"] > 0
+            assert point["qps"] > 0
+            assert_latency_summary(point["latency"])
+        matched = result["matched"]
+        assert set(matched) == {
+            "recall_target", "nprobe", "graph", "graph_fewer_evals"
+        }
+        churn = result["churn"]
+        assert set(churn) == {
+            "added", "removed", "full_rebuilds", "tables_identical",
+            "answers_identical", "consistent", "answers_checked",
+        }
+        assert result["full_scan_distance_evaluations"] == (
+            result["query_count"] * result["db_size"]
+        )
+        assert "git_describe" in result
+        assert "index_format_version" in result
         assert_json_clean(result)
 
     def test_kernel_bench_payload_shape(self):

@@ -1,0 +1,442 @@
+"""Behaviour tests for the navigable proximity graph (graph-ANN tier).
+
+The tier's contract, in order of importance:
+
+* the canonical structure — incremental maintenance (appends, removals,
+  mixed churn) produces neighbor tables **bit-identical** to a scratch
+  rebuild, so graph-mode answers are reproducible under any update
+  history;
+* beam-search quality is monotone in the knob — recall never decreases
+  as ``ef`` grows (a hypothesis property, guaranteed by construction:
+  ``ef`` enters the search only through the termination test);
+* persistence — the checksummed v3 manifest section round-trips without
+  triggering a KNN rebuild, fails loudly when corrupted, and is
+  silently dropped (then lazily rebuilt) when it is stale;
+* the serving plumbing — ``SearchPolicy(mode="graph")`` dispatches end
+  to end, and malformed policies fail with structured errors that
+  enumerate every accepted mode.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import mapping_from_selection
+from repro.features.binary_matrix import FeatureSpace
+from repro.graph.labeled_graph import LabeledGraph
+from repro.index import load_index, save_index
+from repro.index.artifact import _entry_digest
+from repro.mining.gspan import FrequentSubgraph
+from repro.query.proximity import ProximityGraph, _entry_points
+from repro.query.pruning import SEARCH_MODES, SearchPolicy, default_ef
+from repro.serving import protocol
+from repro.serving.service import QueryService
+from repro.utils.errors import ChecksumError, ProtocolError, QueryError
+
+
+def _binary_vectors(rng, n, p):
+    return rng.integers(0, 2, size=(n, p)).astype(float)
+
+
+def _exact_topk(vectors, query, k):
+    """Ground-truth (distance, id)-ordered top-k by brute force."""
+    p = vectors.shape[1]
+    diff = vectors - query[None, :]
+    d = np.sqrt((diff**2).sum(axis=1) / p) if p else np.zeros(len(vectors))
+    order = np.lexsort((np.arange(len(d)), d))[:k]
+    return [int(i) for i in order], [float(d[i]) for i in order]
+
+
+def _vector_mapping(vectors):
+    """A real mapping over raw binary *vectors* (single-vertex features)."""
+    n, p = vectors.shape
+    features = [
+        FrequentSubgraph(
+            LabeledGraph([f"d{j}"], graph_id=f"d{j}"),
+            {int(i) for i in np.flatnonzero(vectors[:, j])},
+        )
+        for j in range(p)
+    ]
+    return mapping_from_selection(FeatureSpace(features, n), list(range(p)))
+
+
+def _row_graph(row, graph_id):
+    dims = np.flatnonzero(row)
+    if dims.size == 0:
+        dims = np.array([0])
+    return LabeledGraph([f"d{int(j)}" for j in dims], graph_id=graph_id)
+
+
+class TestBuildAndSearch:
+    def test_exhaustive_beam_equals_brute_force(self):
+        rng = np.random.default_rng(7)
+        vectors = _binary_vectors(rng, 40, 12)
+        graph = ProximityGraph.build(vectors, max_degree=4)
+        query = _binary_vectors(rng, 1, 12)[0]
+        # ef = n keeps the tracker threshold at None until every row is
+        # seen, and the entry points + tree backbone keep the graph
+        # connected — so the beam degenerates to an exact scan.
+        ranking, scores, hops, evals = graph.search(query, k=5, ef=40)
+        truth_ids, truth_scores = _exact_topk(vectors, query, 5)
+        assert ranking == truth_ids
+        assert scores == truth_scores
+        assert evals == 40  # every row evaluated exactly once
+        assert hops > 0
+
+    def test_search_reports_work_counters(self):
+        rng = np.random.default_rng(3)
+        vectors = _binary_vectors(rng, 60, 10)
+        graph = ProximityGraph.build(vectors)
+        _r, _s, hops, evals = graph.search(vectors[17], k=3, ef=8)
+        assert 0 < evals <= 60
+        assert hops >= 1
+
+    def test_singleton_and_empty_databases(self):
+        graph = ProximityGraph.build(np.ones((1, 4)))
+        ranking, scores, _hops, evals = graph.search(np.ones(4), k=3, ef=2)
+        assert ranking == [0] and scores == [0.0] and evals == 1
+        empty = ProximityGraph.build(np.zeros((0, 4)))
+        assert empty.search(np.zeros(4), k=3, ef=2) == ([], [], 0, 0)
+
+    def test_bad_max_degree_rejected(self):
+        with pytest.raises(QueryError):
+            ProximityGraph.build(np.ones((3, 2)), max_degree=0)
+
+    def test_neighbors_are_undirected_and_deduplicated(self):
+        rng = np.random.default_rng(11)
+        vectors = _binary_vectors(rng, 30, 8)
+        graph = ProximityGraph.build(vectors, max_degree=3)
+        for node in (0, 7, 29):
+            nb = graph.neighbors(node)
+            assert node not in nb
+            assert len(nb) == len(set(nb.tolist()))
+            # out-links always included
+            assert set(graph.knn_ids[node].tolist()) <= set(nb.tolist())
+        # reverse reachability: anyone listing `node` sees it back
+        listed_by = int(graph.knn_ids[5][0])
+        assert 5 in graph.neighbors(listed_by) or listed_by in (
+            graph.neighbors(5).tolist()
+        )
+
+    def test_entry_points_are_canonical(self):
+        for n in (1, 2, 9, 100, 2000):
+            entries = _entry_points(n)
+            assert entries[0] == 0
+            assert np.array_equal(entries, np.unique(entries))
+            assert entries.min() >= 0 and entries.max() < n
+            # pure function of n: identical across calls
+            assert np.array_equal(entries, _entry_points(n))
+        assert _entry_points(100)[-1] == 99  # strided ends at the last row
+
+
+class TestIncrementalMaintenance:
+    def test_append_matches_scratch_across_degree_cap(self):
+        rng = np.random.default_rng(21)
+        vectors = _binary_vectors(rng, 4, 6)
+        graph = ProximityGraph.build(vectors, max_degree=8)
+        # grow through the m = n-1 < max_degree regime and past it
+        for extra in (2, 3, 8):
+            vectors = np.vstack([vectors, _binary_vectors(rng, extra, 6)])
+            graph = graph.with_appended(vectors)
+            scratch = ProximityGraph.build(vectors, max_degree=8)
+            assert np.array_equal(graph.knn_ids, scratch.knn_ids)
+            assert np.array_equal(graph.knn_dists, scratch.knn_dists)
+
+    def test_removal_matches_scratch(self):
+        rng = np.random.default_rng(22)
+        vectors = _binary_vectors(rng, 30, 8)
+        graph = ProximityGraph.build(vectors, max_degree=4)
+        removed = [0, 7, 13, 29]
+        survivors = np.setdiff1d(np.arange(30), removed)
+        graph = graph.with_removed(removed, vectors[survivors])
+        scratch = ProximityGraph.build(vectors[survivors], max_degree=4)
+        assert np.array_equal(graph.knn_ids, scratch.knn_ids)
+        assert np.array_equal(graph.knn_dists, scratch.knn_dists)
+
+    def test_mixed_churn_matches_scratch(self):
+        rng = np.random.default_rng(23)
+        vectors = _binary_vectors(rng, 20, 6)
+        graph = ProximityGraph.build(vectors, max_degree=5)
+        for step in range(4):
+            removed = sorted(
+                int(i)
+                for i in rng.choice(len(vectors), size=3, replace=False)
+            )
+            vectors = np.delete(vectors, removed, axis=0)
+            graph = graph.with_removed(removed, vectors)
+            fresh = _binary_vectors(rng, 4, 6)
+            vectors = np.vstack([vectors, fresh])
+            graph = graph.with_appended(vectors)
+            scratch = ProximityGraph.build(vectors, max_degree=5)
+            assert np.array_equal(graph.knn_ids, scratch.knn_ids), step
+            assert np.array_equal(graph.knn_dists, scratch.knn_dists), step
+
+    def test_payload_round_trip_is_exact_and_buildless(self):
+        rng = np.random.default_rng(24)
+        vectors = _binary_vectors(rng, 25, 7)
+        graph = ProximityGraph.build(vectors, max_degree=4)
+        before = ProximityGraph.builds
+        back = ProximityGraph.from_payload(
+            json.loads(json.dumps(graph.to_payload())), vectors
+        )
+        assert ProximityGraph.builds == before
+        assert np.array_equal(back.knn_ids, graph.knn_ids)
+        assert np.array_equal(back.knn_dists, graph.knn_dists)
+
+
+class TestEfMonotonicity:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 40),
+        p=st.integers(1, 10),
+        k=st.integers(1, 6),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_recall_non_decreasing_in_ef(self, seed, n, p, k):
+        rng = np.random.default_rng(seed)
+        k = min(k, n)
+        vectors = _binary_vectors(rng, n, p)
+        graph = ProximityGraph.build(vectors)
+        query = _binary_vectors(rng, 1, p)[0]
+        truth = set(_exact_topk(vectors, query, k)[0])
+        recalls = []
+        for ef in (1, 2, 4, 8, 16, 32, 64):
+            ranking, _s, _h, _e = graph.search(query, k, ef)
+            recalls.append(len(set(ranking) & truth) / k)
+        assert recalls == sorted(recalls), recalls
+        # ef >= n leaves the termination threshold unset until the
+        # whole (connected) graph is explored: exact recall.
+        assert recalls[-1] == 1.0
+
+
+@pytest.fixture(scope="module")
+def saved_graph_index(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    vectors = _binary_vectors(rng, 24, 6)
+    mapping = _vector_mapping(vectors)
+    graph = mapping.proximity_graph()
+    path = tmp_path_factory.mktemp("prox") / "index"
+    save_index(mapping, path)
+    return path, vectors, graph
+
+
+class TestPersistence:
+    def test_manifest_carries_checksummed_section(self, saved_graph_index):
+        path, _vectors, graph = saved_graph_index
+        manifest = json.loads(path.read_text())
+        section = manifest["proximity_graph"]
+        assert section["seq"] == 0
+        assert section["max_degree"] == graph.max_degree
+        assert "sha256" in section
+        assert np.array_equal(
+            np.asarray(section["neighbors"]), graph.knn_ids
+        )
+
+    def test_restore_attaches_without_rebuilding(self, saved_graph_index):
+        path, vectors, graph = saved_graph_index
+        loaded = load_index(path)
+        before = ProximityGraph.builds
+        restored = loaded.proximity_graph()
+        assert ProximityGraph.builds == before  # attach, not rebuild
+        assert np.array_equal(restored.knn_ids, graph.knn_ids)
+        assert np.array_equal(restored.knn_dists, graph.knn_dists)
+        query = vectors[3]
+        assert restored.search(query, 5, 16) == graph.search(query, 5, 16)
+
+    def test_corrupt_neighbor_table_fails_loudly(self, tmp_path):
+        rng = np.random.default_rng(32)
+        mapping = _vector_mapping(_binary_vectors(rng, 16, 5))
+        mapping.proximity_graph()
+        path = tmp_path / "corrupt-index"
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        manifest["proximity_graph"]["neighbors"][0][0] = 99
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ChecksumError):
+            load_index(path)
+
+    def test_stale_seq_is_dropped_then_lazily_rebuilt(self, tmp_path):
+        rng = np.random.default_rng(35)
+        mapping = _vector_mapping(_binary_vectors(rng, 16, 5))
+        graph = mapping.proximity_graph()
+        path = tmp_path / "stale-index"
+        save_index(mapping, path)
+        manifest = json.loads(path.read_text())
+        section = manifest["proximity_graph"]
+        section["seq"] = 7  # pretend the table predates journal entries
+        del section["sha256"]
+        section["sha256"] = _entry_digest(section)
+        path.write_text(json.dumps(manifest))
+        loaded = load_index(path)
+        assert loaded.peek_proximity_graph() is None
+        before = ProximityGraph.builds
+        rebuilt = loaded.proximity_graph()
+        assert ProximityGraph.builds == before + 1  # honest rebuild
+        assert np.array_equal(rebuilt.knn_ids, graph.knn_ids)
+
+    def test_sectionless_artifact_loads_and_builds_lazily(self, tmp_path):
+        rng = np.random.default_rng(33)
+        mapping = _vector_mapping(_binary_vectors(rng, 12, 5))
+        path = tmp_path / "plain-index"
+        save_index(mapping, path)  # graph never built -> no section
+        manifest = json.loads(path.read_text())
+        assert "proximity_graph" not in manifest
+        loaded = load_index(path)
+        assert loaded.peek_proximity_graph() is None
+        assert loaded.proximity_graph().num_rows == 12
+
+    def test_resave_after_build_backfills_the_section(self, tmp_path):
+        rng = np.random.default_rng(34)
+        vectors = _binary_vectors(rng, 14, 5)
+        mapping = _vector_mapping(vectors)
+        path = tmp_path / "backfill-index"
+        save_index(mapping, path)
+        loaded = load_index(path)
+        loaded.proximity_graph()  # built on the pre-PR artifact
+        loaded.add_graphs([_row_graph(vectors[0], "extra0")])
+        save_index(loaded, path)  # delta save syncs derived sections
+        manifest = json.loads(path.read_text())
+        section = manifest["proximity_graph"]
+        assert section["seq"] == loaded.journal_seq
+        assert len(section["neighbors"]) == 15
+
+
+class TestPolicyValidation:
+    def test_unknown_mode_enumerates_all_modes(self):
+        with pytest.raises(QueryError) as exc:
+            SearchPolicy(mode="fuzzy")
+        for mode in SEARCH_MODES:
+            assert mode in str(exc.value)
+
+    def test_nprobe_outside_approx_enumerates_modes(self):
+        with pytest.raises(QueryError) as exc:
+            SearchPolicy(mode="graph", nprobe=2)
+        assert "exact, approx, graph" in str(exc.value)
+
+    def test_ef_outside_graph_enumerates_modes(self):
+        with pytest.raises(QueryError) as exc:
+            SearchPolicy(mode="exact", ef=8)
+        assert "exact, approx, graph" in str(exc.value)
+
+    def test_graph_ef_bounds(self):
+        assert SearchPolicy(mode="graph").ef is None  # default beam
+        assert SearchPolicy(mode="graph", ef=4).ef == 4
+        with pytest.raises(QueryError):
+            SearchPolicy(mode="graph", ef=0)
+
+    def test_default_ef_scales_with_k(self):
+        assert default_ef(1) == 32
+        assert default_ef(10) == 40
+        assert default_ef(100) == 400
+
+
+class TestProtocolPlumbing:
+    def test_graph_policy_parses(self):
+        policy = protocol.search_policy_from_request(
+            {"search": {"mode": "graph", "ef": 32}}
+        )
+        assert policy == SearchPolicy(mode="graph", ef=32)
+
+    def test_unknown_mode_carries_structured_detail(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.search_policy_from_request(
+                {"search": {"mode": "hnsw"}}
+            )
+        assert exc.value.detail == {"allowed_modes": list(SEARCH_MODES)}
+
+    def test_bad_ef_type_rejected(self):
+        for ef in ("8", 8.0, True):
+            with pytest.raises(ProtocolError):
+                protocol.search_policy_from_request(
+                    {"search": {"mode": "graph", "ef": ef}}
+                )
+
+    def test_error_response_embeds_detail(self):
+        response = protocol.error_response(
+            3, "bad_request", "nope", detail={"allowed_modes": ["exact"]}
+        )
+        assert response["detail"] == {"allowed_modes": ["exact"]}
+        assert "detail" not in protocol.error_response(3, "bad_request", "x")
+
+
+class TestServiceDispatch:
+    def test_graph_mode_answers_and_counts_work(self):
+        rng = np.random.default_rng(41)
+        vectors = _binary_vectors(rng, 30, 8)
+        mapping = _vector_mapping(vectors)
+        with QueryService(
+            mapping.query_engine(), n_shards=3, n_workers=0, cache_size=0
+        ) as service:
+            policy = SearchPolicy(mode="graph", ef=30)
+            answers = service.batch_query_vectors(vectors[:4], 5, policy)
+            assert service.stats.distance_evaluations > 0
+            graph = mapping.peek_proximity_graph()
+            assert graph is not None  # built lazily on first graph query
+            for qi, got in enumerate(answers):
+                ranking, scores, _h, _e = graph.search(vectors[qi], 5, 30)
+                assert got.ranking == ranking
+                assert got.scores == scores
+
+    def test_full_scan_counts_every_pair(self):
+        rng = np.random.default_rng(42)
+        vectors = _binary_vectors(rng, 20, 6)
+        mapping = _vector_mapping(vectors)
+        with QueryService(
+            mapping.query_engine(), n_shards=2, n_workers=0, cache_size=0
+        ) as service:
+            service.batch_query_vectors(
+                vectors[:3], 4, SearchPolicy(prune=False)
+            )
+            assert service.stats.distance_evaluations == 3 * 20
+
+
+class TestChurnSoak:
+    def test_graph_answers_track_scratch_rebuild_under_churn(self):
+        rng = np.random.default_rng(51)
+        vectors = _binary_vectors(rng, 40, 8)
+        mapping = _vector_mapping(vectors)
+        policy = SearchPolicy(mode="graph", ef=24)
+        probes = _binary_vectors(rng, 6, 8)
+        with QueryService(
+            mapping.query_engine(), n_shards=3, n_workers=0, cache_size=0
+        ) as service:
+            service.batch_query_vectors(probes, 5, policy)  # force build
+            for cycle in range(3):
+                n = mapping.database_vectors.shape[0]
+                removed = sorted(
+                    int(i) for i in rng.choice(n, size=4, replace=False)
+                )
+                added = [
+                    _row_graph(
+                        _binary_vectors(rng, 1, 8)[0], f"c{cycle}g{gi}"
+                    )
+                    for gi in range(4)
+                ]
+                before = ProximityGraph.builds
+                service.apply_update(added=added, removed=removed)
+                assert ProximityGraph.builds == before  # no full rebuild
+                maintained = mapping.peek_proximity_graph()
+                scratch = ProximityGraph.build(
+                    mapping.database_vectors,
+                    max_degree=maintained.max_degree,
+                )
+                assert np.array_equal(
+                    maintained.knn_ids, scratch.knn_ids
+                ), cycle
+                assert np.array_equal(
+                    maintained.knn_dists, scratch.knn_dists
+                ), cycle
+                answers = service.batch_query_vectors(probes, 5, policy)
+                for qi, got in enumerate(answers):
+                    ranking, scores, _h, _e = scratch.search(
+                        probes[qi], 5, 24
+                    )
+                    assert got.ranking == ranking, (cycle, qi)
+                    assert got.scores == scores, (cycle, qi)
