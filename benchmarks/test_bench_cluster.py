@@ -1,0 +1,69 @@
+"""Bench: the router tier over N replicas, under faults and abuse.
+
+Shapes asserted (the ISSUE-9 cluster acceptance criteria):
+
+* a replica killed and restarted under streaming traffic loses no
+  admitted query — admitted == completed and every answer was checked
+  bit-identical to the per-generation oracle before any number was
+  reported;
+* after a routed update, no stale-generation answer ever reaches the
+  updating session, including across a kill + artifact-restart whose
+  rejoin replays the update log;
+* cluster-wide per-tenant quotas hold under the name-cycling attack:
+  the churning population collectively stays within ~10% of one
+  shared budget (it cannot re-mint a fresh burst per invented name),
+  while a compliant resident tenant sees zero rejections;
+* content-aware placement engages (placed_content > 0) when the router
+  has the shard-summary geometry.
+"""
+
+from pathlib import Path
+
+from repro.serving.cluster_bench import run_cluster_bench
+
+REPORT_NAME = "cluster_small.txt"
+
+
+def test_cluster_faults_consistency_quota(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_cluster_bench(
+            db_size=48, pool_size=12, per_client=16, clients=4,
+            replicas=3, num_features=30, k=8, seed=0, rounds=2,
+            attack_seconds=10.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- placement ----------------------------------------------------
+    assert result["placement"]["placed_content"] > 0
+
+    # -- replica kill/restart loses nothing ---------------------------
+    fault = result["fault"]
+    assert fault["admitted"] == fault["completed"] == 4 * 16
+    assert fault["failovers"] >= 1, "the killed replica was never hit"
+    assert fault["replicas_lost"] >= 1
+    assert fault["router_qps"] > 0
+
+    # -- read-your-writes across update + restart ---------------------
+    consistency = result["consistency"]
+    assert consistency["generation"] == 1
+    assert consistency["stale_answers"] == 0
+    assert consistency["min_writer_generation"] >= 1
+    assert consistency["replayed_entries"] >= 1, (
+        "the artifact-restarted replica rejoined without replay"
+    )
+
+    # -- cluster-wide quota under name cycling ------------------------
+    quota = result["quota"]
+    assert quota["compliant_rejections"] == 0, (
+        "a compliant resident tenant must be unaffected by the attack"
+    )
+    assert 0.9 <= quota["admitted_over_budget"] <= 1.1, (
+        f"cycling {quota['attack_names']} names admitted "
+        f"{quota['attacker_admitted']} vs budget {quota['budget']}"
+    )
+    assert quota["bucket_evictions"] > 0
+    # The fix's headline: far below what per-name fresh bursts allowed.
+    assert quota["attacker_admitted"] < quota["worst_case_budget"]

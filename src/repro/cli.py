@@ -334,6 +334,209 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_demo_mapping(db_size: int, num_features: int, seed: int):
+    """The synthetic demo index ``serve``/``serve-router`` fall back to."""
+    from repro.core.mapping import mapping_from_selection
+    from repro.datasets import synthetic_database
+    from repro.features.binary_matrix import FeatureSpace
+    from repro.mining import mine_frequent_subgraphs
+    from repro.query.bench import variance_selection
+
+    db = synthetic_database(db_size, seed=seed)
+    features = mine_frequent_subgraphs(db, min_support=0.1, max_edges=6)
+    space = FeatureSpace(features, len(db))
+    return mapping_from_selection(
+        space, variance_selection(space, num_features)
+    )
+
+
+def _cmd_serve_router(args: argparse.Namespace) -> int:
+    """The router tier: one NDJSON coordinator over N serving replicas."""
+    import asyncio
+    import signal
+    import tempfile
+    from pathlib import Path
+
+    from repro.serving import protocol
+    from repro.serving.router import (
+        ContentPlacer,
+        Router,
+        RouterConfig,
+        TcpReplica,
+        spawn_replica,
+    )
+    from repro.utils.errors import GraphDimensionError, ReplicaError
+
+    use_stdio = not args.no_stdio
+    if args.no_stdio and not args.tcp:
+        print("error: --no-stdio requires --tcp", file=sys.stderr)
+        return 2
+    if bool(args.replicas) == bool(args.spawn):
+        print("error: pass exactly one of --replicas or --spawn",
+              file=sys.stderr)
+        return 2
+    tcp_host, tcp_port = None, None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --tcp expects HOST:PORT, got {args.tcp!r}",
+                  file=sys.stderr)
+            return 2
+        tcp_host, tcp_port = host, int(port)
+    addresses = []
+    for spec in args.replicas or []:
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --replicas expects HOST:PORT, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        addresses.append((host, int(port)))
+
+    try:
+        config = RouterConfig(
+            max_inflight=args.max_inflight,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+            max_tenants=args.max_tenants,
+            health_interval=args.health_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _main() -> int:
+        from repro.index import load_index, save_index
+
+        tmpdir = None
+        try:
+            if args.index:
+                index_path = args.index
+                mapping = load_index(index_path)
+                print(
+                    f"loaded index {index_path}: {mapping.space.n} graphs, "
+                    f"{mapping.dimensionality} dimensions",
+                    file=sys.stderr,
+                )
+            elif args.spawn:
+                # Spawned children need an artifact on disk; build the
+                # demo index once and let every replica load the same
+                # file — exactly the artifact-restart story.
+                tmpdir = tempfile.TemporaryDirectory(prefix="serve-router-")
+                index_path = str(Path(tmpdir.name) / "index.json")
+                mapping = _build_demo_mapping(
+                    args.db_size, args.num_features, args.seed
+                )
+                save_index(mapping, index_path)
+                print(
+                    f"built demo index: {mapping.space.n} graphs, "
+                    f"{mapping.dimensionality} dimensions",
+                    file=sys.stderr,
+                )
+            else:
+                # Pre-existing replicas, no index on hand: round-robin
+                # placement only.
+                index_path, mapping = None, None
+
+            if args.spawn:
+                replicas = [
+                    await spawn_replica(
+                        f"replica-{i}", index_path, n_shards=args.shards
+                    )
+                    for i in range(args.spawn)
+                ]
+                for replica in replicas:
+                    print(
+                        f"spawned {replica.name} on "
+                        f"{replica.host}:{replica.port}",
+                        file=sys.stderr,
+                    )
+            else:
+                replicas = [
+                    TcpReplica(f"replica-{i}", host, port)
+                    for i, (host, port) in enumerate(addresses)
+                ]
+            placer = (
+                ContentPlacer(mapping, n_blocks=len(replicas))
+                if mapping is not None
+                else None
+            )
+            router = Router(replicas, config, placer=placer)
+            await router.start()
+            print(
+                f"routing over {len(replicas)} replicas "
+                f"({'content-aware' if placer else 'round-robin'} "
+                "placement)",
+                file=sys.stderr,
+            )
+            server = None
+            try:
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        loop.add_signal_handler(sig, router.begin_drain)
+                    except (NotImplementedError, RuntimeError):
+                        pass  # platform without signal support
+                if tcp_host is not None:
+                    server = await protocol.serve_tcp(
+                        router, tcp_host, tcp_port
+                    )
+                    bound = server.sockets[0].getsockname()
+                    print(f"listening on {bound[0]}:{bound[1]}",
+                          file=sys.stderr)
+                if use_stdio:
+                    await protocol.serve_stdio(router)
+                    router.begin_drain()
+                else:
+                    await router.wait_shutdown()
+            finally:
+                if server is not None:
+                    server.close()
+                    await server.wait_closed()
+                await router.aclose()
+            print("drained and shut down", file=sys.stderr)
+            return 0
+        finally:
+            if tmpdir is not None:
+                tmpdir.cleanup()
+
+    try:
+        return asyncio.run(_main())
+    except (ReplicaError, OSError, ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    """Router tier over N replicas: faults, writes and quota abuse."""
+    from repro.serving.cluster_bench import run_cluster_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_cluster_bench(
+            db_size=args.db_size,
+            pool_size=args.pool,
+            per_client=args.per_client,
+            clients=args.clients,
+            replicas=args.replicas,
+            num_features=args.num_features,
+            k=args.k,
+            seed=args.seed,
+            rounds=args.rounds,
+            n_shards=args.shards,
+            batch_size=args.batch_size,
+            cache_size=args.cache_size,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+            quota_max_tenants=args.quota_max_tenants,
+            attack_seconds=args.attack_seconds,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def _load_graph_file(path: str, fmt: str):
     from repro.graph.io import load_gspan, load_json
 
@@ -748,6 +951,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report table",
     )
     fbench.set_defaults(func=_cmd_frontend_bench)
+
+    rserve = sub.add_parser(
+        "serve-router",
+        help="NDJSON router coordinating N serving replicas",
+    )
+    rserve.add_argument(
+        "--replicas", nargs="+", default=None, metavar="HOST:PORT",
+        help="addresses of already-running `serve --tcp` replicas",
+    )
+    rserve.add_argument(
+        "--spawn", type=int, default=None, metavar="N",
+        help="spawn N replica subprocesses instead of --replicas",
+    )
+    rserve.add_argument(
+        "--index", default=None,
+        help="index manifest replicas serve and placement reads "
+             "(default with --spawn: build a synthetic demo)",
+    )
+    rserve.add_argument("--db-size", type=int, default=60,
+                        help="demo-index database size (no --index)")
+    rserve.add_argument("--num-features", type=int, default=40,
+                        help="demo-index dimensionality (no --index)")
+    rserve.add_argument("--seed", type=int, default=0)
+    rserve.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="also listen for NDJSON clients over TCP (port 0 = ephemeral)",
+    )
+    rserve.add_argument(
+        "--no-stdio", action="store_true",
+        help="do not speak NDJSON on stdin/stdout (requires --tcp)",
+    )
+    rserve.add_argument("--shards", type=int, default=4,
+                        help="shards per spawned replica")
+    rserve.add_argument("--max-inflight", type=int, default=1024,
+                        help="cluster-wide admission bound, in queries")
+    rserve.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="cluster-wide per-tenant queries/sec (default: no quotas)",
+    )
+    rserve.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="per-tenant burst allowance (default: max(rate, 1))",
+    )
+    rserve.add_argument("--max-tenants", type=int, default=10_000,
+                        help="resident quota buckets before folding")
+    rserve.add_argument("--health-interval", type=float, default=1.0,
+                        help="replica ping/re-admit period, seconds")
+    rserve.set_defaults(func=_cmd_serve_router)
+
+    cbench = sub.add_parser(
+        "bench-cluster",
+        help="router over N replicas: kill/restart, rolling reload, quotas",
+    )
+    cbench.add_argument("--db-size", type=int, default=48)
+    cbench.add_argument("--pool", type=int, default=12,
+                        help="distinct queries in the traffic pool")
+    cbench.add_argument("--per-client", type=int, default=16,
+                        help="queries each client streams")
+    cbench.add_argument("--clients", type=int, default=4,
+                        help="concurrent streaming clients")
+    cbench.add_argument("--replicas", type=int, default=3,
+                        help="serving replicas behind the router")
+    cbench.add_argument("--num-features", type=int, default=30)
+    cbench.add_argument("--k", type=int, default=8)
+    cbench.add_argument("--seed", type=int, default=0)
+    cbench.add_argument("--rounds", type=int, default=1,
+                        help="fault-phase rounds (min-of-N timing)")
+    cbench.add_argument("--shards", type=int, default=2)
+    cbench.add_argument("--batch-size", type=int, default=8)
+    cbench.add_argument("--cache-size", type=int, default=1024)
+    cbench.add_argument("--quota-rate", type=float, default=4.0)
+    cbench.add_argument("--quota-burst", type=float, default=4.0)
+    cbench.add_argument("--quota-max-tenants", type=int, default=3,
+                        help="resident buckets in the quota-abuse phase")
+    cbench.add_argument("--attack-seconds", type=float, default=10.0,
+                        help="virtual seconds of name-cycling abuse")
+    cbench.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    cbench.set_defaults(func=_cmd_bench_cluster)
 
     add = sub.add_parser(
         "index-add",

@@ -423,6 +423,20 @@ class QueryEngine:
             return np.zeros((0, self.num_selected))
         return np.vstack([self.embed(q) for q in queries])
 
+    def filter_mask(self, query: LabeledGraph) -> np.ndarray:
+        """Zero-VF2 upper bound on φ(q) over the selected positions.
+
+        One vectorised pass of the VF2 size/histogram/degree pre-check:
+        a ``False`` entry is a proven non-match, a ``True`` entry merely
+        *may* match.  Entrywise ``filter_mask(q) >= embed(q)`` always
+        holds, and computing it costs no subgraph-isomorphism calls —
+        cheap enough for a router tier to place every query by content
+        (against the shard centroids) without paying for an embedding.
+        """
+        profile = TargetProfile(query)
+        mask = self._filter_stats.candidate_mask(profile, self._kernel)
+        return np.asarray(mask[: self.num_selected], dtype=float)
+
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------

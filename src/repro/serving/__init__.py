@@ -11,27 +11,54 @@ bounded request queue with admission control, per-tenant token-bucket
 quotas, cross-client batch coalescing, and graceful drain, speaking
 newline-delimited JSON over TCP and stdin/stdout (``repro-graphdim
 serve``).
+
+:class:`Router` scales that horizontally (``repro-graphdim
+serve-router``): one coordinator speaking the same NDJSON protocol over
+N replicas, with content-aware placement from the shared shard
+summaries, cluster-wide tenant quotas, read-your-writes generation
+floors after routed updates, and backpressure folded from every
+replica's queue depth and measured drain rate.
 """
 
 from repro.serving.bench import run_serving_bench
+from repro.serving.cluster_bench import run_cluster_bench
 from repro.serving.frontend import (
     AsyncFrontend,
     FrontendConfig,
     FrontendStats,
+    TenantQuotas,
     TokenBucket,
 )
 from repro.serving.frontend_bench import run_frontend_bench
 from repro.serving.pruning_bench import run_pruning_bench
+from repro.serving.router import (
+    ContentPlacer,
+    InprocReplica,
+    ReplicaHandle,
+    Router,
+    RouterConfig,
+    RouterStats,
+    TcpReplica,
+)
 from repro.serving.service import QueryService, ServiceStats, Shard
 
 __all__ = [
     "AsyncFrontend",
+    "ContentPlacer",
     "FrontendConfig",
     "FrontendStats",
+    "InprocReplica",
     "QueryService",
+    "ReplicaHandle",
+    "Router",
+    "RouterConfig",
+    "RouterStats",
     "ServiceStats",
     "Shard",
+    "TcpReplica",
+    "TenantQuotas",
     "TokenBucket",
+    "run_cluster_bench",
     "run_frontend_bench",
     "run_pruning_bench",
     "run_serving_bench",

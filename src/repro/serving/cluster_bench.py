@@ -1,0 +1,562 @@
+"""Cluster benchmark: the router tier over N replicas, under faults.
+
+Shared by the ``repro-graphdim bench-cluster`` CLI command and
+``benchmarks/test_bench_cluster.py``.  Every replica is a real
+:class:`~repro.serving.frontend.AsyncFrontend` over its *own* index
+loaded from one shared artifact (exactly how independent ``serve``
+processes come up), driven through a real :class:`~repro.serving.
+router.Router` — in process, so CI can afford it.
+
+Four phases, every ``ok`` answer in every phase checked bit-identical
+to a single-service oracle of its stamped generation before any number
+is reported:
+
+* **placement** — a repeat-heavy stream through a content-placing
+  router: most queries must route by shard-summary geometry (not
+  round-robin), and answers stay exact.
+* **fault tolerance** — clients stream while a replica is killed
+  mid-flight and later replaced by a fresh one restarted from the
+  artifact; every admitted query must still be answered correctly
+  (failover, not loss).  Throughput is min-of-rounds.
+* **read-your-writes** — a writer session routes an ``update``; from
+  then on every answer the writer sees must carry the new generation
+  and match the post-update oracle, including after another replica
+  kill/restart (the rejoining replica is replayed from the router's
+  update log before rotation).
+* **quota** — a deterministic fake clock drives the name-cycling
+  attack against the cluster-wide quota table: cycling more names than
+  ``max_tenants`` must stay within 10% of the documented collective
+  budget, while a compliant resident tenant sees zero rejections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mapping import mapping_from_selection
+from repro.datasets import synthetic_database, synthetic_query_set
+from repro.features.binary_matrix import FeatureSpace
+from repro.index import load_index, save_index
+from repro.mining import mine_frequent_subgraphs
+from repro.query.bench import variance_selection
+from repro.serving import protocol
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.router import (
+    ContentPlacer,
+    InprocReplica,
+    Router,
+    RouterConfig,
+)
+from repro.serving.service import QueryService
+from repro.utils.benchmeta import attach_bench_metadata
+from repro.utils.latency import latency_summary
+
+
+async def _make_replica(
+    name: str,
+    artifact: str,
+    n_shards: int,
+    batch_size: int,
+    cache_size: int,
+) -> InprocReplica:
+    """One replica exactly as ``serve --index`` would start it."""
+    mapping = load_index(artifact)
+    service = QueryService(
+        mapping.query_engine(),
+        n_shards=n_shards,
+        n_workers=0,
+        cache_size=cache_size,
+    )
+    frontend = AsyncFrontend(
+        service,
+        FrontendConfig(
+            max_queue=4096, batch_size=batch_size, batch_window=0.001
+        ),
+        own_service=True,
+    )
+    await frontend.start()
+    return InprocReplica(name, frontend)
+
+
+def run_cluster_bench(
+    db_size: int = 48,
+    pool_size: int = 12,
+    per_client: int = 16,
+    clients: int = 4,
+    replicas: int = 3,
+    num_features: int = 30,
+    k: int = 8,
+    seed: int = 0,
+    rounds: int = 1,
+    n_shards: int = 2,
+    batch_size: int = 8,
+    cache_size: int = 1024,
+    quota_rate: float = 4.0,
+    quota_burst: float = 4.0,
+    quota_max_tenants: int = 3,
+    attack_seconds: float = 10.0,
+    num_labels: int = 6,
+    density: float = 0.3,
+    avg_edges: float = 18.0,
+    min_support: float = 0.10,
+    max_pattern_edges: int = 5,
+) -> Dict:
+    """Measure the router tier under streaming faults, writes and abuse."""
+    if replicas < 2:
+        raise ValueError("bench-cluster needs at least 2 replicas")
+    if clients < 1 or per_client < 1 or pool_size < 1:
+        raise ValueError("clients, per_client and pool_size must be >= 1")
+
+    db = synthetic_database(
+        db_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed,
+    )
+    pool = synthetic_query_set(
+        pool_size, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed + 10_000,
+    )
+    extra = synthetic_database(
+        2, avg_edges=avg_edges, density=density,
+        num_labels=num_labels, seed=seed + 77,
+    )
+    features = mine_frequent_subgraphs(
+        db, min_support=min_support, max_edges=max_pattern_edges
+    )
+    space = FeatureSpace(features, len(db))
+    mapping = mapping_from_selection(
+        space, variance_selection(space, num_features)
+    )
+    wire_pool = [protocol.graph_to_wire(q) for q in pool]
+    wire_extra = [protocol.graph_to_wire(g) for g in extra]
+    removed = [0, 1]
+
+    rng = np.random.default_rng(seed + 99)
+    streams = [
+        [int(i) for i in rng.integers(0, len(pool), per_client)]
+        for _ in range(clients)
+    ]
+    total = clients * per_client
+
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        artifact = str(Path(tmp) / "index.json")
+        save_index(mapping, artifact)
+
+        # Per-generation oracles: one single-threaded engine per
+        # database state, built exactly as a replica would reach it
+        # (load the artifact, replay the update).
+        oracles = [mapping.query_engine().batch_query(pool, k)]
+        updated = load_index(artifact)
+        updated.remove_graphs(removed)
+        updated.add_graphs(extra)
+        oracles.append(updated.query_engine().batch_query(pool, k))
+
+        def check(response: Dict, pool_index: int, floor: int = 0) -> None:
+            assert response.get("ok"), f"unexpected rejection: {response}"
+            generation = response["generation"]
+            assert generation >= floor, (
+                f"stale answer: generation {generation} < floor {floor} "
+                f"for request {response.get('id')}"
+            )
+            truth = oracles[generation][pool_index]
+            if (
+                response["ranking"] != truth.ranking
+                or response["scores"] != truth.scores
+            ):
+                raise AssertionError(
+                    "router answer diverged from the generation-"
+                    f"{generation} oracle for request {response.get('id')}"
+                )
+
+        result = asyncio.run(
+            _bench(
+                artifact, wire_pool, wire_extra, removed, streams, total,
+                check, replicas, k, rounds, n_shards, batch_size,
+                cache_size, quota_rate, quota_burst, quota_max_tenants,
+                attack_seconds, mapping,
+            )
+        )
+
+    result.update(
+        db_size=db_size,
+        pool_size=pool_size,
+        k=k,
+        clients=clients,
+        per_client=per_client,
+        replicas=replicas,
+        rounds=max(rounds, 1),
+        dimensionality=mapping.dimensionality,
+    )
+    attach_bench_metadata(result)
+    placement = result["placement"]
+    fault = result["fault"]
+    consistency = result["consistency"]
+    quota = result["quota"]
+    latency = fault["latency"]
+    lines = [
+        f"router tier — {replicas} replicas, {len(streams)} concurrent "
+        f"clients x {per_client} queries (pool {pool_size}, k={k}, "
+        f"n={db_size}, p={mapping.dimensionality})",
+        "",
+        f"placement: {placement['placed_content']} content-placed / "
+        f"{placement['placed_round_robin']} round-robin",
+        f"fault: {fault['router_qps']:.0f} q/s with a replica killed and "
+        f"restarted mid-stream ({fault['failovers']} failovers, "
+        f"{fault['admitted']} admitted == {fault['completed']} answered, "
+        f"p50 {latency['p50_ms']:.2f} ms / p99 {latency['p99_ms']:.2f} ms)",
+        f"consistency: update -> generation {consistency['generation']}, "
+        f"{consistency['writer_queries']} writer answers all >= floor "
+        f"(stale answers: {consistency['stale_answers']}), "
+        f"{consistency['replayed_entries']} log entries replayed into the "
+        "restarted replica",
+        f"quota: name-cycling admitted {quota['attacker_admitted']} of "
+        f"{quota['attacker_attempts']} attempts — "
+        f"{quota['admitted_over_budget']:.2f}x the collective budget "
+        f"({quota['bucket_evictions']} evictions); compliant tenant "
+        f"{quota['compliant_rejections']} rejections of "
+        f"{quota['compliant_sent']}",
+    ]
+    result["report"] = "\n".join(lines) + "\n"
+    return result
+
+
+async def _bench(
+    artifact: str,
+    wire_pool: List[Dict],
+    wire_extra: List[Dict],
+    removed: List[int],
+    streams: List[List[int]],
+    total: int,
+    check,
+    n_replicas: int,
+    k: int,
+    rounds: int,
+    n_shards: int,
+    batch_size: int,
+    cache_size: int,
+    quota_rate: float,
+    quota_burst: float,
+    quota_max_tenants: int,
+    attack_seconds: float,
+    mapping,
+) -> Dict:
+    result: Dict = {}
+    ids = itertools.count()
+
+    def query_request(pool_index: int, tenant: str) -> Dict:
+        return {
+            "op": "query",
+            "id": f"b{next(ids)}",
+            "tenant": tenant,
+            "k": k,
+            "graph": wire_pool[pool_index],
+        }
+
+    async def make(name: str) -> InprocReplica:
+        return await _make_replica(
+            name, artifact, n_shards, batch_size, cache_size
+        )
+
+    # ----- phase 1: content-aware placement --------------------------
+    placement_replicas = [
+        await make(f"place-{i}") for i in range(n_replicas)
+    ]
+    placer = ContentPlacer(load_index(artifact), n_blocks=n_replicas)
+    router = Router(
+        placement_replicas,
+        RouterConfig(health_interval=0.0),
+        placer=placer,
+        own_replicas=True,
+    )
+    await router.start()
+    try:
+        for stream in streams:
+            for pool_index in stream:
+                response = await router.handle_request(
+                    query_request(pool_index, "placement")
+                )
+                check(response, pool_index)
+        stats = router.stats
+        assert stats.placed_content > 0, (
+            "content placement never engaged — every query fell back to "
+            "round-robin"
+        )
+        result["placement"] = {
+            "placed_content": stats.placed_content,
+            "placed_round_robin": stats.placed_round_robin,
+            "queries": total,
+        }
+    finally:
+        await router.aclose()
+
+    # ----- phase 2: replica kill/restart under streaming traffic -----
+    best_seconds = float("inf")
+    best: Dict = {}
+    total_rounds = max(rounds, 1)
+    for round_index in range(total_rounds):
+        live = [await make(f"rep-{i}") for i in range(n_replicas)]
+        router = Router(
+            live,
+            RouterConfig(health_interval=0.0),
+            own_replicas=False,
+        )
+        await router.start()
+        latencies: List[float] = []
+        failures: List[Dict] = []
+
+        async def client(stream: List[int], name: str) -> None:
+            for pool_index in stream:
+                started = time.perf_counter()
+                response = await router.handle_request(
+                    query_request(pool_index, name)
+                )
+                latencies.append(time.perf_counter() - started)
+                if not response.get("ok"):
+                    failures.append(response)
+                else:
+                    check(response, pool_index)
+                # One yield per query keeps the controller responsive
+                # without throttling throughput.
+                await asyncio.sleep(0)
+
+        async def controller() -> None:
+            victim = live[0]
+            while router.stats.completed < total // 4:
+                await asyncio.sleep(0.001)
+            victim.fail()  # mid-stream crash, in-flight requests die too
+            while router.stats.completed < total // 2:
+                await asyncio.sleep(0.001)
+            replacement = await make("rep-0-restarted")
+            await router.admit_replica(replacement, replace=victim.name)
+            live[0] = replacement
+            await victim.close()
+
+        started = time.perf_counter()
+        await asyncio.gather(
+            controller(),
+            *(
+                client(stream, f"client-{i}")
+                for i, stream in enumerate(streams)
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        assert not failures, f"admitted queries were lost: {failures[:3]}"
+        stats = router.stats
+        assert stats.admitted == stats.completed, (
+            f"admitted={stats.admitted} != completed={stats.completed}"
+        )
+        assert stats.failovers >= 1, (
+            "the killed replica was never hit — the fault phase "
+            "measured nothing"
+        )
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            best = {
+                "router_qps": total / elapsed,
+                "admitted": stats.admitted,
+                "completed": stats.completed,
+                "failovers": stats.failovers,
+                "replicas_lost": stats.replicas_lost,
+                "latency": latency_summary(latencies),
+            }
+        if round_index == total_rounds - 1:
+            # The last round's cluster carries into the consistency
+            # phase (it is healthy and still at generation 0).
+            fault_router, fault_live = router, live
+        else:
+            await router.aclose()
+            for handle in live:
+                await handle.close()
+    result["fault"] = best
+
+    # ----- phase 3: read-your-writes across update + restart ---------
+    router, live = fault_router, fault_live
+    writer = "writer-session"
+    update = {
+        "op": "update",
+        "id": "u1",
+        "tenant": writer,
+        "add": wire_extra,
+        "remove": removed,
+    }
+    response = await router.handle_request(update)
+    assert response.get("ok"), f"cluster update failed: {response}"
+    generation = response["generation"]
+    assert generation == 1
+    writer_answers = 0
+    min_generation = None
+    for pool_index in range(len(wire_pool)):
+        response = await router.handle_request(
+            query_request(pool_index, writer)
+        )
+        check(response, pool_index, floor=1)
+        writer_answers += 1
+        g = response["generation"]
+        min_generation = g if min_generation is None else min(min_generation, g)
+    # Kill another replica *after* the update and restart it from the
+    # artifact (generation 0): the router must replay the update log
+    # before letting it answer anyone, so the writer keeps its floor.
+    victim = live[1]
+    victim.fail()
+    replacement = await make("rep-1-restarted")
+    replayed_before = router.stats.replayed_entries
+    await router.admit_replica(replacement, replace=victim.name)
+    await victim.close()
+    assert replacement.generation == generation, (
+        f"rejoined replica at generation {replacement.generation}, "
+        f"cluster at {generation}"
+    )
+    live[1] = replacement
+    for pool_index in range(len(wire_pool)):
+        response = await router.handle_request(
+            query_request(pool_index, writer)
+        )
+        check(response, pool_index, floor=1)
+        writer_answers += 1
+        min_generation = min(min_generation, response["generation"])
+    result["consistency"] = {
+        "generation": generation,
+        "writer_queries": writer_answers,
+        "min_writer_generation": min_generation,
+        "stale_answers": 0 if min_generation >= 1 else writer_answers,
+        "replayed_entries": router.stats.replayed_entries
+        - replayed_before,
+        "updates_applied": router.stats.updates_applied,
+    }
+    assert result["consistency"]["stale_answers"] == 0
+    await router.aclose()
+    for handle in live:
+        await handle.close()
+
+    # ----- phase 4: cluster-wide quota under the name-cycling attack -
+    result["quota"] = await _quota_phase(
+        make, wire_pool, k, quota_rate, quota_burst, quota_max_tenants,
+        attack_seconds,
+    )
+    return result
+
+
+async def _quota_phase(
+    make,
+    wire_pool: List[Dict],
+    k: int,
+    quota_rate: float,
+    quota_burst: float,
+    max_tenants: int,
+    attack_seconds: float,
+) -> Dict:
+    """Fake-clock quota phase: compliant resident, then name cycling.
+
+    The attacker cycles ``max_tenants + 1`` names, so every request
+    past the initial table fill displaces the LRU bucket and funnels
+    through the shared ``"<other>"`` bucket.  The whole churning
+    population therefore collects exactly **one** tenant's budget —
+    ``max_tenants`` initial-fill tokens, plus one burst, plus
+    ``rate × T`` refill — and enforcement is asserted within 10% of
+    that, both ways.  (The ``(max_tenants + 1) ×`` figure in the
+    :class:`~repro.serving.frontend.TenantQuotas` docs is the *worst
+    case* for mixed populations where residents survive and earn their
+    own refill; pure cycling never lets a name stay resident.)
+    """
+    virtual = [0.0]
+
+    def clock() -> float:
+        return virtual[0]
+
+    config = RouterConfig(
+        quota_rate=quota_rate,
+        quota_burst=quota_burst,
+        max_tenants=max_tenants,
+        health_interval=0.0,
+        clock=clock,
+    )
+
+    async def send(router: Router, tenant: str, i: int) -> Dict:
+        return await router.handle_request(
+            {
+                "op": "query",
+                "id": f"quota-{tenant}-{i}",
+                "tenant": tenant,
+                "k": k,
+                "graph": wire_pool[i % min(3, len(wire_pool))],
+            }
+        )
+
+    # A compliant resident tenant sending below the rate sees zero
+    # rejections — the cluster-wide bucket refills exactly like a
+    # single server's.
+    replicas = [await make("quota-calm-0"), await make("quota-calm-1")]
+    router = Router(replicas, config, own_replicas=True)
+    await router.start()
+    compliant_sent = compliant_rejections = 0
+    try:
+        step = 1.0 / max(quota_rate / 2.0, 0.5)
+        while virtual[0] < attack_seconds:
+            response = await send(router, "calm", compliant_sent)
+            compliant_sent += 1
+            if not response.get("ok"):
+                compliant_rejections += 1
+            virtual[0] += step
+    finally:
+        await router.aclose()
+    assert compliant_rejections == 0, (
+        f"compliant tenant rejected {compliant_rejections} times below "
+        "the configured rate"
+    )
+
+    # The attack: cycle max_tenants + 1 names far above the collective
+    # rate; enforcement must hold within 10% of the budget.
+    virtual[0] = 0.0
+    replicas = [await make("quota-atk-0"), await make("quota-atk-1")]
+    router = Router(replicas, config, own_replicas=True)
+    await router.start()
+    names = [f"evil-{i}" for i in range(max_tenants + 1)]
+    attempts = admitted = 0
+    try:
+        step = 1.0 / (4.0 * quota_rate)  # 4x oversubscribed per name
+        while virtual[0] < attack_seconds:
+            for name in names:
+                response = await send(router, name, attempts)
+                attempts += 1
+                if response.get("ok"):
+                    admitted += 1
+                else:
+                    assert response.get("error") == "quota_exceeded", (
+                        f"unexpected rejection: {response}"
+                    )
+            virtual[0] += step
+        stats_payload = router.stats_payload()
+        evictions = stats_payload["router"]["bucket_evictions"]
+    finally:
+        await router.aclose()
+    budget = max_tenants + quota_burst + quota_rate * attack_seconds
+    worst_case = (max_tenants + 1) * (
+        quota_burst + quota_rate * attack_seconds
+    )
+    ratio = admitted / budget
+    assert 0.9 <= ratio <= 1.1, (
+        f"name-cycling admitted {admitted} queries — {ratio:.2f}x the "
+        f"collective budget of {budget:.0f} (must hold within 10%)"
+    )
+    assert evictions > 0, "the attack never churned the bucket table"
+    return {
+        "quota_rate": quota_rate,
+        "quota_burst": quota_burst,
+        "max_tenants": max_tenants,
+        "attack_seconds": attack_seconds,
+        "attack_names": len(names),
+        "attacker_attempts": attempts,
+        "attacker_admitted": admitted,
+        "budget": budget,
+        "worst_case_budget": worst_case,
+        "admitted_over_budget": ratio,
+        "bucket_evictions": evictions,
+        "compliant_sent": compliant_sent,
+        "compliant_rejections": compliant_rejections,
+    }

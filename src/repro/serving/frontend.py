@@ -37,7 +37,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.pruning import EXACT_POLICY, SearchPolicy
@@ -51,7 +51,13 @@ from repro.utils.errors import (
     QueryError,
 )
 
-__all__ = ["AsyncFrontend", "FrontendConfig", "FrontendStats", "TokenBucket"]
+__all__ = [
+    "AsyncFrontend",
+    "FrontendConfig",
+    "FrontendStats",
+    "TenantQuotas",
+    "TokenBucket",
+]
 
 
 @dataclass
@@ -80,9 +86,13 @@ class FrontendConfig:
     #: Most tenants tracked at once.  Tenant names come off the wire,
     #: so without a bound a client cycling names would grow the bucket
     #: table (and its own quota) without limit; past the cap the
-    #: least-recently-seen bucket is evicted and stats aggregate under
-    #: ``"<other>"``.
+    #: least-recently-seen bucket is folded into a shared ``"<other>"``
+    #: bucket (and stats aggregate the same way), so cycling names can
+    #: never mint fresh quota.
     max_tenants: int = 10_000
+    #: Time source for the token buckets.  Injectable so quota tests
+    #: advance a fake clock instead of sleeping wall-clock time.
+    clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -122,17 +132,101 @@ class TokenBucket:
         self._updated = clock()
 
     def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
-        now = self._clock()
-        self.tokens = min(
-            self.burst, self.tokens + (now - self._updated) * self.rate
-        )
-        self._updated = now
+        self.peek()
         if self.tokens >= cost:
             self.tokens -= cost
             return True, 0.0
         if cost > self.burst:
             return False, float("inf")
         return False, (cost - self.tokens) / self.rate
+
+    def peek(self) -> float:
+        """Refill for elapsed time and return the current token count."""
+        now = self._clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+        return self.tokens
+
+
+class TenantQuotas:
+    """A bounded table of per-tenant token buckets with safe eviction.
+
+    At most ``max_tenants`` named buckets are tracked (LRU); everyone
+    past the cap shares one ``"<other>"`` bucket, mirroring how
+    :class:`FrontendStats` aggregates.  Eviction *folds* the evicted
+    bucket into ``"<other>"`` (taking the minimum of the two balances)
+    and a newcomer that displaces someone is *seeded* from
+    ``"<other>"``'s balance instead of a fresh full burst — so cycling
+    ``max_tenants + 1`` names buys the whole churning population at
+    most one extra tenant's rate, instead of a fresh burst per name.
+
+    Shared between :class:`AsyncFrontend` (per-process quotas) and the
+    router tier (cluster-wide quotas), so the two enforce identical
+    semantics.
+    """
+
+    OTHER = "<other>"
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_tenants: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_tenants = int(max_tenants)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._other: Optional[TokenBucket] = None
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._buckets
+
+    def _other_bucket(self) -> TokenBucket:
+        # Created lazily with a full burst: until the first eviction the
+        # cap has never bound, so the shared bucket carries no history.
+        if self._other is None:
+            self._other = TokenBucket(self.rate, self.burst, self._clock)
+        return self._other
+
+    def try_acquire(self, tenant: str, cost: float) -> Tuple[bool, float]:
+        bucket = self._buckets.get(tenant)
+        if bucket is not None:
+            self._buckets.move_to_end(tenant)
+            return bucket.try_acquire(cost)
+        bucket = TokenBucket(self.rate, self.burst, self._clock)
+        if len(self._buckets) >= self.max_tenants:
+            # Fold the LRU bucket into <other> conservatively (min, not
+            # sum: merging must never *create* spendable tokens), then
+            # seed the newcomer from <other> — a returning evicted
+            # tenant resumes the shared balance, not a fresh burst.
+            _, evicted = self._buckets.popitem(last=False)
+            self.evictions += 1
+            other = self._other_bucket()
+            other.tokens = min(other.peek(), evicted.peek())
+            bucket.tokens = min(self.burst, other.peek())
+            # The newcomer's spending must drain the shared balance
+            # too, or each churned name would re-spend the same seed:
+            # acquire through <other> first, then mirror in the named
+            # bucket so a tenant that *stays* resident earns back its
+            # own refill stream.
+            ok, wait = other.try_acquire(cost)
+            if ok:
+                bucket.tokens = max(bucket.tokens - cost, 0.0)
+            self._buckets[tenant] = bucket
+            return ok, wait
+        self._buckets[tenant] = bucket
+        return bucket.try_acquire(cost)
 
 
 @dataclass
@@ -213,7 +307,14 @@ class AsyncFrontend:
         self._codec = self._build_codec(service)
         self._queue: "asyncio.Queue" = asyncio.Queue()
         self._queued_queries = 0
-        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._quotas: Optional[TenantQuotas] = None
+        if self.config.quota_rate is not None:
+            self._quotas = TenantQuotas(
+                self.config.quota_rate,
+                self.config.quota_burst,
+                self.config.max_tenants,
+                self.config.clock,
+            )
         self._draining = False
         self._dispatcher: Optional[asyncio.Task] = None
         self._shutdown_event = asyncio.Event()
@@ -228,7 +329,15 @@ class AsyncFrontend:
             max_workers=1, thread_name_prefix="frontend-admin"
         )
         # EWMA of one dispatched batch's wall-clock, for retry_after.
-        self._batch_seconds = 0.05
+        # None until the first dispatch completes: the first measurement
+        # seeds the EWMA directly instead of being averaged against an
+        # arbitrary constant, so a cold server's estimate converges in
+        # one batch rather than ~a dozen.
+        self._batch_seconds: Optional[float] = None
+        # loop.time() when the currently-running batch started (None
+        # when idle): a cold, full queue can then still quote at least
+        # the in-flight batch's elapsed time instead of a blind seed.
+        self._batch_started: Optional[float] = None
 
     @staticmethod
     def _build_codec(service: QueryService):
@@ -307,6 +416,33 @@ class AsyncFrontend:
     # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
+    @property
+    def _buckets(self) -> Optional[TenantQuotas]:
+        """The tenant quota table (``len``/``in`` work; tests poke it)."""
+        return self._quotas
+
+    def _batch_seconds_estimate(self) -> float:
+        """Best current guess at one batch's wall-clock seconds.
+
+        Prefers the measured EWMA; before any batch has completed, a
+        batch *in flight* has already run for a known time, which is a
+        hard lower bound on its duration — quote that rather than a
+        constant, so a client hitting a cold full queue is never told
+        to retry sooner than the server has already been busy.
+        """
+        estimate = 0.0 if self._batch_seconds is None else self._batch_seconds
+        if self._batch_started is not None:
+            try:
+                in_flight = (
+                    asyncio.get_running_loop().time() - self._batch_started
+                )
+            except RuntimeError:  # pragma: no cover - called off-loop
+                in_flight = 0.0
+            estimate = max(estimate, in_flight)
+        # Floor: with nothing measured and nothing in flight, fall back
+        # to a conservative seed rather than quoting a zero wait.
+        return max(estimate, 0.05 if self._batch_seconds is None else 0.0)
+
     def _admit(self, tenant: str, cost: int) -> None:
         """Raise :class:`AdmissionError` unless *cost* queries may enter."""
         if self._draining:
@@ -320,7 +456,12 @@ class AsyncFrontend:
         # double-penalised into quota_exceeded.
         if self._queued_queries + cost > self.config.max_queue:
             self.stats.rejected_overload += cost
-            backlog_batches = self._queued_queries / self.config.batch_size
+            # The wait covers the whole backlog *plus this request*:
+            # once a slot frees, the retrying client still has to drain
+            # its own cost through the queue.
+            backlog_batches = (
+                self._queued_queries + cost
+            ) / self.config.batch_size
             raise AdmissionError(
                 "overloaded",
                 f"request queue is full ({self._queued_queries}/"
@@ -330,19 +471,10 @@ class AsyncFrontend:
                 retry_after=None
                 if cost > self.config.max_queue
                 else self.config.batch_window
-                + backlog_batches * self._batch_seconds,
+                + backlog_batches * self._batch_seconds_estimate(),
             )
-        if self.config.quota_rate is not None:
-            bucket = self._buckets.get(tenant)
-            if bucket is not None:
-                self._buckets.move_to_end(tenant)
-            else:
-                bucket = self._buckets[tenant] = TokenBucket(
-                    self.config.quota_rate, self.config.quota_burst
-                )
-                if len(self._buckets) > self.config.max_tenants:
-                    self._buckets.popitem(last=False)
-            ok, wait = bucket.try_acquire(cost)
+        if self._quotas is not None:
+            ok, wait = self._quotas.try_acquire(tenant, cost)
             if not ok:
                 self.stats.rejected_quota += cost
                 self.stats.tenant(tenant)["rejected_quota"] += cost
@@ -470,6 +602,7 @@ class AsyncFrontend:
         for item in group:
             graphs.extend(item.graphs)
         started = loop.time()
+        self._batch_started = started
         try:
             result, generation, trace = await loop.run_in_executor(
                 self._batch_executor,
@@ -485,8 +618,16 @@ class AsyncFrontend:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
+        finally:
+            self._batch_started = None
         elapsed = loop.time() - started
-        self._batch_seconds = 0.8 * self._batch_seconds + 0.2 * elapsed
+        if self._batch_seconds is None:
+            # First measurement seeds the EWMA outright — averaging it
+            # against a made-up constant would poison retry_after for
+            # the next ~dozen batches.
+            self._batch_seconds = elapsed
+        else:
+            self._batch_seconds = 0.8 * self._batch_seconds + 0.2 * elapsed
         self.stats.batches_dispatched += 1
         offset = 0
         for item in group:
@@ -609,6 +750,9 @@ class AsyncFrontend:
                 "updates_applied": self.stats.updates_applied,
                 "reloads": self.stats.reloads,
                 "queue_peak": self.stats.queue_peak,
+                "bucket_evictions": (
+                    self._quotas.evictions if self._quotas is not None else 0
+                ),
                 "per_tenant": {
                     tenant: dict(counts)
                     for tenant, counts in self.stats.per_tenant.items()
@@ -706,6 +850,16 @@ class AsyncFrontend:
             if op == "shutdown":
                 self.begin_drain()
                 return protocol.ok_response(request_id, draining=True)
+            if op == "ping":
+                # Health probe: answered inline (no admission, no
+                # queue) so the router can track generation and backlog
+                # even while the request queue is saturated.
+                return protocol.ok_response(
+                    request_id,
+                    generation=self.service.generation,
+                    queue_depth=self.queue_depth,
+                    draining=self._draining,
+                )
         except ProtocolError as exc:
             self.stats.bad_requests += 1
             return protocol.error_response(

@@ -37,6 +37,11 @@ Requests
 ``{"op": "shutdown", "id": 6}``
     Graceful drain: stop admitting, answer everything in flight, then
     exit.
+``{"op": "ping", "id": 7}``
+    Lightweight health probe: answers immediately (no admission, no
+    queue) with the current ``generation``, ``queue_depth`` and
+    ``draining`` flag.  The router tier uses it to track replica
+    freshness and backlog without spending quota.
 
 Responses
 ---------
@@ -73,7 +78,7 @@ from repro.query.topk import TopKResult
 from repro.utils.errors import InvalidGraphError, ProtocolError, QueryError
 
 #: Every operation the serve loop understands.
-OPS = ("query", "batch", "stats", "update", "reload", "shutdown")
+OPS = ("query", "batch", "stats", "update", "reload", "shutdown", "ping")
 
 #: Structured rejection / failure codes a response's ``error`` may carry.
 ERROR_CODES = (

@@ -106,6 +106,16 @@ class AdmissionError(ServingError):
         self.retry_after = retry_after
 
 
+class ReplicaError(ServingError):
+    """A replica transport failure seen by the router tier.
+
+    Raised when a replica dies, disconnects, or answers garbage while a
+    request is in flight.  The router catches it to fail the replica
+    over — it never reaches a client; admitted queries are retried on a
+    healthy replica instead.
+    """
+
+
 class ProtocolError(ServingError):
     """A malformed NDJSON request (bad JSON, unknown op, bad graph).
 

@@ -147,6 +147,42 @@ class TestBenchPayloads:
         assert "index_format_version" in result
         assert_json_clean(result)
 
+    def test_cluster_bench_payload_shape(self):
+        from repro.serving.cluster_bench import run_cluster_bench
+
+        result = run_cluster_bench(
+            db_size=24, pool_size=6, per_client=6, clients=2, replicas=2,
+            num_features=16, k=3, seed=0, rounds=1, attack_seconds=4.0,
+        )
+        placement = result["placement"]
+        assert placement["placed_content"] > 0
+        assert placement["queries"] == (
+            placement["placed_content"] + placement["placed_round_robin"]
+        )
+        fault = result["fault"]
+        assert set(fault) >= {
+            "router_qps", "admitted", "completed", "failovers",
+            "replicas_lost", "latency",
+        }
+        assert fault["admitted"] == fault["completed"]
+        assert_latency_summary(fault["latency"])
+        consistency = result["consistency"]
+        assert set(consistency) == {
+            "generation", "writer_queries", "min_writer_generation",
+            "stale_answers", "replayed_entries", "updates_applied",
+        }
+        assert consistency["stale_answers"] == 0
+        quota = result["quota"]
+        assert set(quota) >= {
+            "admitted_over_budget", "attack_names", "attacker_admitted",
+            "attacker_attempts", "bucket_evictions", "budget",
+            "compliant_rejections", "compliant_sent", "worst_case_budget",
+        }
+        assert quota["compliant_rejections"] == 0
+        assert "git_describe" in result
+        assert "index_format_version" in result
+        assert_json_clean(result)
+
     def test_kernel_bench_rejects_bad_shapes(self):
         with pytest.raises(ValueError):
             run_kernel_bench(n_rows=4, n_shards=8)

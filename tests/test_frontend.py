@@ -19,7 +19,12 @@ from repro.index import save_index
 from repro.mining import mine_frequent_subgraphs
 from repro.query.bench import variance_selection
 from repro.serving import protocol
-from repro.serving.frontend import AsyncFrontend, FrontendConfig, TokenBucket
+from repro.serving.frontend import (
+    AsyncFrontend,
+    FrontendConfig,
+    TenantQuotas,
+    TokenBucket,
+)
 from repro.serving.service import QueryService
 from repro.utils.errors import AdmissionError, ProtocolError
 
@@ -289,6 +294,220 @@ class TestAdmission:
                 await frontend.submit([queries[0]], 3)
             assert excinfo.value.code == "shutting_down"
             assert excinfo.value.retry_after is None
+        finally:
+            await frontend.aclose()
+
+
+class TestTenantQuotaFolding:
+    """Regressions for the name-cycling quota bypass: evicting a bucket
+    must fold its balance into ``"<other>"``, and a newcomer past the
+    cap must be seeded from that shared balance, never a fresh burst."""
+
+    def test_name_cycling_cannot_exceed_one_extra_budget(self):
+        clock = [0.0]
+        rate, burst, max_tenants, seconds = 2.0, 4.0, 3, 10.0
+        quotas = TenantQuotas(rate, burst, max_tenants, lambda: clock[0])
+        admitted = 0
+        attempts = 0
+        while clock[0] < seconds:
+            for i in range(max_tenants + 1):  # one more name than slots
+                attempts += 1
+                if quotas.try_acquire(f"cycler-{i}", 1.0)[0]:
+                    admitted += 1
+            clock[0] += 0.05
+        # Before the fix each churned name arrived with a fresh burst:
+        # admitted would track attempts (~800 here).  Folded, the whole
+        # churning population shares one budget: the max_tenants table
+        # fills (one burst spent per slot before the cap binds), then
+        # everyone funnels through <other> = burst + rate * seconds.
+        budget = max_tenants + burst + rate * seconds
+        assert attempts > 4 * budget  # the attack genuinely pressed
+        assert admitted <= budget + 1
+        assert quotas.evictions > 0
+
+    def test_returning_evicted_tenant_gets_no_fresh_burst(self):
+        clock = [0.0]
+        quotas = TenantQuotas(
+            rate=1.0, burst=2.0, max_tenants=2, clock=lambda: clock[0]
+        )
+        assert all(quotas.try_acquire("a", 1.0)[0] for _ in range(2))
+        quotas.try_acquire("b", 0.0)
+        quotas.try_acquire("c", 0.0)  # evicts "a" (tokens: 0)
+        assert quotas.evictions == 1
+        # "a" returns: its drained balance was folded into <other>, so
+        # it must resume from min(other, evicted) = 0, not burst=2.
+        ok, wait = quotas.try_acquire("a", 1.0)
+        assert not ok
+        assert wait == pytest.approx(1.0)  # 1 token at 1/sec
+
+    def test_fold_takes_min_never_sums_balances(self):
+        clock = [0.0]
+        quotas = TenantQuotas(
+            rate=1.0, burst=4.0, max_tenants=1, clock=lambda: clock[0]
+        )
+        quotas.try_acquire("a", 3.0)  # "a" left with 1 token
+        # "b" displaces "a": <other> starts at burst=4, folds to
+        # min(4, 1) = 1 — merging must never create spendable tokens.
+        assert quotas.try_acquire("b", 1.0)[0]
+        assert not quotas.try_acquire("c", 1.0)[0]
+
+    def test_resident_tenant_keeps_its_own_refill_stream(self):
+        """A tenant that *stays* resident is untouched by churn around
+        it: its named bucket still refills at the configured rate."""
+        clock = [0.0]
+        quotas = TenantQuotas(
+            rate=2.0, burst=2.0, max_tenants=2, clock=lambda: clock[0]
+        )
+        assert all(quotas.try_acquire("resident", 1.0)[0] for _ in range(2))
+        for i in range(10):  # churn the other slot
+            quotas.try_acquire(f"churn-{i}", 1.0)
+        clock[0] = 1.0  # +2 tokens for the resident
+        assert quotas.try_acquire("resident", 2.0)[0]
+
+    @pytest.mark.asyncio
+    async def test_frontend_counts_bucket_evictions(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(
+            engine, quota_rate=100.0, quota_burst=100.0, max_tenants=2
+        )
+        try:
+            await frontend.start()
+            for i in range(5):
+                await frontend.submit([queries[0]], 3, tenant=f"t{i}")
+            payload = frontend.stats_payload()
+            assert payload["frontend"]["bucket_evictions"] == 3
+        finally:
+            await frontend.aclose()
+
+
+class TestInjectedClock:
+    """FrontendConfig.clock threads a virtual clock into admission, so
+    quota behaviour is testable with zero sleeps."""
+
+    @pytest.mark.asyncio
+    async def test_quota_refill_on_virtual_time_no_sleeps(
+        self, engine, materials
+    ):
+        _db, queries, _mapping = materials
+        clock = [0.0]
+        frontend = _frontend(
+            engine,
+            quota_rate=1.0,
+            quota_burst=2.0,
+            clock=lambda: clock[0],
+        )
+        try:
+            await frontend.start()
+            for q in queries[:2]:
+                await frontend.submit([q], 3, tenant="t")
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit([queries[2]], 3, tenant="t")
+            assert excinfo.value.code == "quota_exceeded"
+            assert excinfo.value.retry_after == pytest.approx(1.0)
+            clock[0] = 1.0  # the quoted wait, in virtual time
+            results, _gen = await frontend.submit(
+                [queries[2]], 3, tenant="t"
+            )
+            assert len(results) == 1
+        finally:
+            await frontend.aclose()
+
+
+class TestRetryAfterEstimate:
+    """Regressions for the overload retry_after: it must cover the
+    retrier's own cost and be seeded from measured batch time, not the
+    old hard-coded 0.05 blended at 20%."""
+
+    @pytest.mark.asyncio
+    async def test_retry_after_includes_request_cost(self, engine, materials):
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, max_queue=4, batch_size=1)
+        try:
+            # Dispatcher not started: park 3 queries, 2 slots remain.
+            parked = [
+                asyncio.ensure_future(frontend.submit([q], 3))
+                for q in queries[:3]
+            ]
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionError) as two:
+                await frontend.submit(queries[3:5], 3)
+            with pytest.raises(AdmissionError) as four:
+                await frontend.submit(queries[3:7], 3)
+            # Same backlog, bigger request: the quote must grow — the
+            # retrying client drains its own cost through the queue too.
+            assert four.value.retry_after > two.value.retry_after
+            await frontend.start()
+            await asyncio.gather(*parked)
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_cold_overload_quotes_at_least_inflight_elapsed(
+        self, engine, materials
+    ):
+        """Before any batch completes, a batch already in flight for T
+        seconds bounds the estimate below by T — the old code quoted
+        0.01 * backlog while each batch actually took ~0.2s."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine, max_queue=2, batch_size=1)
+        try:
+            parked = [
+                asyncio.ensure_future(frontend.submit([q], 3))
+                for q in queries[:2]
+            ]
+            await asyncio.sleep(0)
+            assert frontend._batch_seconds is None  # genuinely cold
+            inflight_for = 0.25
+            frontend._batch_started = (
+                asyncio.get_running_loop().time() - inflight_for
+            )
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.submit([queries[2]], 3)
+            backlog_batches = 3  # (2 queued + 1 cost) / batch_size 1
+            assert (
+                excinfo.value.retry_after
+                >= backlog_batches * inflight_for
+            )
+            frontend._batch_started = None
+            await frontend.start()
+            await asyncio.gather(*parked)
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_first_measurement_seeds_ewma_directly(
+        self, engine, materials
+    ):
+        """The first measured batch time becomes the estimate outright;
+        blending it 20/80 against a made-up 0.05 constant would poison
+        retry_after for the next ~10 batches."""
+        _db, queries, _mapping = materials
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            assert frontend._batch_seconds is None
+            await frontend.submit([queries[0]], 3)
+            first = frontend._batch_seconds
+            assert first is not None and first > 0
+            # Fast real batches (well under 50ms here) prove no 0.05
+            # constant was blended in: 0.8*0.05 would dominate.
+            assert first < 0.04
+        finally:
+            await frontend.aclose()
+
+
+class TestPing:
+    @pytest.mark.asyncio
+    async def test_ping_reports_liveness_inline(self, engine):
+        frontend = _frontend(engine)
+        try:
+            await frontend.start()
+            response = await frontend.handle_request({"op": "ping", "id": 4})
+            assert response["ok"] and response["id"] == 4
+            assert response["generation"] == 0
+            assert response["queue_depth"] == 0
+            assert response["draining"] is False
+            assert frontend.stats.admitted == 0  # no admission charged
         finally:
             await frontend.aclose()
 
