@@ -1,0 +1,65 @@
+"""Bench: the self-healing loop — drift, background re-selection, heal.
+
+Shapes asserted:
+
+* churn pushes selected-support drift past ``max_drift`` and the
+  front-end's background maintenance loop re-selects WITHOUT any
+  request being rejected, dropped, or failed — the heal happens off
+  the request path while clients stream;
+* the healed selection is strictly better on the emerging workload:
+  recall over the emerging queries rises from the stale index's level
+  to the re-selected one's (the bench builds both counterfactuals
+  offline and replays the emerging queries over the wire);
+* the re-selection picks up the emerging dimension block and drops the
+  dead pad dimensions — i.e. DSPM really re-ranked, the swap is not a
+  rebuild of the same selection;
+* the JSON payload carries the shared provenance fields.
+"""
+
+from pathlib import Path
+
+from repro.serving.maintenance_bench import run_maintenance_bench
+
+REPORT_NAME = "maintenance_small.txt"
+
+
+def test_drift_heals_in_background_under_traffic(benchmark, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_maintenance_bench(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    (Path(out_dir) / REPORT_NAME).write_text(result["report"])
+
+    # -- the loop closed ------------------------------------------------
+    assert result["reselections"] >= 1
+    assert result["selections_changed"] >= 1
+    assert result["stale_after"] is False
+    assert result["maintenance_runs"] >= 1
+    assert result["maintenance_failures"] == 0
+    assert result["heal_latency_ms"] >= 0.0
+
+    # -- invisibly to the stream ----------------------------------------
+    assert result["rejected"] == 0
+    assert result["failed"] == 0
+    assert result["admitted"] == result["completed"]
+    assert result["streamed_queries"] > 0
+    assert result["latency"]["samples"] == result["streamed_queries"]
+
+    # -- and the heal was worth having ----------------------------------
+    assert result["emerging_dims_selected"] is True
+    assert result["pads_dropped"] is True
+    assert result["healed_recall"] >= 0.9, (
+        f"healed recall {result['healed_recall']:.3f} on the emerging "
+        f"workload (stale index scored {result['degraded_recall']:.3f})"
+    )
+    assert result["recall_gain"] > 0.0, (
+        "re-selection must improve emerging-workload recall over the "
+        "stale selection"
+    )
+    assert result["rows_repaired"] == result["emerging_rows"]
+    assert result["final_maintain"]["persisted"] is True
+
+    # -- provenance fields ride every --json payload --------------------
+    assert isinstance(result["git_describe"], str) and result["git_describe"]
+    assert isinstance(result["index_format_version"], int)

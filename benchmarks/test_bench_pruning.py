@@ -62,6 +62,21 @@ def test_shard_skipping_throughput(benchmark, out_dir):
         result["nprobe"] * n_batches
     )
 
+    # -- adaptive tier: recall holds while probes shrink ---------------
+    assert result["auto_recall"] >= 0.9, (
+        f"nprobe='auto' recall fell to {result['auto_recall']:.3f}"
+    )
+    assert result["auto_mean_effective_nprobe"] <= result["nprobe"], (
+        "the adaptive stop rule spent more probes than the fixed "
+        "operating point it is meant to undercut"
+    )
+    adaptive = result["adaptive_routing"]
+    assert result["auto_fewer_evals"] is True, (
+        f"auto spent {adaptive['auto_evals']} distance evals vs fixed "
+        f"{adaptive['fixed_evals']} on mixed traffic"
+    )
+    assert adaptive["auto_recall"] >= 0.9
+
     # -- provenance fields ride every --json payload -------------------
     assert result["rounds"] == ROUNDS
     assert isinstance(result["git_describe"], str) and result["git_describe"]

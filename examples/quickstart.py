@@ -22,7 +22,13 @@ database:
 5.  **serve loop** — put the asyncio front-end in front: NDJSON
     requests from two tenants, per-tenant quota rejections, coalesced
     batches, stats, and a graceful drain (the same loop
-    ``repro-graphdim serve`` runs over stdio/TCP).
+    ``repro-graphdim serve`` runs over stdio/TCP),
+6.  **self-heal** — keep mutating until selected-support drift crosses
+    the staleness threshold, then let a maintenance pass re-run the
+    paper's feature selection over the mutated database (reusing the
+    cached offline products) and swap the healed selection in — the
+    loop ``repro-graphdim serve --reselect`` runs in the background on
+    a timer.
 
 Run with::
 
@@ -36,6 +42,7 @@ import time
 from pathlib import Path
 
 from repro.core.mapping import build_mapping
+from repro.core.reselect import Reselector
 from repro.datasets import chemical_database, chemical_query_set
 from repro.index import compact_index, journal_path, load_index, save_index
 from repro.query.measures import precision_at_k
@@ -169,6 +176,11 @@ def main() -> None:
         # --------------------------------------------------------------
         asyncio.run(serve_loop(compacted, queries))
 
+        # --------------------------------------------------------------
+        # 6. self-heal — drift past the threshold, re-select in place
+        # --------------------------------------------------------------
+        asyncio.run(heal_loop(compacted))
+
 
 async def serve_loop(mapping, queries) -> None:
     """Drive the NDJSON front-end in-process: two tenants, a quota
@@ -210,6 +222,35 @@ async def serve_loop(mapping, queries) -> None:
     await frontend.aclose()  # graceful drain: everything admitted answered
     assert frontend.stats.admitted == frontend.stats.completed
     print("  drained: every admitted request was answered before exit")
+
+
+async def heal_loop(mapping) -> None:
+    """Close the staleness loop: churn until selected-support drift
+    crosses ``max_drift``, then run one maintenance pass — the same
+    pass the front-end schedules every ``maintenance_interval`` seconds
+    (and the ``maintain`` wire op triggers on demand)."""
+    reselector = Reselector(num_features=mapping.dimensionality).attach(
+        mapping, max_drift=0.05
+    )
+    frontend = AsyncFrontend(
+        mapping.query_service(n_shards=4, n_workers=0),
+        FrontendConfig(reselector=reselector),
+        own_service=True,
+    )
+    await frontend.start()
+    try:
+        churn = chemical_query_set(12, seed=7)
+        await frontend.apply_update(added=churn, removed=[2, 5])
+        print(f"\nself-heal: churn drove selected-support drift to "
+              f"{mapping.support_drift:.3f} (threshold 0.05) — "
+              f"stale={mapping.stale}")
+        report = await frontend.maintain()
+        print(f"  maintenance pass: reselected={report['reselected']} "
+              f"(generation {report['generation']}); "
+              f"{reselector.rows_repaired} add-path rows re-embedded over "
+              f"the full mined universe; stale={mapping.stale}")
+    finally:
+        await frontend.aclose()
 
 
 if __name__ == "__main__":

@@ -282,6 +282,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             print(f"built demo index: {mapping.space.n} graphs, "
                   f"{mapping.dimensionality} dimensions", file=sys.stderr)
+        reselector = None
+        if args.reselect:
+            from repro.core.reselect import Reselector
+
+            reselector = Reselector().attach(
+                mapping, max_drift=args.max_drift
+            )
+        else:
+            from repro.core.mapping import StalenessPolicy
+
+            mapping.staleness_policy = StalenessPolicy(
+                max_drift=args.max_drift
+            )
         config = FrontendConfig(
             max_queue=args.queue,
             batch_size=args.batch_size,
@@ -289,6 +302,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quota_rate=args.quota_rate,
             quota_burst=args.quota_burst,
             default_policy=_parse_search_policy(args),
+            maintenance_interval=args.maintenance_interval,
+            reselector=reselector,
         )
     except (ValueError, OSError, GraphDimensionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -745,6 +760,32 @@ def _cmd_bench_pruning(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_maintenance(args: argparse.Namespace) -> int:
+    """Drift a served index past its policy; measure the background heal."""
+    from repro.serving.maintenance_bench import run_maintenance_bench
+    from repro.utils.errors import GraphDimensionError
+
+    try:
+        result = run_maintenance_bench(
+            n_clusters=args.clusters,
+            per_cluster=args.per_cluster,
+            dims_per_cluster=args.dims_per_cluster,
+            emerging_rows=args.emerging_rows,
+            churn_chunks=args.churn_chunks,
+            clients=args.clients,
+            emerging_queries=args.emerging_queries,
+            k=args.k,
+            seed=args.seed,
+            max_drift=args.max_drift,
+            maintenance_interval=args.maintenance_interval,
+        )
+    except (ValueError, GraphDimensionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_bench_result(result, args.json)
+    return 0
+
+
 def _cmd_bench_pareto(args: argparse.Namespace) -> int:
     """Recall/latency Pareto frontier: exact vs nprobe vs graph beam."""
     from repro.serving.pareto_bench import run_pareto_bench
@@ -794,6 +835,18 @@ def _cmd_bench_incremental(args: argparse.Namespace) -> int:
     return 0
 
 
+def _nprobe_arg(value: str):
+    """``--nprobe`` accepts an integer or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
 def _add_search_flags(parser: argparse.ArgumentParser) -> None:
     """The shared --search-mode/--nprobe/--ef trio (serve + bench verbs)."""
     parser.add_argument(
@@ -804,8 +857,10 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
              "(best-first beam over the navigable proximity graph)",
     )
     parser.add_argument(
-        "--nprobe", type=int, default=None,
-        help="shards each query visits in approx mode",
+        "--nprobe", type=_nprobe_arg, default=None,
+        help="shards each query visits in approx mode, or 'auto' to "
+             "stop per query once the remaining shards' lower bounds "
+             "clear its running k-th-best",
     )
     parser.add_argument(
         "--ef", type=int, default=None,
@@ -920,6 +975,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--quota-burst", type=float, default=None,
         help="per-tenant burst allowance (default: max(rate, batch size))",
+    )
+    serve_cmd.add_argument(
+        "--maintenance-interval", type=float, default=None, metavar="SECONDS",
+        help="run background maintenance (staleness healing, summary "
+             "refresh, persistence) every SECONDS (default: off; the "
+             "'maintain' op still works on demand)",
+    )
+    serve_cmd.add_argument(
+        "--max-drift", type=float, default=0.25,
+        help="support drift past which the index is flagged stale "
+             "(with --reselect, maintenance then re-selects)",
+    )
+    serve_cmd.add_argument(
+        "--reselect", action="store_true",
+        help="heal a stale index by re-running DSPM feature selection "
+             "over the mutated database during maintenance",
     )
     _add_search_flags(serve_cmd)
     serve_cmd.set_defaults(func=_cmd_serve)
@@ -1204,6 +1275,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report table",
     )
     kern.set_defaults(func=_cmd_bench_kernels)
+
+    maint = sub.add_parser(
+        "bench-maintenance",
+        help="drift a served index past its staleness policy and "
+             "measure the background re-selection heal under live "
+             "traffic",
+    )
+    maint.add_argument("--clusters", type=int, default=4,
+                       help="active similarity clusters at build time")
+    maint.add_argument("--per-cluster", type=int, default=24,
+                       help="database rows per active cluster")
+    maint.add_argument("--dims-per-cluster", type=int, default=8,
+                       help="embedding dimensions owned by each cluster")
+    maint.add_argument("--emerging-rows", type=int, default=24,
+                       help="rows of the emerging cluster streamed in "
+                            "as churn")
+    maint.add_argument("--churn-chunks", type=int, default=4,
+                       help="update ops the churn is split across")
+    maint.add_argument("--clients", type=int, default=4,
+                       help="concurrent serial query clients streaming "
+                            "throughout the churn and heal")
+    maint.add_argument("--emerging-queries", type=int, default=16,
+                       help="emerging-cluster queries graded against "
+                            "the oracle before and after the heal")
+    maint.add_argument("--k", type=int, default=5)
+    maint.add_argument("--seed", type=int, default=0)
+    maint.add_argument("--max-drift", type=float, default=0.08,
+                       help="staleness policy threshold on relative "
+                            "support drift")
+    maint.add_argument("--maintenance-interval", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="background maintenance loop cadence")
+    maint.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the report table",
+    )
+    maint.set_defaults(func=_cmd_bench_maintenance)
     return parser
 
 

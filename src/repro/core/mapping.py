@@ -173,6 +173,12 @@ class DSPreservedMapping:
     _support_baseline: np.ndarray = field(
         init=False, repr=False, compare=False, default=None
     )
+    #: Mutation observers (:meth:`register_observer`) — e.g. a
+    #: :class:`repro.core.reselect.Reselector` keeping its graph list
+    #: and dissimilarity cache aligned with the live rows.
+    _observers: List = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._support_baseline = self._selected_support_counts()
@@ -254,6 +260,10 @@ class DSPreservedMapping:
         """
         if self._engine is None:
             return self._build_engine()
+        return self._engine
+
+    def peek_engine(self) -> Optional["QueryEngine"]:
+        """The memoised engine if one exists — never triggers a build."""
         return self._engine
 
     def invalidate_caches(self) -> None:
@@ -340,8 +350,81 @@ class DSPreservedMapping:
         return self._proximity_payload
 
     # ------------------------------------------------------------------
+    # re-selection (the staleness loop's write path for φ itself)
+    # ------------------------------------------------------------------
+    def apply_selection(
+        self,
+        selected: Sequence[int],
+        lattice: Optional["FeatureLattice"] = None,
+        pattern_profiles: Optional[Sequence["PatternProfile"]] = None,
+    ) -> bool:
+        """Install a new feature selection over the current database.
+
+        The sanctioned write path for a re-selection hook (e.g.
+        :class:`repro.core.reselect.Reselector`): the selection and
+        embedding swap together, every cache that described the old φ
+        is dropped, and the artifact lineage is severed — the on-disk
+        base and any pending delta records describe the old selection,
+        so the next ``save_index`` must write a full base.  Pass the
+        reused offline products (*lattice* over the new selection's
+        patterns, with *pattern_profiles*) to pre-build the engine so
+        the next query pays zero pattern-vs-pattern VF2; callers inside
+        :meth:`_post_mutation`'s hook can rely on the moved engine
+        identity to keep it installed.  A selection equal to the
+        current one (same features, same order) is a no-op.
+
+        Returns True iff the selection actually changed.
+        """
+        selected = [int(r) for r in selected]
+        if not selected:
+            raise SelectionError("selection is empty")
+        bad = [r for r in selected if not 0 <= r < self.space.m]
+        if bad:
+            raise SelectionError(
+                f"selected feature {bad[0]} outside universe of size "
+                f"{self.space.m}"
+            )
+        if selected == self.selected:
+            return False
+        self.invalidate_caches()
+        self.selected = selected
+        self.database_vectors = self.space.embed_database(selected)
+        if lattice is not None:
+            self._build_engine(
+                lattice=lattice, pattern_profiles=pattern_profiles
+            )
+        self.artifact_ref = None
+        self.journal_seq = 0
+        self.mutation_log.clear()
+        self.reset_staleness()
+        return True
+
+    # ------------------------------------------------------------------
     # the write path: incremental database mutations
     # ------------------------------------------------------------------
+    def register_observer(self, observer) -> None:
+        """Subscribe *observer* to database mutations.
+
+        After each applied mutation the observer's
+        ``observe_add(appended_graphs)`` / ``observe_remove(indices)``
+        method (whichever it defines) is called, *before* the staleness
+        gate may fire — so an observer doubling as the re-selection
+        hook sees a mutation before it is asked to adjudicate it.
+        Rejected mutations (an ``"error"``-mode gate) never notify.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister_observer(self, observer) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify_observers(self, method: str, payload) -> None:
+        for observer in list(self._observers):
+            callback = getattr(observer, method, None)
+            if callback is not None:
+                callback(payload)
+
     def _selected_support_counts(self) -> np.ndarray:
         return np.array(
             [len(self.space.features[r].support) for r in self.selected],
@@ -394,17 +477,25 @@ class DSPreservedMapping:
             on_stale = self.staleness_policy.on_stale
             if callable(on_stale):
                 selected_before = list(self.selected)
+                engine_before = self._engine
                 on_stale(self)
                 if self.selected != selected_before:
                     # The hook re-selected: the preserved lattice and
                     # norms no longer describe this mapping — drop them
                     # so the next engine build starts from the new
-                    # selection.  The on-disk base (and any pending
-                    # delta records) also describe the old selection,
-                    # so the artifact lineage is severed: the next
-                    # save_index must write a full base, never append
-                    # old-selection deltas for a new-selection mapping.
-                    self.invalidate_caches()
+                    # selection.  A hook that went through
+                    # :meth:`apply_selection` already invalidated (the
+                    # engine identity moved — possibly to a pre-built
+                    # lattice-reusing engine, which must survive); only
+                    # a hook that assigned ``selected`` directly needs
+                    # the cleanup done for it.  The on-disk base (and
+                    # any pending delta records) also describe the old
+                    # selection, so the artifact lineage is severed:
+                    # the next save_index must write a full base, never
+                    # append old-selection deltas for a new-selection
+                    # mapping.
+                    if self._engine is engine_before:
+                        self.invalidate_caches()
                     self.artifact_ref = None
                     self.journal_seq = 0
                     self.mutation_log.clear()
@@ -513,6 +604,7 @@ class DSPreservedMapping:
             rows.sum(axis=0).astype(np.int64)
         )
         self._apply_add_vectors(rows)
+        self._notify_observers("observe_add", graphs)
         self.mutation_log.append(
             {"op": "add", "vectors": rows.astype(int).tolist()}
         )
@@ -538,6 +630,7 @@ class DSPreservedMapping:
         delta = -self.database_vectors[removed].sum(axis=0).astype(np.int64)
         crossed = self._pre_mutation_gate(delta)
         self._apply_remove(removed)
+        self._notify_observers("observe_remove", removed)
         self.mutation_log.append({"op": "remove", "indices": removed})
         self._post_mutation(crossed)
 

@@ -93,6 +93,40 @@ class FeatureSpace:
                 self.features[int(r)].support.add(gid)
         self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
 
+    def refresh_rows(self, indices: Sequence[int], rows: np.ndarray) -> None:
+        """Overwrite the full-universe incidence of existing rows.
+
+        The re-selection repair path: graphs appended through a live
+        mapping only carry incidence over the *selected* columns
+        (non-selected universe features are never re-mined on the write
+        path), so before a re-selection may honestly score the whole
+        universe it re-embeds those rows over all ``m`` features and
+        installs the exact rows here.  Incidence, support sets, and
+        support counts all stay consistent.
+        """
+        idx = [int(i) for i in indices]
+        if any(i < 0 or i >= self.n for i in idx):
+            raise SelectionError(
+                f"refresh indices out of range for database of size {self.n}"
+            )
+        rows = np.asarray(rows)
+        if rows.shape != (len(idx), self.m):
+            raise SelectionError(
+                f"refresh rows must be ({len(idx)}, {self.m}), "
+                f"got {rows.shape}"
+            )
+        rows = (rows != 0).astype(np.int8)
+        for i, row in zip(idx, rows):
+            old = self.incidence[i]
+            for r in np.flatnonzero(old != row):
+                support = self.features[int(r)].support
+                if row[r]:
+                    support.add(i)
+                else:
+                    support.discard(i)
+            self.incidence[i] = row
+        self.support_counts = self.incidence.sum(axis=0).astype(np.int64)
+
     def remove_rows(self, indices: Sequence[int]) -> None:
         """Remove database graphs *indices*, renumbering the survivors.
 

@@ -78,6 +78,7 @@ class FeatureLattice:
         cls,
         patterns: Sequence[LabeledGraph],
         pattern_profiles: Optional[Sequence[PatternProfile]] = None,
+        known: Optional[Dict[Tuple[int, int], bool]] = None,
     ) -> "FeatureLattice":
         """Compute containment among *patterns* with VF2, smallest-first.
 
@@ -86,6 +87,13 @@ class FeatureLattice:
         every known ancestor of ``a`` is an ancestor of ``b`` without
         another VF2 call.  Pass *pattern_profiles* (one per pattern) to
         share them with the caller's own match loop.
+
+        *known* maps ``(a, b)`` pattern positions to an already-decided
+        ``pattern_a ⊑ pattern_b`` verdict — how a re-selection reuses
+        the existing lattice: every pair of features surviving from the
+        old selection is answered from the old closure, and only pairs
+        involving a newly entering feature pay a VF2 call (the
+        ``vf2_checks`` counter counts only the calls actually made).
         """
         p = len(patterns)
         order = sorted(
@@ -108,13 +116,16 @@ class FeatureLattice:
                     or patterns[a].num_vertices > patterns[b].num_vertices
                 ):
                     continue
-                checks += 1
-                if is_subgraph(
-                    patterns[a],
-                    patterns[b],
-                    target_profiles[b],
-                    pattern_profiles[a],
-                ):
+                verdict = known.get((a, b)) if known is not None else None
+                if verdict is None:
+                    checks += 1
+                    verdict = is_subgraph(
+                        patterns[a],
+                        patterns[b],
+                        target_profiles[b],
+                        pattern_profiles[a],
+                    )
+                if verdict:
                     anc.add(a)
                     anc |= ancestor_sets[a]
             ancestor_sets[b] = anc

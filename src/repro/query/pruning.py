@@ -97,6 +97,13 @@ class SearchPolicy:
     length: routing extends past it (nearest shards first) whenever the
     routed shards hold fewer than k rows, so approx answers are always
     full-length and only recall degrades.
+    ``nprobe="auto"`` replaces the fixed probe count with a per-query
+    stop rule: shards are probed in centroid-distance order, and a
+    query stops widening its routed set as soon as the next shard's
+    lower bound clears its running k-th-best (never before it has k
+    candidates).  Each query pays for exactly as many probes as its
+    geometry demands; the probes actually spent are reported as
+    ``effective_nprobe`` in the response trace.
     ``mode="graph"`` skips shards entirely: a best-first beam over the
     navigable proximity graph (:mod:`repro.query.proximity`) evaluates
     only the rows it walks past — sublinear where the other modes are
@@ -105,7 +112,7 @@ class SearchPolicy:
     """
 
     mode: str = "exact"
-    nprobe: Optional[int] = None
+    nprobe: Optional[Union[int, str]] = None
     prune: bool = True
     ef: Optional[int] = None
 
@@ -116,9 +123,23 @@ class SearchPolicy:
                 f"(expected one of {', '.join(SEARCH_MODES)})"
             )
         if self.mode == "approx":
-            if not isinstance(self.nprobe, int) or self.nprobe < 1:
+            if self.nprobe == "auto":
+                if not self.prune:
+                    raise QueryError(
+                        "nprobe='auto' stops on the shard lower bounds, "
+                        "so it requires prune=True"
+                    )
+            elif (
+                # bool is an int subclass; reject it explicitly so the
+                # Python API matches the wire layer instead of silently
+                # reading True as nprobe=1.
+                isinstance(self.nprobe, bool)
+                or not isinstance(self.nprobe, int)
+                or self.nprobe < 1
+            ):
                 raise QueryError(
-                    "approx search requires an integer nprobe >= 1"
+                    "approx search requires an integer nprobe >= 1 "
+                    "or nprobe='auto'"
                 )
         elif self.nprobe is not None:
             raise QueryError(
@@ -127,7 +148,9 @@ class SearchPolicy:
             )
         if self.mode == "graph":
             if self.ef is not None and (
-                not isinstance(self.ef, int) or self.ef < 1
+                isinstance(self.ef, bool)
+                or not isinstance(self.ef, int)
+                or self.ef < 1
             ):
                 raise QueryError(
                     "graph search requires an integer ef >= 1 (or None "
@@ -394,7 +417,7 @@ class PruningTrace:
     """
 
     mode: str
-    nprobe: Optional[int]
+    nprobe: Optional[Union[int, str]]
     visited: np.ndarray
     skipped: np.ndarray
     bound_checks: np.ndarray
@@ -402,6 +425,9 @@ class PruningTrace:
     #: batch (shard-level, not per query).
     shard_tasks: int = 0
     shards_skipped: int = 0
+    #: ``nprobe="auto"`` only: the probes each query actually spent
+    #: before its stop rule fired.
+    effective_nprobe: Optional[np.ndarray] = None
     #: Graph-mode fields: the beam width used, and per-query expanded
     #: nodes / distance evaluations (``visited``/``skipped`` stay zero —
     #: a beam never touches shards).
@@ -451,13 +477,19 @@ class PruningTrace:
                     self.distance_evals[lo:hi].sum()
                 ),
             }
-        return {
+        payload = {
             "mode": self.mode,
             **({"nprobe": self.nprobe} if self.nprobe is not None else {}),
             "shards_visited": int(self.visited[lo:hi].sum()),
             "shards_skipped": int(self.skipped[lo:hi].sum()),
             "bound_checks": int(self.bound_checks[lo:hi].sum()),
         }
+        if self.effective_nprobe is not None:
+            probes = self.effective_nprobe[lo:hi]
+            payload["effective_nprobe"] = (
+                round(float(probes.mean()), 3) if probes.size else 0.0
+            )
+        return payload
 
     def totals(self) -> Dict:
         return self.slice_payload(0, len(self.visited))

@@ -93,6 +93,26 @@ class FrontendConfig:
     #: Time source for the token buckets.  Injectable so quota tests
     #: advance a fake clock instead of sleeping wall-clock time.
     clock: Callable[[], float] = time.monotonic
+    #: Seconds between background maintenance passes (``None`` disables
+    #: the loop; ``maintain`` protocol requests still work).  Each pass
+    #: runs staleness-triggered re-selection, shard-summary refresh,
+    #: and (with ``index_path``) journal persistence/compaction — all
+    #: off the request path, on the admin executor.
+    maintenance_interval: Optional[float] = None
+    #: Re-selection hook (e.g. a :class:`repro.core.reselect.Reselector`
+    #: already attached to the mapping).  When maintenance finds
+    #: ``mapping.stale`` it hands this to
+    #: :meth:`QueryService.apply_reselection`; without a hook a stale
+    #: index just keeps serving (exactly the ``"flag"`` policy alone).
+    reselector: Optional[Callable] = None
+    #: Artifact path maintenance persists the index to (``None`` skips
+    #: persistence).  Mutations accumulated since the last save append
+    #: to the delta journal; past ``compact_ratio`` they fold into a
+    #: fresh base.
+    index_path: Optional[str] = None
+    #: Journal-size/payload-size ratio past which a maintenance save
+    #: compacts (see :func:`repro.index.save_index`).
+    compact_ratio: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -111,6 +131,13 @@ class FrontendConfig:
             raise ValueError("quota_burst must be >= 1 (or None)")
         if self.quota_burst is None and self.quota_rate is not None:
             self.quota_burst = max(self.quota_rate, float(self.batch_size))
+        if (
+            self.maintenance_interval is not None
+            and self.maintenance_interval <= 0
+        ):
+            raise ValueError("maintenance_interval must be positive (or None)")
+        if not 0 < self.compact_ratio:
+            raise ValueError("compact_ratio must be positive")
 
 
 class TokenBucket:
@@ -243,6 +270,8 @@ class FrontendStats:
     batches_dispatched: int = 0  # service batch_query calls
     updates_applied: int = 0
     reloads: int = 0
+    maintenance_runs: int = 0    # completed maintenance passes
+    maintenance_failures: int = 0
     queue_peak: int = 0
     per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: Most tenants broken out individually in ``per_tenant``; the rest
@@ -317,6 +346,7 @@ class AsyncFrontend:
             )
         self._draining = False
         self._dispatcher: Optional[asyncio.Task] = None
+        self._maintenance: Optional[asyncio.Task] = None
         self._shutdown_event = asyncio.Event()
         self._update_lock = asyncio.Lock()
         # Separate single-thread executors so live updates genuinely
@@ -364,6 +394,13 @@ class AsyncFrontend:
     async def start(self) -> "AsyncFrontend":
         if self._dispatcher is None:
             self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        if (
+            self._maintenance is None
+            and self.config.maintenance_interval is not None
+        ):
+            self._maintenance = asyncio.ensure_future(
+                self._maintenance_loop()
+            )
         return self
 
     async def __aenter__(self) -> "AsyncFrontend":
@@ -398,6 +435,13 @@ class AsyncFrontend:
     async def drain(self) -> None:
         """Begin drain and wait until every admitted request is answered."""
         self.begin_drain()
+        if self._maintenance is not None:
+            # The loop watches the shutdown event, so it exits on its
+            # own; waiting here means aclose() never shuts the admin
+            # executor down underneath a mid-flight maintenance pass.
+            await asyncio.wait_for(
+                asyncio.shield(self._maintenance), self.config.drain_timeout
+            )
         if self._dispatcher is not None:
             await asyncio.wait_for(
                 asyncio.shield(self._dispatcher), self.config.drain_timeout
@@ -669,6 +713,94 @@ class AsyncFrontend:
             self.stats.updates_applied += 1
             return self.service.generation
 
+    async def _maintenance_loop(self) -> None:
+        """Periodic background maintenance until drain begins.
+
+        One failed pass must not kill the loop (a transient disk error
+        during persistence would otherwise silently end all future
+        healing) — failures are counted and the loop keeps its cadence.
+        """
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._shutdown_event.wait(),
+                    self.config.maintenance_interval,
+                )
+                return
+            except asyncio.TimeoutError:
+                pass
+            try:
+                await self.maintain()
+            except asyncio.CancelledError:  # pragma: no cover - teardown
+                raise
+            except Exception:
+                self.stats.maintenance_failures += 1
+
+    async def maintain(self) -> Dict:
+        """Run one maintenance pass; returns its report.
+
+        Serialised with updates/reloads via the update lock and run on
+        the admin executor, so queries keep flowing throughout — only
+        the final index swap (inside
+        :meth:`QueryService.apply_reselection`) briefly takes the
+        service's swap lock.  The pass:
+
+        1. heals a stale index by handing ``config.reselector`` to
+           :meth:`QueryService.apply_reselection` (selection re-run;
+           shards rebuilt and swapped only if it actually changed),
+        2. refreshes shard summaries
+           (:meth:`QueryService.refresh_summaries` — a self-check that
+           is a no-op while the incremental maintenance is exact), and
+        3. persists the index to ``config.index_path`` (delta append,
+           auto-compacted past ``config.compact_ratio``).
+        """
+        async with self._update_lock:
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                self._admin_executor, self._maintain_sync
+            )
+            if report.get("reselected"):
+                # Re-selection changed the feature set the wire codec
+                # decodes against.
+                self._codec = self._build_codec(self.service)
+            self.stats.maintenance_runs += 1
+            return report
+
+    def _maintain_sync(self) -> Dict:
+        service = self.service
+        mapping = service.mapping
+        report: Dict = {
+            "stale": bool(mapping.stale),
+            "reselected": False,
+            "summaries_refreshed": 0,
+            "persisted": False,
+        }
+        if mapping.stale and self.config.reselector is not None:
+            report["reselected"] = service.apply_reselection(
+                self.config.reselector
+            )
+        report["summaries_refreshed"] = service.refresh_summaries()
+        if self.config.index_path is not None:
+            report.update(self._persist_index())
+        report["generation"] = service.generation
+        return report
+
+    def _persist_index(self) -> Dict:
+        from repro.index import journal_path, save_index
+
+        path = self.config.index_path
+        save_index(
+            self.service.mapping,
+            path,
+            auto_compact_ratio=self.config.compact_ratio,
+        )
+        journal = journal_path(path)
+        entries = 0
+        if journal.exists():
+            with open(journal, "r", encoding="utf-8") as handle:
+                entries = sum(1 for line in handle if line.strip())
+        return {"persisted": True, "journal_entries": entries}
+
     async def reload(self, path: str) -> Dict:
         """Server-side artifact reload: swap in the index saved at *path*.
 
@@ -749,6 +881,8 @@ class AsyncFrontend:
                 ),
                 "updates_applied": self.stats.updates_applied,
                 "reloads": self.stats.reloads,
+                "maintenance_runs": self.stats.maintenance_runs,
+                "maintenance_failures": self.stats.maintenance_failures,
                 "queue_peak": self.stats.queue_peak,
                 "bucket_evictions": (
                     self._quotas.evictions if self._quotas is not None else 0
@@ -770,6 +904,9 @@ class AsyncFrontend:
                 "bound_checks": svc.bound_checks,
                 "updates": svc.updates,
                 "shards_rebuilt": svc.shards_rebuilt,
+                "reselections": svc.reselections,
+                "summaries_refreshed": svc.summaries_refreshed,
+                "stale": bool(service.mapping.stale),
                 "n_shards": len(service.shards),
                 "embed_mode": service.embed_mode,
                 "database_size": service.mapping.space.n,
@@ -847,6 +984,9 @@ class AsyncFrontend:
             if op == "reload":
                 info = await self.reload(request["path"])
                 return protocol.ok_response(request_id, **info)
+            if op == "maintain":
+                report = await self.maintain()
+                return protocol.ok_response(request_id, **report)
             if op == "shutdown":
                 self.begin_drain()
                 return protocol.ok_response(request_id, draining=True)

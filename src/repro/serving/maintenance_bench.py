@@ -1,0 +1,502 @@
+"""Self-healing benchmark: drift past the policy, heal in the background.
+
+Shared by the ``repro-graphdim bench-maintenance`` CLI command and
+``benchmarks/test_bench_maintenance.py``, so the number the perf
+trajectory tracks is the number an operator can reproduce.
+
+The closed staleness loop, measured end to end over a real localhost
+TCP socket speaking the NDJSON protocol:
+
+1. An index is built **under-selected**: the universe has dimensions
+   for an *emerging* cluster that owns no rows yet, and the live
+   selection spends that capacity on dead "pad" dimensions instead.
+2. Serial clients stream queries continuously while a churn driver
+   feeds the emerging cluster's rows through ``update`` ops.  The new
+   rows overlap an existing cluster, so the selected supports drift
+   and the :class:`~repro.core.mapping.StalenessPolicy` flags the
+   mapping stale mid-churn.
+3. The :class:`~repro.serving.frontend.AsyncFrontend` maintenance loop
+   notices the flag **off the request path** and runs the configured
+   :class:`~repro.core.reselect.Reselector`: universe incidence of the
+   add-path rows is repaired, DSPM re-runs over the mutated feature
+   space, and the winning selection (which picks up the emerging
+   dimensions and drops the pads) is swapped in atomically.
+4. The bench asserts the loop actually closed: the heal is observed
+   through the ``stats`` op under live traffic, **zero** requests are
+   rejected or lost, and the emerging cluster's queries — nearly blind
+   before the heal — recover their recall against an oracle index
+   built fresh over the final database.
+
+Reported: heal latency (stale flag -> re-selection visible), serving
+p50/p99 while the churn and heal are in flight, recall before/after,
+and the post-heal ``maintain`` report (summary self-check + artifact
+persistence with journal compaction).
+
+The synthetic index is built from raw clustered binary vectors — one
+trivial single-vertex pattern per dimension — so no VF2/mining noise
+enters the measurement (the same construction the pruning bench uses).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import DSPreservedMapping, mapping_from_selection
+from repro.core.reselect import Reselector
+from repro.features.binary_matrix import FeatureSpace
+from repro.graph.labeled_graph import LabeledGraph
+from repro.mining.gspan import FrequentSubgraph
+from repro.serving import protocol
+from repro.serving.frontend import AsyncFrontend, FrontendConfig
+from repro.serving.service import QueryService
+from repro.utils.benchmeta import attach_bench_metadata
+from repro.utils.latency import latency_summary
+
+
+def _ensure_nonempty(vectors: np.ndarray, first_own_col: int) -> np.ndarray:
+    """Guarantee every row has at least one set dimension.
+
+    The graph for a row carries one vertex per set dimension; an empty
+    graph would desynchronise the vector/graph pair, so an (extremely
+    unlikely) all-zero row gets its cluster's first dimension.
+    """
+    empty = vectors.sum(axis=1) == 0
+    if empty.any():
+        vectors[empty, first_own_col] = 1
+    return vectors
+
+
+def _graphs_from_vectors(
+    vectors: np.ndarray, prefix: str
+) -> List[LabeledGraph]:
+    """One single-vertex-per-set-dimension graph per row."""
+    return [
+        LabeledGraph(
+            [f"dim{j}" for j in np.flatnonzero(row)],
+            graph_id=f"{prefix}{i}",
+        )
+        for i, row in enumerate(vectors)
+    ]
+
+
+def _space_from_vectors(vectors: np.ndarray) -> FeatureSpace:
+    """A feature universe with one ``dim{j}`` pattern per column."""
+    n, m = vectors.shape
+    features = [
+        FrequentSubgraph(
+            LabeledGraph([f"dim{j}"], graph_id=f"dim{j}"),
+            {int(i) for i in np.flatnonzero(vectors[:, j])},
+        )
+        for j in range(m)
+    ]
+    return FeatureSpace(features, n)
+
+
+def _wire_recall(truth, ranking: Sequence[int]) -> float:
+    reference = set(truth.ranking)
+    if not reference:
+        return 1.0
+    return len(reference & set(int(i) for i in ranking)) / len(reference)
+
+
+def _request_line(op: str, request_id, **fields) -> bytes:
+    payload = {"op": op, "id": request_id}
+    payload.update(fields)
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+async def _rpc(reader, writer, line: bytes) -> Dict:
+    writer.write(line)
+    await writer.drain()
+    raw = await reader.readline()
+    if not raw:
+        raise ConnectionError("server closed the control connection")
+    return json.loads(raw)
+
+
+def run_maintenance_bench(
+    n_clusters: int = 4,
+    per_cluster: int = 24,
+    dims_per_cluster: int = 8,
+    emerging_rows: int = 24,
+    churn_chunks: int = 4,
+    overlap: float = 0.45,
+    fill: float = 0.9,
+    noise: float = 0.02,
+    clients: int = 4,
+    emerging_queries: int = 16,
+    k: int = 5,
+    seed: int = 0,
+    max_drift: float = 0.08,
+    maintenance_interval: float = 0.05,
+    heal_timeout: float = 30.0,
+) -> Dict:
+    """Drift a served index past its policy and measure the heal.
+
+    The universe has ``(n_clusters + 2) * dims_per_cluster`` dimensions:
+    ``n_clusters`` active blocks, one *emerging* block (no rows at
+    build time), and one *pad* block (dead dimensions).  The initial
+    selection is the active blocks plus the pads — the same ``p`` the
+    oracle uses, spent badly — so the re-selection has real capacity to
+    reclaim, and recall is compared at equal dimensionality.
+    """
+    if n_clusters < 2 or per_cluster < 1 or dims_per_cluster < 1:
+        raise ValueError("cluster shape parameters are too small")
+    if emerging_rows < churn_chunks or churn_chunks < 1:
+        raise ValueError("emerging_rows must cover churn_chunks >= 1")
+    if clients < 1 or emerging_queries < 1 or k < 1:
+        raise ValueError("clients, emerging_queries and k must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    active_dims = n_clusters * dims_per_cluster
+    emerging_lo, emerging_hi = active_dims, active_dims + dims_per_cluster
+    m = active_dims + 2 * dims_per_cluster  # + emerging block + pad block
+    n_initial = n_clusters * per_cluster
+    stale_selection = list(range(active_dims)) + list(range(emerging_hi, m))
+    ideal_selection = list(range(emerging_hi))
+
+    # ----- the initial database: active clusters only -----------------
+    initial = (rng.random((n_initial, m)) < noise).astype(np.int8)
+    initial[:, active_dims:] = 0  # emerging + pad blocks start empty
+    for c in range(n_clusters):
+        rows = slice(c * per_cluster, (c + 1) * per_cluster)
+        cols = slice(c * dims_per_cluster, (c + 1) * dims_per_cluster)
+        initial[rows, cols] = (
+            rng.random((per_cluster, dims_per_cluster)) < fill
+        ).astype(np.int8)
+        _ensure_nonempty(initial[rows], c * dims_per_cluster)
+
+    # ----- the churn: the emerging cluster's rows ---------------------
+    # They overlap cluster 0 (new data resembles its nearest existing
+    # neighbourhood until its own dimensions are selected), which is
+    # what moves the *selected* supports and trips the drift policy.
+    churn = (rng.random((emerging_rows, m)) < noise).astype(np.int8)
+    churn[:, emerging_hi:] = 0
+    churn[:, emerging_lo:emerging_hi] = (
+        rng.random((emerging_rows, dims_per_cluster)) < fill
+    ).astype(np.int8)
+    churn[:, 0:dims_per_cluster] |= (
+        rng.random((emerging_rows, dims_per_cluster)) < overlap
+    ).astype(np.int8)
+    _ensure_nonempty(churn, emerging_lo)
+
+    # ----- query streams ----------------------------------------------
+    pool_size = max(2 * clients, 16)
+    pool_vectors = (rng.random((pool_size, m)) < noise).astype(np.int8)
+    pool_vectors[:, active_dims:] = 0
+    for qi in range(pool_size):
+        c = qi % n_clusters
+        cols = slice(c * dims_per_cluster, (c + 1) * dims_per_cluster)
+        pool_vectors[qi, cols] = (
+            rng.random(dims_per_cluster) < fill
+        ).astype(np.int8)
+    _ensure_nonempty(pool_vectors, 0)
+    emerging_vectors = (
+        rng.random((emerging_queries, m)) < noise
+    ).astype(np.int8)
+    emerging_vectors[:, emerging_hi:] = 0
+    emerging_vectors[:, emerging_lo:emerging_hi] = (
+        rng.random((emerging_queries, dims_per_cluster)) < fill
+    ).astype(np.int8)
+    _ensure_nonempty(emerging_vectors, emerging_lo)
+
+    initial_graphs = _graphs_from_vectors(initial, "db")
+    churn_graphs = _graphs_from_vectors(churn, "new")
+    pool_graphs = _graphs_from_vectors(pool_vectors, "q")
+    emerging_graphs = _graphs_from_vectors(emerging_vectors, "eq")
+    wire_pool = [protocol.graph_to_wire(g) for g in pool_graphs]
+    wire_emerging = [protocol.graph_to_wire(g) for g in emerging_graphs]
+    wire_churn = [protocol.graph_to_wire(g) for g in churn_graphs]
+
+    # ----- oracle and counterfactual over the *final* database --------
+    final_vectors = np.vstack([initial, churn])
+
+    def _reference(selection: List[int]) -> List:
+        space = _space_from_vectors(final_vectors)
+        mapping = mapping_from_selection(space, list(selection))
+        return mapping.query_engine().batch_query(emerging_graphs, k)
+
+    oracle = _reference(ideal_selection)
+    degraded = _reference(stale_selection)
+    degraded_recall = float(
+        np.mean(
+            [_wire_recall(t, a.ranking) for t, a in zip(oracle, degraded)]
+        )
+    )
+
+    # ----- the served index (under-selected, reselector attached) -----
+    space = _space_from_vectors(initial)
+    mapping = mapping_from_selection(space, stale_selection)
+    reselector = Reselector(graphs=initial_graphs).attach(
+        mapping, max_drift=max_drift
+    )
+
+    chunk_bounds = np.array_split(np.arange(emerging_rows), churn_chunks)
+    warm_target = clients * 5
+
+    async def _bench(index_path: str) -> Dict:
+        service = QueryService(
+            mapping, n_shards=4, n_workers=0, cache_size=256
+        )
+        config = FrontendConfig(
+            batch_size=max(clients, 2),
+            batch_window=0.002,
+            max_queue=4096,
+            maintenance_interval=maintenance_interval,
+            reselector=reselector,
+            index_path=index_path,
+        )
+        frontend = AsyncFrontend(service, config, own_service=True)
+        server = await protocol.serve_tcp(frontend, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        stop = asyncio.Event()
+        latencies: List[float] = []
+        streamed = 0
+
+        async def _stream_client(ci: int) -> None:
+            nonlocal streamed
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                i = 0
+                while not stop.is_set():
+                    pi = (ci + i * clients) % len(wire_pool)
+                    line = _request_line(
+                        "query", f"c{ci}-{i}", tenant=f"client-{ci}",
+                        k=k, graph=wire_pool[pi],
+                    )
+                    start = time.perf_counter()
+                    response = await _rpc(reader, writer, line)
+                    latencies.append(time.perf_counter() - start)
+                    assert response.get("ok"), (
+                        f"streamed query rejected during maintenance: "
+                        f"{response}"
+                    )
+                    streamed += 1
+                    i += 1
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        async def _controller() -> Dict:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            out: Dict = {}
+            try:
+                # Let the client streams reach steady state first, so
+                # the heal genuinely happens under live traffic.
+                while frontend.stats.completed < warm_target:
+                    await asyncio.sleep(0.001)
+
+                t_stale: Optional[float] = None
+                for ci, bounds in enumerate(chunk_bounds):
+                    response = await _rpc(
+                        reader, writer,
+                        _request_line(
+                            "update", f"churn-{ci}",
+                            add=[wire_churn[int(i)] for i in bounds],
+                        ),
+                    )
+                    assert response.get("ok"), f"update rejected: {response}"
+                    status = await _rpc(
+                        reader, writer, _request_line("stats", f"after-{ci}")
+                    )
+                    if t_stale is None and (
+                        status["service"]["stale"]
+                        or status["service"]["reselections"]
+                    ):
+                        t_stale = time.perf_counter()
+                t_churn_end = time.perf_counter()
+                out["stale_observed_mid_churn"] = t_stale is not None
+
+                # The heal: watch the stats op until the background
+                # maintenance pass has re-selected and cleared the flag.
+                deadline = t_churn_end + heal_timeout
+                t_from = t_stale if t_stale is not None else t_churn_end
+                while True:
+                    status = await _rpc(
+                        reader, writer, _request_line("stats", "heal-poll")
+                    )
+                    svc = status["service"]
+                    if svc["reselections"] >= 1 and not svc["stale"]:
+                        t_heal = time.perf_counter()
+                        break
+                    if time.perf_counter() > deadline:
+                        raise AssertionError(
+                            "maintenance loop did not heal the stale "
+                            f"index within {heal_timeout}s: {svc}"
+                        )
+                    await asyncio.sleep(0.005)
+                out["heal_latency_ms"] = (t_heal - t_from) * 1e3
+                out["heal_stats"] = status
+
+                # Post-heal: the emerging cluster's queries, answered
+                # by the healed index over the wire.
+                healed_recalls = []
+                for qi, wire in enumerate(wire_emerging):
+                    response = await _rpc(
+                        reader, writer,
+                        _request_line(
+                            "query", f"emerging-{qi}", k=k, graph=wire
+                        ),
+                    )
+                    assert response.get("ok"), (
+                        f"post-heal query rejected: {response}"
+                    )
+                    healed_recalls.append(
+                        _wire_recall(oracle[qi], response["ranking"])
+                    )
+                out["healed_recall"] = float(np.mean(healed_recalls))
+                out["generation_after"] = response["generation"]
+
+                # One explicit maintain pass after the heal: idempotent
+                # (nothing stale), runs the summary self-check, and
+                # persists the artifact with journal compaction.
+                out["final_maintain"] = await _rpc(
+                    reader, writer, _request_line("maintain", "final")
+                )
+                assert out["final_maintain"].get("ok")
+                return out
+            finally:
+                stop.set()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        await frontend.start()
+        try:
+            results = await asyncio.gather(
+                _controller(),
+                *(_stream_client(ci) for ci in range(clients)),
+            )
+            out = results[0]
+        finally:
+            server.close()
+            await server.wait_closed()
+            await frontend.aclose()
+
+        stats = frontend.stats
+        assert stats.failed == 0, "maintenance run must not fail requests"
+        assert stats.rejected_quota == 0 and stats.rejected_overload == 0, (
+            "maintenance run must not shed load"
+        )
+        assert stats.admitted == stats.completed, (
+            f"requests lost during maintenance: admitted={stats.admitted} "
+            f"completed={stats.completed}"
+        )
+        out["streamed"] = streamed
+        out["latency"] = latency_summary(latencies)
+        out["stats"] = frontend.stats_payload()
+        return out
+
+    with tempfile.TemporaryDirectory() as tmp:
+        run = asyncio.run(_bench(str(Path(tmp) / "index.dspm")))
+
+    selected_after = list(mapping.selected)
+    emerging_selected = all(
+        d in selected_after for d in range(emerging_lo, emerging_hi)
+    )
+    pads_dropped = all(
+        d not in selected_after for d in range(emerging_hi, m)
+    )
+    healed_recall = run["healed_recall"]
+    assert healed_recall >= degraded_recall, (
+        "re-selection must not lose recall: "
+        f"healed {healed_recall:.3f} < degraded {degraded_recall:.3f}"
+    )
+
+    svc_stats = run["stats"]["service"]
+    fe_stats = run["stats"]["frontend"]
+    result = {
+        "n_clusters": n_clusters,
+        "per_cluster": per_cluster,
+        "dims_per_cluster": dims_per_cluster,
+        "db_size_initial": n_initial,
+        "db_size_final": n_initial + emerging_rows,
+        "dimensionality": len(selected_after),
+        "universe_dims": m,
+        "emerging_rows": emerging_rows,
+        "churn_chunks": churn_chunks,
+        "clients": clients,
+        "k": k,
+        "max_drift": max_drift,
+        "maintenance_interval": maintenance_interval,
+        "heal_latency_ms": run["heal_latency_ms"],
+        "stale_observed_mid_churn": run["stale_observed_mid_churn"],
+        "maintenance_runs": fe_stats["maintenance_runs"],
+        "maintenance_failures": fe_stats["maintenance_failures"],
+        "reselections": svc_stats["reselections"],
+        "rows_repaired": reselector.rows_repaired,
+        "selections_changed": reselector.selections_changed,
+        "emerging_dims_selected": bool(emerging_selected),
+        "pads_dropped": bool(pads_dropped),
+        "stale_after": svc_stats["stale"],
+        "generation_after": run["generation_after"],
+        "degraded_recall": degraded_recall,
+        "healed_recall": healed_recall,
+        "recall_gain": healed_recall - degraded_recall,
+        "streamed_queries": run["streamed"],
+        "rejected": (
+            fe_stats["rejected_quota"]
+            + fe_stats["rejected_overload"]
+            + fe_stats["rejected_draining"]
+        ),
+        "failed": fe_stats["failed"],
+        "admitted": fe_stats["admitted"],
+        "completed": fe_stats["completed"],
+        "latency": run["latency"],
+        "final_maintain": {
+            key: run["final_maintain"].get(key)
+            for key in (
+                "stale",
+                "reselected",
+                "summaries_refreshed",
+                "persisted",
+                "journal_entries",
+                "generation",
+            )
+        },
+    }
+    attach_bench_metadata(result)
+
+    lines = [
+        f"self-healing maintenance — {n_clusters} active clusters x "
+        f"{per_cluster} rows + {emerging_rows} emerging rows, "
+        f"p={len(selected_after)} of {m} universe dims, "
+        f"{clients} streaming clients (k={k})",
+        "",
+        f"drift: max_drift={max_drift}, stale flagged "
+        f"{'mid-churn' if run['stale_observed_mid_churn'] else 'at churn end'}"
+        f"; healed in {run['heal_latency_ms']:.1f} ms "
+        f"({result['reselections']} re-selection, "
+        f"{result['rows_repaired']} rows repaired, "
+        f"maintenance runs {result['maintenance_runs']})",
+        f"recall (emerging cluster, k={k}): {degraded_recall:.3f} stale "
+        f"-> {healed_recall:.3f} healed "
+        f"(+{result['recall_gain']:.3f} vs oracle; emerging dims "
+        f"{'selected' if emerging_selected else 'NOT selected'}, pads "
+        f"{'dropped' if pads_dropped else 'kept'})",
+        f"traffic: {run['streamed']} streamed queries, "
+        f"{result['rejected']} rejected, {result['failed']} failed "
+        f"(admitted == completed asserted); "
+        f"p50 {run['latency']['p50_ms']:.2f} ms, "
+        f"p99 {run['latency']['p99_ms']:.2f} ms during churn + heal",
+        f"post-heal maintain: stale={result['final_maintain']['stale']}, "
+        f"reselected={result['final_maintain']['reselected']}, "
+        f"summaries refreshed "
+        f"{result['final_maintain']['summaries_refreshed']}, persisted "
+        f"with {result['final_maintain']['journal_entries']} journal "
+        f"entries",
+    ]
+    result["report"] = "\n".join(lines) + "\n"
+    return result

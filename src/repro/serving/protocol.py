@@ -16,7 +16,11 @@ Requests
     "nprobe": 2}`` (visit each query's 2 closest shards only — DSPMap
     partition routing when the server shards by partition; routing
     extends past ``nprobe`` if those shards hold fewer than ``k`` rows,
-    so answers stay full-length), or ``{"mode": "graph", "ef": 32}``
+    so answers stay full-length), ``{"mode": "approx", "nprobe":
+    "auto"}`` (adaptive: each query stops widening its shard set once
+    the remaining shards' lower bounds clear its running k-th-best —
+    the response's ``pruning.effective_nprobe`` reports the mean shard
+    count actually visited), or ``{"mode": "graph", "ef": 32}``
     (best-first beam over the navigable proximity graph — sublinear:
     only the rows the beam walks past are evaluated; ``ef`` is the
     beam width, omit it for the server default).  Unknown modes are
@@ -34,6 +38,12 @@ Requests
 ``{"op": "reload", "id": 5, "path": "/path/to/index.json"}``
     Server-side artifact reload: load the v1/v2/v3 artifact at *path*
     and swap the serving index atomically.
+``{"op": "maintain", "id": 8}``
+    Run one maintenance pass now (the background loop's work, on
+    demand): staleness-triggered re-selection when the server has a
+    reselector, shard-summary refresh, and index persistence when an
+    index path is configured.  Responds with the pass's report
+    (``stale``, ``reselected``, ``summaries_refreshed``, ...).
 ``{"op": "shutdown", "id": 6}``
     Graceful drain: stop admitting, answer everything in flight, then
     exit.
@@ -78,7 +88,16 @@ from repro.query.topk import TopKResult
 from repro.utils.errors import InvalidGraphError, ProtocolError, QueryError
 
 #: Every operation the serve loop understands.
-OPS = ("query", "batch", "stats", "update", "reload", "shutdown", "ping")
+OPS = (
+    "query",
+    "batch",
+    "stats",
+    "update",
+    "reload",
+    "maintain",
+    "shutdown",
+    "ping",
+)
 
 #: Structured rejection / failure codes a response's ``error`` may carry.
 ERROR_CODES = (
@@ -189,10 +208,10 @@ def search_policy_from_request(request: Dict) -> Optional[SearchPolicy]:
             detail={"allowed_modes": list(SEARCH_MODES)},
         )
     nprobe = section.get("nprobe")
-    if nprobe is not None and (
+    if nprobe is not None and nprobe != "auto" and (
         isinstance(nprobe, bool) or not isinstance(nprobe, int)
     ):
-        raise ProtocolError("'nprobe' must be an integer")
+        raise ProtocolError("'nprobe' must be an integer or \"auto\"")
     ef = section.get("ef")
     if ef is not None and (
         isinstance(ef, bool) or not isinstance(ef, int)

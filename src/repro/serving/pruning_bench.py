@@ -19,7 +19,12 @@ pre-embedded query stream:
   reported;
 * **approx routing** — ``SearchPolicy(mode="approx", nprobe=...)``:
   each query visits only its *nprobe* closest shards; reported with its
-  measured top-k recall against the exact answers.
+  measured top-k recall against the exact answers;
+* **adaptive routing** — ``SearchPolicy(mode="approx", nprobe="auto")``:
+  each query stops widening its shard set as soon as the remaining
+  shards' lower bounds clear its running k-th-best; reported with its
+  recall, mean *effective* nprobe, and whether it did strictly fewer
+  distance evaluations than the fixed operating point.
 
 All passes are timed min-of-*rounds* (one descheduled tick on a busy
 host would otherwise swing a single-shot comparison), and the synthetic
@@ -233,6 +238,65 @@ def run_pruning_bench(
             topk_recall(a, b)
             for a, b in zip(full_answers, approx_answers)
         ]
+        # The adaptive tier: each query stops widening its shard set
+        # once the remaining lower bounds clear its running k-th-best.
+        auto_policy = SearchPolicy(mode="approx", nprobe="auto")
+        auto_seconds, auto_answers, auto_stats = _timed_pass(
+            service, batches, k, auto_policy, rounds
+        )
+        auto_recalls = [
+            topk_recall(a, b)
+            for a, b in zip(full_answers, auto_answers)
+        ]
+        probes: List[float] = []
+        for batch in batches:
+            _, trace = service.batch_query_vectors_traced(
+                batch, k, auto_policy
+            )
+            probes.extend(float(v) for v in trace.effective_nprobe)
+        # Adaptive-vs-fixed distance work, on *rotating* traffic (each
+        # query in a batch from a different cluster) — the regime where
+        # the fixed pass's single global visit order seeds thresholds
+        # late and a forced nprobe leaves evaluations on the table,
+        # while the adaptive tier orders shards per query.  Session-like
+        # blocked traffic (above) lets the two tie; mixed traffic is
+        # where adaptivity pays.
+        mixed = clustered_query_vectors(
+            query_count, n_clusters, dims_per_cluster,
+            fill=fill, noise=noise, seed=seed + 20_000, block_size=None,
+        )
+        mixed_batches = [
+            mixed[lo : lo + batch_size]
+            for lo in range(0, query_count, batch_size)
+        ]
+        fixed_policy = SearchPolicy(mode="approx", nprobe=int(nprobe))
+
+        def _eval_pass(policy) -> Tuple[List, int]:
+            service.stats = ServiceStats()
+            answers: List = []
+            for batch in mixed_batches:
+                answers.extend(
+                    service.batch_query_vectors(batch, k, policy)
+                )
+            return answers, service.stats.distance_evaluations
+
+        mixed_full, _ = _eval_pass(SearchPolicy(prune=False))
+        mixed_fixed, fixed_evals = _eval_pass(fixed_policy)
+        mixed_auto, auto_evals = _eval_pass(auto_policy)
+        adaptive = {
+            "query_count": query_count,
+            "fixed_evals": int(fixed_evals),
+            "auto_evals": int(auto_evals),
+            "fixed_recall": float(np.mean([
+                topk_recall(a, b)
+                for a, b in zip(mixed_full, mixed_fixed)
+            ])),
+            "auto_recall": float(np.mean([
+                topk_recall(a, b)
+                for a, b in zip(mixed_full, mixed_auto)
+            ])),
+            "auto_fewer_evals": bool(auto_evals < fixed_evals),
+        }
     finally:
         service.close()
 
@@ -254,9 +318,21 @@ def run_pruning_bench(
         "exact_speedup": full_seconds / exact_seconds,
         "approx_speedup": full_seconds / approx_seconds,
         "approx_recall": float(np.mean(recalls)) if recalls else 1.0,
+        "auto_qps": query_count / auto_seconds,
+        "auto_speedup": full_seconds / auto_seconds,
+        "auto_recall": float(np.mean(auto_recalls)) if auto_recalls else 1.0,
+        "auto_mean_effective_nprobe": (
+            float(np.mean(probes)) if probes else 0.0
+        ),
+        # The adaptive tier's bar: match the fixed operating point's
+        # recall regime while doing strictly less distance work (on
+        # mixed-cluster traffic, where the fixed order can't adapt).
+        "auto_fewer_evals": adaptive["auto_fewer_evals"],
+        "adaptive_routing": adaptive,
         "full_scan": full_stats,
         "exact": exact_stats,
         "approx": approx_stats,
+        "auto": auto_stats,
     }
     attach_bench_metadata(result)
 
@@ -274,6 +350,10 @@ def run_pruning_bench(
         f"{result['approx_qps']:>10.0f}"
         f"{approx_stats['shard_tasks']:>9}"
         f"{approx_stats['shards_skipped']:>9}",
+        f"{'approx (nprobe=auto)':<26}"
+        f"{result['auto_qps']:>10.0f}"
+        f"{auto_stats['shard_tasks']:>9}"
+        f"{auto_stats['shards_skipped']:>9}",
         "",
         f"exact speedup: {result['exact_speedup']:.2f}x "
         f"(bit-identical, asserted; "
@@ -281,6 +361,15 @@ def run_pruning_bench(
         f"approx speedup: {result['approx_speedup']:.2f}x at recall "
         f"{result['approx_recall']:.3f} "
         f"(nprobe={int(nprobe)} of {n_clusters} partitions)",
+        f"auto speedup: {result['auto_speedup']:.2f}x at recall "
+        f"{result['auto_recall']:.3f} "
+        f"(mean effective nprobe "
+        f"{result['auto_mean_effective_nprobe']:.2f})",
+        f"adaptive vs fixed on mixed traffic: "
+        f"{adaptive['auto_evals']} vs {adaptive['fixed_evals']} distance "
+        f"evals ({'fewer' if adaptive['auto_fewer_evals'] else 'NOT fewer'}) "
+        f"at recall {adaptive['auto_recall']:.3f} "
+        f"vs {adaptive['fixed_recall']:.3f}",
         f"exact batch latency: p50 "
         f"{exact_stats['latency']['p50_ms']:.2f} ms, p99 "
         f"{exact_stats['latency']['p99_ms']:.2f} ms "

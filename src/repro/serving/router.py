@@ -848,7 +848,7 @@ class Router:
                         tried.add(replica.name)
                         self.stats.stale_rerouted += cost
                         continue
-                replica.note_completion(time.monotonic(), cost)
+                replica.note_completion(self.config.clock(), cost)
                 self.stats.completed += cost
             elif response.get("error") in ("overloaded", "shutting_down"):
                 # This replica cannot take the query right now; others

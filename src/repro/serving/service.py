@@ -173,6 +173,12 @@ class ServiceStats:
     shard_seconds: float = 0.0
     updates: int = 0
     shards_rebuilt: int = 0
+    #: Maintenance counters: re-selections swapped in by
+    #: :meth:`QueryService.apply_reselection`, and shard summaries a
+    #: :meth:`QueryService.refresh_summaries` pass found drifted
+    #: (0 in healthy operation — the benches assert so).
+    reselections: int = 0
+    summaries_refreshed: int = 0
     #: Shard distance blocks skipped outright (their lower bound beat
     #: the running k-th-best for every query, or approx routing never
     #: sent a query their way) and (query, shard) bound evaluations.
@@ -518,6 +524,133 @@ class QueryService:
             raise add_error
 
     # ------------------------------------------------------------------
+    # background maintenance
+    # ------------------------------------------------------------------
+    def apply_reselection(self, hook) -> bool:
+        """Run a re-selection *hook* against the mapping, off-path.
+
+        The deferred half of the staleness loop: a ``"flag"``-mode
+        :class:`~repro.core.mapping.StalenessPolicy` leaves
+        ``mapping.stale`` set instead of healing inline on the write
+        path, and background maintenance (:meth:`AsyncFrontend.maintain
+        <repro.serving.frontend.AsyncFrontend.maintain>`) hands the
+        configured selector here.  *hook* is called with the mapping —
+        typically a :class:`repro.core.reselect.Reselector` — and may
+        install a new selection via
+        :meth:`~repro.core.mapping.DSPreservedMapping.apply_selection`.
+
+        If the selection changed, every shard is rebuilt over the same
+        row partition and swapped in atomically: in-flight batches keep
+        the snapshot they took, the embedding cache is cleared (φ
+        itself changed), forked embed workers are recycled, and the
+        index generation advances — exactly the guarantees
+        :meth:`apply_update` gives an inline re-selection.  Either way
+        the staleness counters reset: the hook has adjudicated the
+        drift.  Returns True iff the selection changed.
+        """
+        mapping = self.mapping
+        if sum(s.num_rows for s in self.shards) != (
+            mapping.database_vectors.shape[0]
+        ):
+            raise ValueError(
+                "service shards are out of sync with the mapping — "
+                "mutate a served index through apply_update, not the "
+                "mapping directly"
+            )
+        selected_before = list(mapping.selected)
+        engine_before = mapping.peek_engine()
+        hook(mapping)
+        changed = list(mapping.selected) != selected_before
+        if changed:
+            # Mirror the _post_mutation hook contract for selectors
+            # that assign mapping.selected directly instead of going
+            # through apply_selection (which severed all of this
+            # itself — then the engine identity moved and the extra
+            # invalidation is skipped, keeping its pre-built lattice).
+            if mapping.peek_engine() is engine_before:
+                mapping.invalidate_caches()
+            mapping.artifact_ref = None
+            mapping.journal_seq = 0
+            mapping.mutation_log.clear()
+        mapping.reset_staleness()
+        if not changed:
+            return False
+        new_shards = [
+            self._build_shard(shard.indices) for shard in self.shards
+        ]
+        mapping.store_shard_summaries(
+            tuple(tuple(int(i) for i in s.indices) for s in new_shards),
+            [s.summary for s in new_shards],
+        )
+        engine = mapping.query_engine()
+        new_stack = stack_summaries([s.summary for s in new_shards])
+        selection = tuple(mapping.selected)
+        with self._swap_lock:
+            self.shards = new_shards
+            self._summary_stack = new_stack
+            self.engine = engine
+            self.generation += 1
+            self._graph = mapping.peek_proximity_graph()
+            self._selection_snapshot = selection
+            if self._cache is not None:
+                self._cache.clear()
+        pool, self._embed_pool = self._embed_pool, None
+        if pool is not None:
+            pool.shutdown()
+        self.stats.reselections += 1
+        self.stats.shards_rebuilt += len(new_shards)
+        return True
+
+    def refresh_summaries(self) -> int:
+        """Re-derive every serving shard's summary from its current rows.
+
+        The maintenance tier's self-check: :meth:`apply_update` keeps
+        summaries exact through mutations, so in healthy operation this
+        finds nothing to change (the maintenance bench asserts so) —
+        but a summary that somehow drifted would silently weaken the
+        pruning bounds, so maintenance recomputes each one and swaps in
+        any that differ (both the drifted and the fresh summary are
+        valid for the same rows, so a concurrent batch reading either
+        stays exact).  The layout is re-stored in the mapping's summary
+        cache either way, so the next ``save_index`` persists it even
+        after a mutation cleared the cache.  Returns the number of
+        summaries that actually changed.
+        """
+        with self._swap_lock:
+            shards = list(self.shards)
+        refreshed = 0
+        for shard in shards:
+            rows = self.mapping.database_vectors[shard.indices]
+            fresh = ShardSummary.from_vectors(rows)
+            old = shard.summary
+            if not (
+                fresh.num_rows == old.num_rows
+                and fresh.radius == old.radius
+                and np.array_equal(fresh.centroid, old.centroid)
+                and np.array_equal(fresh.dim_min, old.dim_min)
+                and np.array_equal(fresh.dim_max, old.dim_max)
+            ):
+                shard.summary = fresh
+                refreshed += 1
+        with self._swap_lock:
+            current = len(self.shards) == len(shards) and all(
+                a is b for a, b in zip(self.shards, shards)
+            )
+            if refreshed and current:
+                self._summary_stack = stack_summaries(
+                    [s.summary for s in self.shards]
+                )
+        if current:
+            # Only re-store when the snapshot is still the serving
+            # layout — a concurrent update mid-refresh owns the cache.
+            self.mapping.store_shard_summaries(
+                tuple(tuple(int(i) for i in s.indices) for s in shards),
+                [s.summary for s in shards],
+            )
+        self.stats.summaries_refreshed += refreshed
+        return refreshed
+
+    # ------------------------------------------------------------------
     # pools
     # ------------------------------------------------------------------
     def _ensure_embed_pool(self):
@@ -748,6 +881,23 @@ class QueryService:
         )
         return results
 
+    def batch_query_vectors_traced(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        policy: Optional[SearchPolicy] = None,
+    ) -> Tuple[List[TopKResult], PruningTrace]:
+        """:meth:`batch_query_vectors` plus the pass's pruning trace.
+
+        The benches read per-query counters off the trace (e.g. the
+        adaptive tier's ``effective_nprobe``) that the cumulative
+        service stats cannot attribute to one batch.
+        """
+        with self._swap_lock:
+            shards = list(self.shards)
+            stack = self._summary_stack
+        return self._query_vectors(vectors, k, shards, policy, stack)
+
     def _query_vectors(
         self,
         vectors: np.ndarray,
@@ -769,6 +919,8 @@ class QueryService:
             return self._query_vectors_full(vectors, k, shards)
         if stack is None:
             stack = stack_summaries([shard.summary for shard in shards])
+        if policy.mode == "approx" and policy.nprobe == "auto":
+            return self._query_vectors_auto(vectors, k, shards, stack)
         return self._query_vectors_pruned(vectors, k, shards, policy, stack)
 
     def _ensure_graph(self):
@@ -803,6 +955,11 @@ class QueryService:
         graph = self._ensure_graph()
         nq = vectors.shape[0]
         ef = policy.ef if policy.ef is not None else default_ef(k)
+        # The beam clamps its candidate list to at least k entries
+        # (``ProximityGraph.search``), so a requested ef < k is widened
+        # before any work happens.  Report the width actually used —
+        # the trace must describe the search that ran, not the request.
+        ef = max(int(ef), k)
         results: List[TopKResult] = []
         hops = np.zeros(nq, dtype=np.int64)
         evals = np.zeros(nq, dtype=np.int64)
@@ -1008,6 +1165,130 @@ class QueryService:
             bound_checks=checks,
             shard_tasks=shard_tasks,
             shards_skipped=shards_skipped,
+        )
+        return [r.result() for r in running], trace
+
+    def _query_vectors_auto(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        shards: List[Shard],
+        stack: SummaryStack,
+    ) -> Tuple[List[TopKResult], PruningTrace]:
+        """``nprobe="auto"``: per-query adaptive probe widening.
+
+        Each query probes shards in centroid-distance order (the same
+        routing signal fixed ``nprobe`` uses) and stops widening as
+        soon as it holds k candidates *and* the next shard's lower
+        bound clears its running k-th-best — the query's own geometry,
+        not a global knob, decides how many probes it pays for.  Unlike
+        exact mode (which must check, and possibly visit, every shard
+        whose bound fails to clear the threshold wherever it sits in
+        the order), the stop rule truncates the probe sequence at the
+        first cleared bound; a farther shard with a loose bound is
+        never reconsidered.  That truncation is the approximation —
+        answers stay full-length, only recall is traded.
+
+        Probing proceeds in batched rounds: round *t* computes the
+        *t*-th-nearest shard of every still-widening query, grouped by
+        shard so one distance block serves all queries routed to it
+        (groups run concurrently when the shard pool is on).  The
+        probes each query actually spent surface as
+        ``effective_nprobe`` in the trace.
+        """
+        nq, p = vectors.shape
+        ns = len(shards)
+        bounds, centroid_d = shard_lower_bounds(
+            vectors, stack, p, backend=self._kernel
+        )
+        routed = np.argsort(centroid_d, axis=1, kind="stable")
+        rows = np.array([shard.num_rows for shard in shards])
+        running = [RunningTopK(k) for _ in range(nq)]
+        thresholds = np.full(nq, np.inf)
+        visited = np.zeros(nq, dtype=np.int64)
+        skipped = np.zeros(nq, dtype=np.int64)
+        checks = np.zeros(nq, dtype=np.int64)
+        covered = np.zeros(nq, dtype=np.int64)
+        stopped = np.zeros(nq, dtype=bool)
+        shard_tasks = 0
+        computed: set = set()
+        parallel = self._parallel_shards and ns > 1
+        pool = self._ensure_shard_pool() if parallel else None
+
+        def absorb(qs: np.ndarray, si: int, out, seconds: float) -> None:
+            nonlocal shard_tasks
+            shard_tasks += 1
+            self.stats.shard_seconds += seconds
+            self.stats.distance_evaluations += qs.size * int(rows[si])
+            for pos, qi in enumerate(qs):
+                qi = int(qi)
+                ids, scores = out[pos]
+                tracker = running[qi]
+                tracker.update(ids, scores)
+                threshold = tracker.threshold
+                if threshold is not None:
+                    thresholds[qi] = threshold
+            visited[qs] += 1
+            covered[qs] += int(rows[si])
+
+        for t in range(ns):
+            live = np.flatnonzero(~stopped)
+            if live.size == 0:
+                break
+            next_shards = routed[live, t]
+            if t > 0:
+                # The stop rule: enough scored rows for a full answer,
+                # and the next probe's lower bound clears the running
+                # k-th-best under the same slack-guarded test exact
+                # mode skips with (+inf thresholds — fewer than k
+                # candidates — never stop).
+                checks[live] += 1
+                stopping = (covered[live] >= k) & prunable_mask(
+                    bounds[live, next_shards],
+                    thresholds[live],
+                    backend=self._kernel,
+                )
+                halted = live[stopping]
+                stopped[halted] = True
+                skipped[halted] += ns - t
+                live = live[~stopping]
+                next_shards = next_shards[~stopping]
+                if live.size == 0:
+                    break
+            groups = [
+                (int(si), live[next_shards == si])
+                for si in np.unique(next_shards)
+            ]
+            computed.update(si for si, _qs in groups)
+            if parallel and len(groups) > 1:
+                futures = [
+                    (si, qs, pool.submit(
+                        self._timed_shard_topk, shards[si], vectors[qs], k
+                    ))
+                    for si, qs in groups
+                ]
+                for si, qs, future in futures:
+                    out, seconds = future.result()
+                    absorb(qs, si, out, seconds)
+            else:
+                for si, qs in groups:
+                    out, seconds = self._timed_shard_topk(
+                        shards[si], vectors[qs], k
+                    )
+                    absorb(qs, si, out, seconds)
+        shards_skipped = ns - len(computed)
+        self.stats.shard_tasks += shard_tasks
+        self.stats.shards_skipped += shards_skipped
+        self.stats.bound_checks += int(checks.sum())
+        trace = PruningTrace(
+            mode="approx",
+            nprobe="auto",
+            visited=visited,
+            skipped=skipped,
+            bound_checks=checks,
+            shard_tasks=shard_tasks,
+            shards_skipped=shards_skipped,
+            effective_nprobe=visited.copy(),
         )
         return [r.result() for r in running], trace
 

@@ -90,8 +90,52 @@ class TestBenchPayloads:
             n_clusters=2, per_cluster=30, dims_per_cluster=8,
             query_count=8, batch_size=4, k=3, rounds=1,
         )
-        for policy in ("full_scan", "exact", "approx"):
+        for policy in ("full_scan", "exact", "approx", "auto"):
             assert_latency_summary(result[policy]["latency"])
+        # The adaptive tier's dashboard fields.
+        assert 0.0 <= result["auto_recall"] <= 1.0
+        assert result["auto_mean_effective_nprobe"] >= 1.0
+        assert isinstance(result["auto_fewer_evals"], bool)
+        adaptive = result["adaptive_routing"]
+        assert set(adaptive) == {
+            "query_count", "fixed_evals", "auto_evals",
+            "fixed_recall", "auto_recall", "auto_fewer_evals",
+        }
+        assert adaptive["auto_evals"] > 0
+        assert_json_clean(result)
+
+    def test_maintenance_bench_payload_shape(self):
+        from repro.serving.maintenance_bench import run_maintenance_bench
+
+        result = run_maintenance_bench(
+            n_clusters=2, per_cluster=12, dims_per_cluster=6,
+            emerging_rows=12, churn_chunks=2, clients=2,
+            emerging_queries=8, k=3, maintenance_interval=0.02,
+        )
+        # The heal really ran, off the request path.
+        assert result["reselections"] >= 1
+        assert result["heal_latency_ms"] >= 0.0
+        assert result["stale_after"] is False
+        assert result["maintenance_failures"] == 0
+        assert result["rows_repaired"] == 12
+        # No request was turned away or lost while it happened.
+        assert result["rejected"] == 0 and result["failed"] == 0
+        assert result["admitted"] == result["completed"]
+        # Recall keys the dashboard plots.
+        assert 0.0 <= result["degraded_recall"] <= result["healed_recall"]
+        assert result["recall_gain"] == pytest.approx(
+            result["healed_recall"] - result["degraded_recall"]
+        )
+        assert result["emerging_dims_selected"] is True
+        assert_latency_summary(result["latency"])
+        final = result["final_maintain"]
+        assert set(final) >= {
+            "stale", "reselected", "summaries_refreshed", "persisted",
+            "generation",
+        }
+        assert final["persisted"] is True
+        assert "git_describe" in result
+        assert "index_format_version" in result
         assert_json_clean(result)
 
     def test_pareto_bench_payload_shape(self):

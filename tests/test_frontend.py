@@ -10,13 +10,17 @@ import asyncio
 import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.core.mapping import mapping_from_selection
+from repro.core.reselect import Reselector
 from repro.datasets import synthetic_database, synthetic_query_set
 from repro.features.binary_matrix import FeatureSpace
+from repro.graph.labeled_graph import LabeledGraph
 from repro.index import save_index
 from repro.mining import mine_frequent_subgraphs
+from repro.mining.gspan import FrequentSubgraph
 from repro.query.bench import variance_selection
 from repro.serving import protocol
 from repro.serving.frontend import (
@@ -790,6 +794,120 @@ class TestLiveUpdateAndReload:
             assert frontend.service is old_service
             ok = await frontend.handle_request(_wire_query(queries[0], 3))
             assert ok["ok"]
+        finally:
+            await frontend.aclose()
+
+
+def _drifting_materials(seed=0, dims=4, clusters=3, per_cluster=8):
+    """An under-selected vector index plus the churn that heals it.
+
+    The stale selection spends ``dims`` slots on dead pad columns; the
+    churn rows light up an emerging block and overlap cluster 0, so the
+    staleness policy trips and a re-selection has capacity to reclaim.
+    """
+    rng = np.random.default_rng(seed)
+    active = clusters * dims
+    emerging = active + dims
+    m = emerging + dims
+    initial = np.zeros((clusters * per_cluster, m), dtype=np.int8)
+    for c in range(clusters):
+        rows = slice(c * per_cluster, (c + 1) * per_cluster)
+        initial[rows, c * dims:(c + 1) * dims] = (
+            rng.random((per_cluster, dims)) < 0.9
+        )
+    initial[initial.sum(axis=1) == 0, 0] = 1
+    churn = np.zeros((per_cluster, m), dtype=np.int8)
+    churn[:, active:emerging] = rng.random((per_cluster, dims)) < 0.9
+    churn[:, 0:dims] |= (rng.random((per_cluster, dims)) < 0.5).astype(np.int8)
+    churn[churn.sum(axis=1) == 0, active] = 1
+
+    def graph_for(vector, graph_id):
+        labels = [f"dim{j}" for j in np.flatnonzero(vector)]
+        return LabeledGraph(labels, graph_id=graph_id)
+
+    features = [
+        FrequentSubgraph(
+            LabeledGraph([f"dim{j}"], graph_id=f"dim{j}"),
+            {int(i) for i in np.flatnonzero(initial[:, j])},
+        )
+        for j in range(m)
+    ]
+    space = FeatureSpace(features, initial.shape[0])
+    selection = list(range(active)) + list(range(emerging, m))
+    mapping = mapping_from_selection(space, selection)
+    graphs = [graph_for(v, f"db{i}") for i, v in enumerate(initial)]
+    churn_graphs = [graph_for(v, f"new{i}") for i, v in enumerate(churn)]
+    reselector = Reselector(graphs=graphs).attach(mapping, max_drift=0.1)
+    return mapping, reselector, graphs, churn_graphs
+
+
+class TestMaintenanceOp:
+    @pytest.mark.asyncio
+    async def test_maintain_heals_a_drifted_index(self, tmp_path):
+        mapping, reselector, _graphs, churn = _drifting_materials()
+        service = QueryService(mapping, n_shards=2, n_workers=0)
+        frontend = AsyncFrontend(
+            service,
+            FrontendConfig(
+                reselector=reselector,
+                index_path=tmp_path / "index.json",
+            ),
+            own_service=True,
+        )
+        try:
+            await frontend.start()
+            update = await frontend.handle_request({
+                "op": "update", "id": 1,
+                "add": [protocol.graph_to_wire(g) for g in churn],
+            })
+            assert update["ok"] and update["generation"] == 1
+            assert mapping.stale  # drift crossed the policy threshold
+
+            response = await frontend.handle_request(
+                {"op": "maintain", "id": 2}
+            )
+            assert response["ok"]
+            assert response["stale"] is True  # what the pass walked into
+            assert response["reselected"] is True
+            assert response["persisted"] is True
+            assert response["generation"] == 2  # update, then reselection
+            assert isinstance(response["journal_entries"], int)
+            assert not mapping.stale
+            assert reselector.selections_changed == 1
+
+            # The healed index keeps answering over the wire.
+            probe = await frontend.handle_request({
+                "op": "query", "id": 3, "k": 5,
+                "graph": protocol.graph_to_wire(churn[0]),
+            })
+            assert probe["ok"]
+            assert len(probe["ranking"]) == 5
+            assert probe["generation"] == 2
+
+            stats = await frontend.handle_request({"op": "stats", "id": 4})
+            assert stats["frontend"]["maintenance_runs"] == 1
+            assert stats["service"]["reselections"] == 1
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    async def test_maintain_is_idempotent_when_healthy(self):
+        mapping, reselector, _graphs, _churn = _drifting_materials()
+        service = QueryService(mapping, n_shards=2, n_workers=0)
+        frontend = AsyncFrontend(
+            service, FrontendConfig(reselector=reselector), own_service=True
+        )
+        try:
+            await frontend.start()
+            response = await frontend.handle_request(
+                {"op": "maintain", "id": 1}
+            )
+            assert response["ok"]
+            assert response["stale"] is False
+            assert response["reselected"] is False
+            assert response["persisted"] is False  # no index_path configured
+            assert response["generation"] == 0  # nothing swapped
+            assert frontend.stats.maintenance_runs == 1
         finally:
             await frontend.aclose()
 

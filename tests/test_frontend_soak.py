@@ -81,6 +81,22 @@ def _apply_plan(db_state, added, removed):
     return survivors + list(added)
 
 
+def _scratch_answers_for(feature_graphs, generation_db, pool, k):
+    """Like :func:`_scratch_answers`, but for an explicit pattern set —
+    needed once a background re-selection means different generations
+    were served with different selections."""
+    features = [
+        FrequentSubgraph(
+            graph,
+            {i for i, g in enumerate(generation_db) if is_subgraph(graph, g)},
+        )
+        for graph in feature_graphs
+    ]
+    space = FeatureSpace(features, len(generation_db))
+    scratch = mapping_from_selection(space, list(range(len(features))))
+    return scratch.query_engine().batch_query(pool, k)
+
+
 @pytest.mark.timeout(30)
 @pytest.mark.asyncio
 async def test_soak_streaming_clients_under_update_churn(materials):
@@ -301,6 +317,146 @@ async def test_soak_exact_pruning_under_update_churn():
                     f"generation {generation}, cluster {ci}, query {pi}: "
                     "scores diverged under pruning"
                 )
+
+
+@pytest.mark.timeout(60)
+@pytest.mark.asyncio
+async def test_soak_drift_then_background_heal():
+    """The closed staleness loop under live traffic.
+
+    Clients stream while churn pushes selected-support drift past
+    ``max_drift``; the front-end's background maintenance loop must
+    re-select *off the request path* — no request rejected, dropped, or
+    failed — and every answer must stay bit-identical to a fresh-built
+    index of its generation, with the pre-heal selection before the
+    swap and the post-heal selection after it.
+    """
+    from test_frontend import _drifting_materials
+
+    mapping, reselector, initial_db, churn = _drifting_materials(
+        per_cluster=8
+    )
+    old_feature_graphs = [f.graph for f in mapping.selected_features()]
+    chunks = [churn[: len(churn) // 2], churn[len(churn) // 2:]]
+    pool = (initial_db[::4] + churn[::3])[:8]
+
+    service = QueryService(mapping, n_shards=2, n_workers=0, cache_size=256)
+    frontend = AsyncFrontend(
+        service,
+        FrontendConfig(
+            batch_size=4,
+            batch_window=0.002,
+            max_queue=1024,
+            maintenance_interval=0.01,
+            reselector=reselector,
+        ),
+        own_service=True,
+    )
+
+    stop = asyncio.Event()
+    observed = []  # (pool idx, generation, ranking, scores)
+    dropped = []
+    update_gens = []
+
+    async def client(ci: int) -> None:
+        i = 0
+        while not stop.is_set():
+            pi = (ci + i) % len(pool)
+            i += 1
+            try:
+                results, generation = await frontend.submit(
+                    [pool[pi]], 5, tenant=f"client-{ci}"
+                )
+            except Exception as exc:
+                dropped.append((ci, pi, repr(exc)))
+                return
+            observed.append(
+                (pi, generation, results[0].ranking, results[0].scores)
+            )
+
+    async def controller() -> None:
+        loop = asyncio.get_running_loop()
+        while frontend.stats.completed < 20:  # warm stream first
+            await asyncio.sleep(0.002)
+        for chunk in chunks:
+            update_gens.append(await frontend.apply_update(chunk, []))
+        assert mapping.stale or service.stats.reselections >= 1
+        deadline = loop.time() + 30
+        while not (service.stats.reselections >= 1 and not mapping.stale):
+            assert loop.time() < deadline, "background heal never landed"
+            await asyncio.sleep(0.005)
+        # Keep streaming past the heal so post-swap generations are
+        # actually observed before the clients stand down.
+        settled = frontend.stats.completed
+        while frontend.stats.completed < settled + 12:
+            await asyncio.sleep(0.002)
+        stop.set()
+
+    try:
+        await frontend.start()
+        await asyncio.wait_for(
+            asyncio.gather(controller(), *(client(ci) for ci in range(4))),
+            timeout=55,
+        )
+        await frontend.drain()
+    finally:
+        await frontend.aclose()
+
+    # -- the loop closed, invisibly to the stream ----------------------
+    assert dropped == []
+    assert frontend.stats.failed == 0
+    assert frontend.stats.rejected_quota == 0
+    assert frontend.stats.rejected_overload == 0
+    assert frontend.stats.admitted == frontend.stats.completed
+    assert frontend.stats.maintenance_runs >= 1
+    assert frontend.stats.maintenance_failures == 0
+    assert service.stats.reselections == 1
+    assert reselector.selections_changed == 1
+    assert not mapping.stale
+
+    # -- generation bookkeeping: updates and the heal each own one -----
+    final_generation = service.generation
+    assert final_generation == len(chunks) + 1
+    heal_gens = set(range(1, final_generation + 1)) - set(update_gens)
+    assert len(heal_gens) == 1  # exactly the re-selection's bump
+    heal_gen = heal_gens.pop()
+    generations = {generation for _pi, generation, _r, _s in observed}
+    assert min(generations) < heal_gen <= max(generations), (
+        f"stream did not span the heal: saw {generations}, "
+        f"heal at {heal_gen}"
+    )
+
+    # -- bit-identity per generation, selection-aware ------------------
+    new_feature_graphs = [f.graph for f in mapping.selected_features()]
+    assert [g.graph_id for g in new_feature_graphs] != [
+        g.graph_id for g in old_feature_graphs
+    ]
+    db_states = {0: initial_db}
+    state = initial_db
+    for gen, chunk in zip(update_gens, chunks):
+        state = _apply_plan(state, chunk, [])
+        db_states[gen] = state
+    for generation in sorted(generations):
+        db_gens = [g for g in db_states if g <= generation]
+        generation_db = db_states[max(db_gens)]
+        feature_graphs = (
+            new_feature_graphs if generation >= heal_gen
+            else old_feature_graphs
+        )
+        reference = _scratch_answers_for(
+            feature_graphs, generation_db, pool, 5
+        )
+        for pi, got_generation, ranking, scores in observed:
+            if got_generation != generation:
+                continue
+            truth = reference[pi]
+            assert ranking == truth.ranking, (
+                f"generation {generation} (heal at {heal_gen}), pool "
+                f"query {pi}: {ranking} != fresh-built {truth.ranking}"
+            )
+            assert scores == truth.scores, (
+                f"generation {generation}, pool query {pi}: scores diverged"
+            )
 
 
 @pytest.mark.timeout(30)

@@ -384,6 +384,28 @@ class TestServiceDispatch:
                 assert got.ranking == ranking
                 assert got.scores == scores
 
+    def test_trace_reports_effective_beam_width(self):
+        """Regression: the engine clamps the beam to ``max(ef, k)``
+        before searching, but the trace used to echo the *requested*
+        ef — describing a narrower search than the one that ran."""
+        rng = np.random.default_rng(43)
+        vectors = _binary_vectors(rng, 30, 8)
+        mapping = _vector_mapping(vectors)
+        with QueryService(
+            mapping.query_engine(), n_shards=3, n_workers=0, cache_size=0
+        ) as service:
+            _answers, trace = service.batch_query_vectors_traced(
+                vectors[:3], 5, SearchPolicy(mode="graph", ef=2)
+            )
+            assert trace.mode == "graph"
+            assert trace.ef == 5  # clamped to k, and reported as such
+            assert trace.slice_payload(0, 3)["ef"] == 5
+            # A request already at or above k passes through verbatim.
+            _answers, wide = service.batch_query_vectors_traced(
+                vectors[:3], 5, SearchPolicy(mode="graph", ef=12)
+            )
+            assert wide.ef == 12
+
     def test_full_scan_counts_every_pair(self):
         rng = np.random.default_rng(42)
         vectors = _binary_vectors(rng, 20, 6)

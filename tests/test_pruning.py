@@ -128,10 +128,34 @@ class TestSearchPolicy:
         with pytest.raises(QueryError, match="only applies"):
             SearchPolicy(mode="exact", nprobe=2)
 
+    def test_bool_nprobe_rejected(self):
+        # bool passes isinstance(..., int); the wire layer always
+        # rejected it, but the dataclass used to read True as nprobe=1.
+        with pytest.raises(QueryError, match="integer nprobe"):
+            SearchPolicy(mode="approx", nprobe=True)
+
+    def test_bool_ef_rejected(self):
+        with pytest.raises(QueryError, match="integer ef"):
+            SearchPolicy(mode="graph", ef=True)
+
+    def test_auto_nprobe_accepted(self):
+        policy = SearchPolicy(mode="approx", nprobe="auto")
+        assert policy.nprobe == "auto"
+        assert not policy.is_full_scan
+
+    def test_auto_nprobe_requires_pruning(self):
+        with pytest.raises(QueryError, match="prune=True"):
+            SearchPolicy(mode="approx", nprobe="auto", prune=False)
+
     def test_hashable_for_coalescing(self):
         assert hash(SearchPolicy()) == hash(SearchPolicy())
-        groups = {SearchPolicy(): 1, SearchPolicy(mode="approx", nprobe=2): 2}
+        groups = {
+            SearchPolicy(): 1,
+            SearchPolicy(mode="approx", nprobe=2): 2,
+            SearchPolicy(mode="approx", nprobe="auto"): 3,
+        }
         assert groups[SearchPolicy()] == 1
+        assert groups[SearchPolicy(mode="approx", nprobe="auto")] == 3
 
 
 class TestShardSummary:
@@ -396,6 +420,49 @@ class TestApproxMode:
             _assert_identical(reference, result.results)
             assert trace.nprobe == 3
 
+    def test_auto_nprobe_keeps_recall_on_routable_traffic(self, clustered):
+        """The adaptive stop rule must not trade recall for probes on
+        traffic the partitions can actually route."""
+        _db, per_cluster_queries, mapping, blocks = clustered
+        engine = mapping.query_engine()
+        k = 5
+        overlaps = []
+        with QueryService(engine, shards=blocks, n_workers=0) as service:
+            for cluster_queries in per_cluster_queries:
+                reference = engine.batch_query(cluster_queries, k)
+                result, _gen, trace = service.batch_query_traced(
+                    cluster_queries, k,
+                    SearchPolicy(mode="approx", nprobe="auto"),
+                )
+                assert trace.nprobe == "auto"
+                assert trace.effective_nprobe is not None
+                assert (trace.effective_nprobe >= 1).all()
+                assert (trace.effective_nprobe <= len(blocks)).all()
+                # The trace reports the probes actually spent.
+                np.testing.assert_array_equal(
+                    trace.effective_nprobe, trace.visited
+                )
+                for answer in result.results:
+                    assert len(answer.ranking) == k
+                overlaps.extend(
+                    len(set(a.ranking) & set(b.ranking)) / k
+                    for a, b in zip(reference, result.results)
+                )
+        assert np.mean(overlaps) >= 0.9
+
+    def test_auto_nprobe_stops_early_on_clustered_queries(self, clustered):
+        """Cluster-homed queries satisfy the bound after their home
+        shard: the mean probe count must sit below a full sweep."""
+        _db, per_cluster_queries, mapping, blocks = clustered
+        with QueryService(
+            mapping.query_engine(), shards=blocks, n_workers=0
+        ) as service:
+            queries = [q for block in per_cluster_queries for q in block]
+            _result, _gen, trace = service.batch_query_traced(
+                queries, 3, SearchPolicy(mode="approx", nprobe="auto")
+            )
+            assert trace.effective_nprobe.mean() < len(blocks)
+
 
 class TestDSPMapRouting:
     def test_route_queries_points_home(self, clustered):
@@ -620,6 +687,17 @@ class TestProtocol:
         policy = protocol.search_policy_from_request(request)
         assert policy == SearchPolicy(mode="approx", nprobe=2)
 
+    def test_auto_nprobe_parses(self):
+        request = protocol.parse_request(
+            json.dumps({
+                "op": "query", "id": 1, "k": 3,
+                "graph": {"vertices": ["0"], "edges": []},
+                "search": {"mode": "approx", "nprobe": "auto"},
+            })
+        )
+        policy = protocol.search_policy_from_request(request)
+        assert policy == SearchPolicy(mode="approx", nprobe="auto")
+
     def test_missing_search_means_none(self):
         assert protocol.search_policy_from_request({"op": "query"}) is None
 
@@ -697,6 +775,30 @@ class TestFrontendPolicies:
             })
             assert not bad["ok"]
             assert bad["error"] == "bad_request"
+        finally:
+            await frontend.aclose()
+
+    @pytest.mark.asyncio
+    @pytest.mark.timeout(30)
+    async def test_auto_tier_reports_effective_nprobe(self, materials):
+        per_cluster_queries, _mapping, service = materials
+        frontend = AsyncFrontend(service, own_service=True)
+        try:
+            await frontend.start()
+            q = per_cluster_queries[0][0]
+            response = await frontend.handle_request({
+                "op": "query", "id": "a1", "k": 3,
+                "graph": protocol.graph_to_wire(q),
+                "search": {"mode": "approx", "nprobe": "auto"},
+            })
+            assert response["ok"]
+            assert len(response["ranking"]) == 3
+            pruning = response["pruning"]
+            assert pruning["mode"] == "approx"
+            assert pruning["nprobe"] == "auto"
+            # One query: the mean over the slice IS its probe count.
+            assert 1 <= pruning["effective_nprobe"] <= len(service.shards)
+            assert pruning["shards_visited"] == pruning["effective_nprobe"]
         finally:
             await frontend.aclose()
 

@@ -387,6 +387,31 @@ class TestBackpressure:
             assert response["retry_after"] == pytest.approx(0.05 * 2)
 
     @pytest.mark.asyncio
+    async def test_drain_rate_measured_on_configured_clock(self, materials):
+        """Regression: completion times were stamped with
+        ``time.monotonic()`` even when ``RouterConfig`` supplied its own
+        clock, so any virtual-time harness saw microsecond drain
+        estimates instead of the modelled interval. Zero sleeps: the
+        EWMA must read exactly the virtual time between completions."""
+        queries, _mapping, path = materials
+        clock = [0.0]
+        replicas = await _started([_replica("r0", path)])
+        async with Router(
+            replicas,
+            RouterConfig(health_interval=0, clock=lambda: clock[0]),
+        ) as router:
+            assert (
+                await router.handle_request(_wire_query(queries[0], 3))
+            )["ok"]
+            clock[0] = 2.0  # the second query "takes" 2 virtual seconds
+            assert (
+                await router.handle_request(_wire_query(queries[1], 3))
+            )["ok"]
+            assert replicas[0].drain_interval == pytest.approx(2.0)
+            described = replicas[0].describe()
+            assert described["drain_interval"] == pytest.approx(2.0)
+
+    @pytest.mark.asyncio
     async def test_draining_router_rejects_structured(self, materials):
         queries, _mapping, path = materials
         replicas = await _started([_replica("r0", path)])
